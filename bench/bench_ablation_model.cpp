@@ -1,0 +1,75 @@
+// Ablation B (paper direction #5): the closed-form chiplet performance model
+// vs the discrete-event simulator, across scopes, targets, and load levels.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "measure/bandwidth.hpp"
+#include "measure/experiment.hpp"
+#include "measure/latency.hpp"
+#include "model/analytic.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+using measure::Experiment;
+
+void bandwidth_rows(const topo::PlatformParams& params) {
+  bench::subheading(params.name + "  bandwidth: model vs simulator");
+  Experiment e(params);
+
+  struct Case {
+    const char* label;
+    measure::Scope scope;
+    std::uint32_t window;
+    int ccx_ports;  // aggregated CCX interleave sets
+  };
+  const Case cases[] = {
+      {"core read", measure::Scope::kCore, params.core_read_window, 1},
+      {"CCX read", measure::Scope::kCcx,
+       params.core_read_window * static_cast<std::uint32_t>(params.cores_per_ccx), 1},
+      {"CCD read", measure::Scope::kCcd,
+       params.core_read_window * static_cast<std::uint32_t>(params.cores_per_ccd()),
+       params.ccx_per_ccd},
+  };
+  for (const auto& c : cases) {
+    std::vector<fabric::Path*> paths;
+    for (int x = 0; x < c.ccx_ports; ++x) {
+      auto set = e.platform.dram_paths_all(0, x);
+      paths.insert(paths.end(), set.begin(), set.end());
+    }
+    model::Workload w;
+    w.total_window = c.window;
+    const auto pred = model::predict_multi(paths, w);
+    const auto sim = measure::max_bandwidth(params, c.scope, fabric::Op::kRead,
+                                            measure::Target::kDram);
+    bench::row(std::string(c.label) + " (model vs sim)", sim.gbps, pred.achieved_gbps, "GB/s");
+  }
+}
+
+void latency_rows(const topo::PlatformParams& params) {
+  bench::subheading(params.name + "  latency: model vs simulator");
+  Experiment e(params);
+  model::Workload w;
+  w.total_window = 1;
+  const auto pred = model::predict(e.platform.dram_path(0, 0, 0), w);
+  const auto sim = measure::dram_position_latency(params, topo::DimmPosition::kNear, 6000);
+  bench::row("zero-load DRAM RTT (model vs sim)", sim.avg_ns, pred.zero_load_rtt_ns, "ns");
+  if (params.has_cxl()) {
+    const auto cpred = model::predict(e.platform.cxl_path(0, 0), w);
+    const auto csim = measure::cxl_latency(params, 6000);
+    bench::row("zero-load CXL RTT (model vs sim)", csim.avg_ns, cpred.zero_load_rtt_ns, "ns");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation B: analytic chiplet performance model vs simulator");
+  bench::note("rows print simulator value in the 'paper' column, model in 'measured'");
+  bandwidth_rows(topo::epyc7302());
+  bandwidth_rows(topo::epyc9634());
+  latency_rows(topo::epyc7302());
+  latency_rows(topo::epyc9634());
+  return 0;
+}

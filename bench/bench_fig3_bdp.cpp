@@ -1,0 +1,53 @@
+// Figure 3: average and tail (P999) latency vs offered load on the Infinity
+// Fabric, GMI, and P-Link/CXL — the "inconsistent bandwidth-delay product"
+// characterization (§3.4). One panel per sub-figure.
+#include "bench/bench_util.hpp"
+#include "measure/loadsweep.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+using fabric::Op;
+using measure::SweepLink;
+
+void panel(const char* tag, const topo::PlatformParams& params, SweepLink link, Op op,
+           const char* paper_note) {
+  bench::subheading(std::string(tag) + "  " + params.name + "  " + to_string(link) + "  " +
+                    to_string(op));
+  const auto pts = measure::latency_vs_load(params, link, op, 7);
+  std::printf("  %12s %12s %12s %12s\n", "offered GB/s", "achieved", "avg ns", "p999 ns");
+  for (const auto& pt : pts) {
+    std::printf("  %12.1f %12.1f %12.1f %12.1f\n", pt.requested_gbps, pt.achieved_gbps, pt.avg_ns,
+                pt.p999_ns);
+  }
+  bench::note(paper_note);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 3: latency vs load (avg / P999)");
+  const auto p7 = topo::epyc7302();
+  const auto p9 = topo::epyc9634();
+
+  panel("(a)", p7, SweepLink::kIfIntraCc, Op::kRead,
+        "paper: flat 144.5 avg / 490 p999 regardless of load (tight CCX/CCD pools)");
+  panel("(b)", p9, SweepLink::kIfIntraCc, Op::kRead,
+        "paper: ~2x latency increase when approaching max bandwidth");
+  panel("(c)", p7, SweepLink::kIfInterCc, Op::kRead,
+        "paper: flat 142.5 avg / 500 p999 regardless of load");
+  panel("(d.read)", p7, SweepLink::kGmi, Op::kRead,
+        "paper: avg 123.7 -> 172.5, p999 470 -> 800");
+  panel("(d.write)", p7, SweepLink::kGmi, Op::kWrite,
+        "paper: avg 123.9 -> 153.5, p999 480 -> 630");
+  panel("(e.read)", p9, SweepLink::kGmi, Op::kRead,
+        "paper: avg 143.7 -> 249.5, p999 380 -> 810");
+  panel("(e.write)", p9, SweepLink::kGmi, Op::kWrite,
+        "paper: avg 144.1 -> 695.8, p999 350 -> 1750 (deep WC queues)");
+  panel("(f.read)", p9, SweepLink::kPlink, Op::kRead,
+        "paper: ~1.7x avg / ~2.1x tail read-latency increase at saturation");
+  panel("(f.write)", p9, SweepLink::kPlink, Op::kWrite,
+        "paper: ~1.4x avg / ~1.6x tail write-latency increase at saturation");
+  return 0;
+}

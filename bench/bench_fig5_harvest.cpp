@@ -1,0 +1,58 @@
+// Figure 5: bandwidth utilization of two competing flows with fluctuating
+// demands — can flow 1 harvest the bandwidth flow 0 releases, and how fast?
+// Timescale is 1000x scaled (1 paper-second == 1 simulated ms; DESIGN.md).
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+#include "measure/harvest.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+using measure::SweepLink;
+
+void panel(const topo::PlatformParams& params, SweepLink link, const char* paper_note) {
+  bench::subheading(params.name + "  " + to_string(link));
+  const auto trace = measure::harvest_trace(params, link);
+
+  // Downsample to 60 columns for the sparkline (6 s -> 100 ms per column).
+  std::vector<double> f0;
+  std::vector<double> f1;
+  double peak = 0.0;
+  const std::size_t step = trace.flow0_gbps.size() / 60;
+  for (std::size_t b = 0; b + step <= trace.flow0_gbps.size(); b += step) {
+    double a0 = 0.0;
+    double a1 = 0.0;
+    for (std::size_t k = 0; k < step; ++k) {
+      a0 += trace.flow0_gbps[b + k];
+      a1 += trace.flow1_gbps[b + k];
+    }
+    f0.push_back(a0 / static_cast<double>(step));
+    f1.push_back(a1 / static_cast<double>(step));
+    peak = std::max({peak, f0.back(), f1.back()});
+  }
+  std::printf("  time (scaled s) 0        1         2         3         4         5\n");
+  std::printf("  flow0 |%s|\n", bench::sparkline(f0, peak).c_str());
+  std::printf("  flow1 |%s|\n", bench::sparkline(f1, peak).c_str());
+  std::printf("  throttle windows: [2,3) and [4,5) scaled-seconds (flow 0 -2.0 GB/s)\n");
+  const double t = measure::harvest_time_ms(trace);
+  std::printf("  flow1 harvest time: %.0f scaled-ms (paper: %s)\n", t * 1000.0, paper_note);
+  // Numeric series every 200 scaled-ms for exact comparison.
+  std::printf("  series (GB/s, 200ms steps):");
+  for (std::size_t b = 0; b < trace.flow0_gbps.size(); b += 10) {
+    std::printf(" %.1f/%.1f", trace.flow0_gbps[b], trace.flow1_gbps[b]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 5: bandwidth harvesting under fluctuating demand");
+  panel(topo::epyc9634(), SweepLink::kIfIntraCc, "~100 ms on the 9634 IF");
+  panel(topo::epyc9634(), SweepLink::kPlink, "~500 ms on the 9634 P-Link");
+  panel(topo::epyc7302(), SweepLink::kIfIntraCc,
+        "drastic variation at the 7302 IF (intra-CC queuing module suspected)");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 6: read/write interference at the IF, GMI and P-Link/CXL on the
+// EPYC 9634 — frontend stream X at max rate vs swept background stream Y;
+// interference appears only once a link *direction* saturates (§3.5).
+#include "bench/bench_util.hpp"
+#include "measure/interference.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+using fabric::Op;
+using measure::SweepLink;
+
+void combo(const topo::PlatformParams& params, SweepLink link, Op fg, Op bg) {
+  const auto r = measure::interference_sweep(params, link, fg, bg, 7);
+  std::printf("  X=%-5s Y=%-5s  X solo %6.1f GB/s | ", to_string(fg), to_string(bg),
+              r.fg_solo_gbps);
+  for (const auto& pt : r.points) {
+    std::printf(" %5.1f@%-5.1f", pt.fg_achieved_gbps, pt.bg_achieved_gbps);
+  }
+  if (r.interference_threshold_gbps > 0.0) {
+    std::printf("  | X degraded at aggregated %.1f GB/s\n", r.interference_threshold_gbps);
+  } else {
+    std::printf("  | no interference observed\n");
+  }
+}
+
+void link_panel(const topo::PlatformParams& params, SweepLink link, const char* paper_note) {
+  bench::subheading(params.name + "  " + to_string(link) + "   (columns: X@Y as Y load grows)");
+  for (Op fg : {Op::kRead, Op::kWrite}) {
+    for (Op bg : {Op::kRead, Op::kWrite}) combo(params, link, fg, bg);
+  }
+  bench::note(paper_note);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 6: read/write interference (X-Y) on the EPYC 9634");
+  const auto p9 = topo::epyc9634();
+  link_panel(p9, SweepLink::kIfIntraCc,
+             "paper: writes/reads affected when bg reads approach 32.8 / 27.7 GB/s; bg "
+             "writes induce little interference");
+  link_panel(p9, SweepLink::kIfInterCc,
+             "paper: writes rarely affected; reads degrade when aggregated > 55.7 GB/s "
+             "(the I/O die provisions more than one routing path)");
+  link_panel(p9, SweepLink::kGmi,
+             "paper: interference at aggregated read(write) 31.8 (29.1) GB/s");
+  link_panel(p9, SweepLink::kPlink,
+             "paper: interference at aggregated read(write) 62.8 (44.0) GB/s");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks of the library's hot primitives: event
+// queue, channel admission, token pools, histogram recording, RNG, sketches,
+// and NoC cycle stepping. These guard the simulator's own performance (the
+// experiment suite simulates hundreds of microseconds of a 84-core socket).
+#include <benchmark/benchmark.h>
+
+#include "fabric/channel.hpp"
+#include "fabric/token_pool.hpp"
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/countmin.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+using namespace scn;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(1);
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      q.push(static_cast<sim::Tick>(rng.below(1000000)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int remaining = static_cast<int>(state.range(0));
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) s.schedule(10, hop);
+    };
+    s.schedule(10, hop);
+    s.run();
+    benchmark::DoNotOptimize(s.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventChain)->Arg(10000);
+
+void BM_ChannelAdmit(benchmark::State& state) {
+  fabric::Channel ch("bench", 32.0, 0);
+  sim::Tick now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.admit(now, 64.0));
+    now += 2000;  // keep the channel ~uncongested
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelAdmit);
+
+void BM_TokenPoolCycle(benchmark::State& state) {
+  sim::Simulator s;
+  fabric::TokenPool pool("bench", 64);
+  for (auto _ : state) {
+    pool.acquire(s, [] {});
+    pool.release(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenPoolCycle);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram h;
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    h.record(static_cast<std::int64_t>(rng.below(1000000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  stats::Histogram h;
+  sim::Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.record(static_cast<std::int64_t>(rng.below(1000000)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.p999());
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  auto sk = stats::CountMinSketch::for_error(0.01, 0.001);
+  sim::Rng rng(5);
+  for (auto _ : state) {
+    sk.add(rng.below(100000), 64);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd);
+
+void BM_NocCycle(benchmark::State& state) {
+  noc::NocConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  noc::Network net(cfg);
+  sim::Rng rng(6);
+  for (auto _ : state) {
+    for (int n = 0; n < cfg.node_count(); ++n) {
+      if (rng.uniform() < 0.05) {
+        net.inject(n, noc::destination(noc::Pattern::kUniform, cfg, n, rng), net.cycle());
+      }
+    }
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.node_count());
+}
+BENCHMARK(BM_NocCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

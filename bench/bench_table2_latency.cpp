@@ -1,0 +1,59 @@
+// Table 2: the data-path latency breakdown — cache levels, traffic-control
+// queueing maxima, switching-hop / I/O-hub constants, DIMM latency by
+// floorplan position, and CXL. Methodology mirrors the paper: pointer
+// chasing with a growing working set and NPS-steered DIMM targeting.
+#include "bench/bench_util.hpp"
+#include "measure/latency.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+
+void platform_table(const topo::PlatformParams& params, bool is9634) {
+  bench::subheading(params.name);
+
+  // Compute chiplet: cache levels via the pointer-chase working-set sweep.
+  const double paper_l1 = is9634 ? 1.19 : 1.24;
+  const double paper_l2 = is9634 ? 7.51 : 5.66;
+  const double paper_l3 = is9634 ? 40.8 : 34.3;
+  bench::row("L1 (working set 16 KB)", paper_l1,
+             measure::cache_latency(params, 16 * 1024).avg_ns, "ns");
+  bench::row("L2 (working set 256 KB)", paper_l2,
+             measure::cache_latency(params, is9634 ? 512 * 1024 : 256 * 1024).avg_ns, "ns");
+  bench::row("L3 (working set 8 MB)", paper_l3,
+             measure::cache_latency(params, 8 * 1024 * 1024).avg_ns, "ns");
+
+  const auto q = measure::pool_queue_delays(params);
+  bench::row("Max CCX Q", is9634 ? 20.0 : 30.0, q.max_ccx_wait_ns, "ns");
+  if (!is9634) bench::row("Max CCD Q", 20.0, q.max_ccd_wait_ns, "ns");
+
+  // I/O chiplet constants (model parameters, reported for the table rows).
+  bench::row("Switching hop (param)", is9634 ? 4.0 : 8.0, sim::to_ns(params.shop_lat), "ns");
+  bench::row("I/O hub (param)", 15.0, sim::to_ns(params.iohub_lat), "ns");
+
+  // Memory/device: DIMM position classes and CXL.
+  const double paper_pos[4] = {is9634 ? 141.0 : 124.0, is9634 ? 145.0 : 131.0,
+                               is9634 ? 150.0 : 141.0, is9634 ? 149.0 : 145.0};
+  for (int pos = 0; pos < 4; ++pos) {
+    const auto r = measure::dram_position_latency(params, static_cast<topo::DimmPosition>(pos),
+                                                  8000);
+    bench::row(std::string("DIMM ") + to_string(static_cast<topo::DimmPosition>(pos)),
+               paper_pos[pos], r.avg_ns, "ns");
+  }
+  if (params.has_cxl()) {
+    bench::row("CXL DIMM", 243.0, measure::cxl_latency(params, 8000).avg_ns, "ns");
+  } else {
+    bench::note("CXL DIMM: N/A (no CXL module on this box)");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Table 2: data-path latency breakdown (pointer-chasing mode)");
+  platform_table(topo::epyc7302(), false);
+  platform_table(topo::epyc9634(), true);
+  bench::note("bench target: bench_table2_latency; see EXPERIMENTS.md for residual notes");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 3: maximum achieved bandwidth from a core / CCX / CCD / CPU to the
+// DIMMs and the CXL device (AVX-512 read + non-temporal write analogue),
+// plus the per-UMC service limits quoted in §3.3.
+#include "bench/bench_util.hpp"
+#include "measure/bandwidth.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+using fabric::Op;
+using measure::Scope;
+using measure::Target;
+
+struct Cell {
+  Scope scope;
+  double paper_read;
+  double paper_write;
+};
+
+void dram_table(const topo::PlatformParams& params, const Cell* cells, int n) {
+  bench::subheading(params.name + " -> DIMM (read/write)");
+  for (int i = 0; i < n; ++i) {
+    const auto rd = measure::max_bandwidth(params, cells[i].scope, Op::kRead, Target::kDram);
+    const auto wr = measure::max_bandwidth(params, cells[i].scope, Op::kWrite, Target::kDram);
+    bench::row(std::string("from ") + to_string(cells[i].scope) + " read", cells[i].paper_read,
+               rd.gbps, "GB/s");
+    bench::row(std::string("from ") + to_string(cells[i].scope) + " write", cells[i].paper_write,
+               wr.gbps, "GB/s");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Table 3: maximum achieved bandwidth (GB/s)");
+
+  const Cell cells7302[] = {{Scope::kCore, 14.9, 3.6},
+                            {Scope::kCcx, 25.1, 7.1},
+                            {Scope::kCcd, 32.5, 14.3},
+                            {Scope::kCpu, 106.7, 55.1}};
+  dram_table(topo::epyc7302(), cells7302, 4);
+
+  const Cell cells9634[] = {{Scope::kCore, 14.6, 3.3},
+                            {Scope::kCcx, 35.2, 23.8},
+                            {Scope::kCcd, 33.2, 23.6},
+                            {Scope::kCpu, 366.2, 270.6}};
+  dram_table(topo::epyc9634(), cells9634, 4);
+  bench::note("9634 CCX and CCD rows are one physical unit (1 CCX/CCD); the paper's two");
+  bench::note("rows differ by measurement noise, the simulator reports them identical");
+
+  const auto p9 = topo::epyc9634();
+  bench::subheading("EPYC 9634 -> CXL (read/write)");
+  const Cell cxl_cells[] = {{Scope::kCore, 5.4, 2.8},
+                            {Scope::kCcx, 23.6, 15.8},
+                            {Scope::kCcd, 25.0, 15.0},
+                            {Scope::kCpu, 88.1, 87.7}};
+  for (const auto& c : cxl_cells) {
+    const auto rd = measure::max_bandwidth(p9, c.scope, Op::kRead, Target::kCxl);
+    const auto wr = measure::max_bandwidth(p9, c.scope, Op::kWrite, Target::kCxl);
+    bench::row(std::string("from ") + to_string(c.scope) + " read", c.paper_read, rd.gbps, "GB/s");
+    bench::row(std::string("from ") + to_string(c.scope) + " write", c.paper_write, wr.gbps,
+               "GB/s");
+  }
+  bench::note("EPYC 7302 -> CXL: N/A (Table 1: no CXL module)");
+
+  bench::subheading("per-UMC service limits (section 3.3)");
+  bench::row("7302 UMC read", 21.1, measure::single_umc_bandwidth(topo::epyc7302(), Op::kRead).gbps,
+             "GB/s");
+  bench::row("7302 UMC write", 19.0,
+             measure::single_umc_bandwidth(topo::epyc7302(), Op::kWrite).gbps, "GB/s");
+  bench::row("9634 UMC read", 34.9, measure::single_umc_bandwidth(p9, Op::kRead).gbps, "GB/s");
+  bench::row("9634 UMC write", 28.3, measure::single_umc_bandwidth(p9, Op::kWrite).gbps, "GB/s");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared formatting helpers for the reproduction benches: every bench prints
+// the rows/series of its paper table or figure with the paper's value, the
+// model's measurement, and the deviation.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace scn::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) { std::printf("-- %s --\n", title.c_str()); }
+
+/// One "paper vs measured" row; `unit` e.g. "ns" or "GB/s".
+inline void row(const std::string& label, double paper, double measured, const char* unit) {
+  const double dev = paper != 0.0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("  %-34s paper %8.1f %-5s measured %8.1f %-5s  (%+5.1f%%)\n", label.c_str(), paper,
+              unit, measured, unit, dev);
+}
+
+/// A measured-only row (no paper value to compare against).
+inline void row(const std::string& label, double measured, const char* unit) {
+  std::printf("  %-34s measured %8.1f %s\n", label.c_str(), measured, unit);
+}
+
+inline void note(const std::string& text) { std::printf("  # %s\n", text.c_str()); }
+
+/// Tiny ASCII sparkline for time series (Fig. 5).
+inline std::string sparkline(const std::vector<double>& values, double max_value) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::string out;
+  for (double v : values) {
+    int idx = max_value > 0.0 ? static_cast<int>(v / max_value * 7.0 + 0.5) : 0;
+    if (idx < 0) idx = 0;
+    if (idx > 7) idx = 7;
+    out += levels[idx];
+  }
+  return out;
+}
+
+}  // namespace scn::bench

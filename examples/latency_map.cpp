@@ -1,0 +1,56 @@
+// Latency map: the "more granular non-uniform memory access" of Implication
+// #1 — print the full (compute chiplet x memory controller) latency matrix
+// for both platforms, the data a locality-aware placer would consume.
+//
+//   $ ./latency_map
+#include <cstdio>
+
+#include "measure/experiment.hpp"
+#include "topo/params.hpp"
+#include "traffic/pointer_chase.hpp"
+
+namespace {
+
+using namespace scn;
+
+void map_for(const topo::PlatformParams& params) {
+  std::printf("\n%s: DRAM load-to-use latency (ns) by [compute chiplet][UMC]\n",
+              params.name.c_str());
+  measure::Experiment e(params);
+  auto& platform = e.platform;
+
+  std::printf("        ");
+  for (int u = 0; u < platform.umc_count(); ++u) std::printf(" umc%-2d ", u);
+  std::printf("\n");
+
+  sim::Tick at = 0;
+  for (int c = 0; c < platform.ccd_count(); ++c) {
+    std::printf("  ccd%-2d ", c);
+    for (int u = 0; u < platform.umc_count(); ++u) {
+      traffic::PointerChase::Config cfg;
+      cfg.paths = {&platform.dram_path(c, 0, u)};
+      cfg.samples = 400;
+      traffic::PointerChase probe(e.simulator, cfg);
+      probe.start();
+      at += sim::from_us(120.0);
+      e.simulator.run_until(at);
+      std::printf("%6.1f ", probe.mean_ns());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("  position classes from ccd0: ");
+  for (int u = 0; u < platform.umc_count(); ++u) {
+    std::printf("%s%s", to_string(platform.position_of(0, u)),
+                u + 1 < platform.umc_count() ? ", " : "\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("chipletnet latency map (the Sub-NUMA structure of Implication #1)\n");
+  map_for(scn::topo::epyc7302());
+  map_for(scn::topo::epyc9634());
+  return 0;
+}

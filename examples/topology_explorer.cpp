@@ -1,0 +1,56 @@
+// Topology explorer: dump the full hardware abstraction for both platforms —
+// device tree, route listings with hop-by-hop latency budgets, and the
+// analytic model's per-route predictions. A systems developer would use this
+// view before placing threads or device queues.
+//
+//   $ ./topology_explorer
+#include <cstdio>
+
+#include "measure/experiment.hpp"
+#include "model/analytic.hpp"
+#include "topo/device_tree.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+
+void describe_route(const char* label, fabric::Path& path, std::uint32_t window) {
+  model::Workload w;
+  w.total_window = window;
+  const auto pred = model::predict(path, w);
+  std::printf("  %-34s rtt %6.1f ns | capacity %6.1f GB/s | W=%-3u -> %5.1f GB/s\n", label,
+              pred.zero_load_rtt_ns, pred.capacity_gbps, window, pred.achieved_gbps);
+}
+
+void explore(const topo::PlatformParams& params) {
+  measure::Experiment e(params);
+  auto& platform = e.platform;
+  std::printf("\n============ %s ============\n", params.name.c_str());
+  std::printf("%s", topo::inventory(platform).c_str());
+
+  std::printf("\ndevice tree (/sys/firmware/chiplet-net):\n%s\n",
+              topo::device_tree(platform).c_str());
+
+  std::printf("routes from compute chiplet 0 (analytic view):\n");
+  describe_route("dram near (umc0)", platform.dram_path(0, 0, 0), params.core_read_window);
+  for (int u = 1; u < platform.umc_count(); ++u) {
+    if (platform.position_of(0, u) == topo::DimmPosition::kDiagonal) {
+      describe_route("dram diagonal", platform.dram_path(0, 0, u), params.core_read_window);
+      break;
+    }
+  }
+  describe_route("peer LLC (last chiplet)", platform.peer_path(0, 0, platform.ccd_count() - 1),
+                 params.core_read_window);
+  if (platform.has_cxl()) {
+    describe_route("cxl memory device", platform.cxl_path(0, 0), params.cxl_core_read_window);
+  }
+}
+
+}  // namespace
+
+int main() {
+  explore(topo::epyc7302());
+  explore(topo::epyc9634());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Sketch-backed flow profiler (paper direction #5): per-flow byte accounting
+// with compact probabilistic structures instead of per-flow state — a
+// Count-Min sketch for point queries plus a Space-Saving table for the
+// top-k heavy hitters, and a latency histogram per tracked class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/types.hpp"
+#include "stats/countmin.hpp"
+#include "stats/histogram.hpp"
+#include "stats/spacesaving.hpp"
+
+namespace scn::cnet {
+
+class FlowProfiler {
+ public:
+  struct Config {
+    double epsilon = 0.01;      ///< Count-Min additive error fraction
+    double delta = 0.001;       ///< Count-Min failure probability
+    std::size_t top_k = 16;     ///< heavy-hitter table size
+    std::uint64_t seed = 0xC0FFEE;
+  };
+
+  explicit FlowProfiler(Config config)
+      : sketch_(stats::CountMinSketch::for_error(config.epsilon, config.delta, config.seed)),
+        heavy_(config.top_k) {}
+
+  FlowProfiler();  ///< defaults; defined out-of-line (nested-NSDMI rule)
+
+  /// Account one completed transaction.
+  void record(fabric::FlowId flow, double bytes, std::int64_t latency_ticks) {
+    const auto amount = static_cast<std::uint64_t>(bytes);
+    sketch_.add(flow, amount);
+    heavy_.add(flow, amount);
+    latency_.record(latency_ticks);
+    ++transactions_;
+  }
+
+  /// Estimated bytes for a flow (Count-Min upper bound).
+  [[nodiscard]] std::uint64_t bytes_estimate(fabric::FlowId flow) const {
+    return sketch_.estimate(flow);
+  }
+
+  /// Heavy hitters by bytes, descending.
+  [[nodiscard]] std::vector<stats::SpaceSaving::Counter> top_flows() const {
+    return heavy_.top();
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return sketch_.total(); }
+  [[nodiscard]] std::uint64_t transactions() const noexcept { return transactions_; }
+  [[nodiscard]] const stats::Histogram& latency_histogram() const noexcept { return latency_; }
+
+  /// Memory consumed by the sketch structures (bytes) — the point of using
+  /// sketches is that this is independent of the number of flows.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return sketch_.width() * sketch_.depth() * sizeof(std::uint64_t);
+  }
+
+ private:
+  stats::CountMinSketch sketch_;
+  stats::SpaceSaving heavy_;
+  stats::Histogram latency_;
+  std::uint64_t transactions_ = 0;
+};
+
+inline FlowProfiler::FlowProfiler() : FlowProfiler(Config()) {}
+
+}  // namespace scn::cnet

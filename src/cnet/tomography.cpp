@@ -1,0 +1,78 @@
+#include "cnet/tomography.hpp"
+
+#include <cmath>
+
+namespace scn::cnet {
+namespace {
+
+double dot_col(const std::vector<std::vector<double>>& a, const std::vector<double>& v,
+               std::size_t col) {
+  double s = 0.0;
+  for (std::size_t l = 0; l < a.size(); ++l) s += a[l][col] * v[l];
+  return s;
+}
+
+}  // namespace
+
+TomographyResult estimate_traffic_matrix(const TomographyProblem& problem, int max_iterations,
+                                         double tolerance) {
+  const auto& a = problem.incidence;
+  const auto& y = problem.link_loads;
+  const std::size_t links = a.size();
+  const std::size_t flows = links > 0 ? a[0].size() : 0;
+
+  TomographyResult result;
+  result.flow_rates.assign(flows, 0.0);
+  if (flows == 0 || links == 0) return result;
+
+  // Gravity start: distribute each link's load equally over its flows, then
+  // average per flow (a crude but strictly positive initial guess).
+  std::vector<double>& x = result.flow_rates;
+  for (std::size_t f = 0; f < flows; ++f) {
+    double sum = 0.0;
+    int count = 0;
+    for (std::size_t l = 0; l < links; ++l) {
+      if (a[l][f] > 0.0) {
+        double on_link = 0.0;
+        for (std::size_t g = 0; g < flows; ++g) on_link += a[l][g];
+        if (on_link > 0.0) {
+          sum += y[l] / on_link;
+          ++count;
+        }
+      }
+    }
+    x[f] = count > 0 ? sum / count : 0.0;
+    if (x[f] <= 0.0) x[f] = 1e-6;
+  }
+
+  // Multiplicative updates: x_f <- x_f * (A^T y)_f / (A^T A x)_f.
+  std::vector<double> ax(links, 0.0);
+  for (int it = 0; it < max_iterations; ++it) {
+    for (std::size_t l = 0; l < links; ++l) {
+      ax[l] = 0.0;
+      for (std::size_t f = 0; f < flows; ++f) ax[l] += a[l][f] * x[f];
+    }
+    double max_change = 0.0;
+    for (std::size_t f = 0; f < flows; ++f) {
+      const double numerator = dot_col(a, y, f);
+      const double denominator = dot_col(a, ax, f);
+      if (denominator <= 1e-12) continue;
+      const double next = x[f] * numerator / denominator;
+      max_change = std::max(max_change, std::fabs(next - x[f]));
+      x[f] = next;
+    }
+    result.iterations = it + 1;
+    if (max_change < tolerance) break;
+  }
+
+  double residual = 0.0;
+  for (std::size_t l = 0; l < links; ++l) {
+    double axl = 0.0;
+    for (std::size_t f = 0; f < flows; ++f) axl += a[l][f] * x[f];
+    residual += (axl - y[l]) * (axl - y[l]);
+  }
+  result.residual_norm = std::sqrt(residual);
+  return result;
+}
+
+}  // namespace scn::cnet

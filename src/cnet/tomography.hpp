@@ -1,0 +1,33 @@
+// Intra-server traffic-matrix estimation (paper Implication #2 and the
+// SIGCOMM tomography lineage it cites): recover per-flow rates from per-link
+// byte counters, given the routing (which flows cross which links).
+//
+// The estimator solves  min ||A x - y||^2, x >= 0  where A[l][f] = 1 when
+// flow f crosses link l, y is the vector of observed link loads, and x the
+// unknown flow rates. We use a gravity-model start followed by Lee-Seung
+// multiplicative updates (a classic NNLS scheme that preserves
+// non-negativity without projection).
+#pragma once
+
+#include <vector>
+
+namespace scn::cnet {
+
+struct TomographyProblem {
+  /// incidence[l][f] in {0, 1}: flow f crosses link l.
+  std::vector<std::vector<double>> incidence;
+  /// Observed load per link (GB/s).
+  std::vector<double> link_loads;
+};
+
+struct TomographyResult {
+  std::vector<double> flow_rates;
+  double residual_norm = 0.0;  ///< ||A x - y||
+  int iterations = 0;
+};
+
+[[nodiscard]] TomographyResult estimate_traffic_matrix(const TomographyProblem& problem,
+                                                       int max_iterations = 500,
+                                                       double tolerance = 1e-6);
+
+}  // namespace scn::cnet

@@ -1,0 +1,88 @@
+#include "cnet/traffic_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace scn::cnet {
+
+std::vector<double> max_min_rates(const std::vector<double>& demands,
+                                  const std::vector<std::vector<int>>& flow_links,
+                                  const std::vector<double>& link_caps) {
+  const std::size_t n = demands.size();
+  std::vector<double> rates(n, 0.0);
+  std::vector<bool> frozen(n, false);
+  std::vector<double> remaining = link_caps;
+
+  // Progressive filling: raise all unfrozen flows' rates uniformly; a flow
+  // freezes when it hits its demand or when one of its links saturates.
+  for (std::size_t round = 0; round < n; ++round) {
+    // Active flow count per link.
+    std::vector<int> active(link_caps.size(), 0);
+    bool any_active = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      any_active = true;
+      for (int l : flow_links[i]) ++active[static_cast<std::size_t>(l)];
+    }
+    if (!any_active) break;
+
+    // The largest uniform increment possible before a link saturates or a
+    // demand is met.
+    double increment = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < link_caps.size(); ++l) {
+      if (active[l] > 0) increment = std::min(increment, remaining[l] / active[l]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!frozen[i] && demands[i] > 0.0) {
+        increment = std::min(increment, demands[i] - rates[i]);
+      }
+    }
+    if (!(increment > 0.0) || !std::isfinite(increment)) increment = 0.0;
+
+    // Apply the increment, then freeze whoever is now bound.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      rates[i] += increment;
+      for (int l : flow_links[i]) remaining[static_cast<std::size_t>(l)] -= increment;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      if (demands[i] > 0.0 && rates[i] >= demands[i] - 1e-9) {
+        frozen[i] = true;
+        continue;
+      }
+      for (int l : flow_links[i]) {
+        if (remaining[static_cast<std::size_t>(l)] <= 1e-9) {
+          frozen[i] = true;
+          break;
+        }
+      }
+    }
+    if (increment == 0.0) break;  // degenerate: nothing can grow further
+  }
+  return rates;
+}
+
+void TrafficManager::allocate_now() {
+  std::vector<double> demands;
+  std::vector<std::vector<int>> flow_links;
+  demands.reserve(flows_.size());
+  flow_links.reserve(flows_.size());
+  for (const auto& f : flows_) {
+    demands.push_back(f.demand_gbps);
+    flow_links.push_back(f.links);
+  }
+  last_rates_ = max_min_rates(demands, flow_links, link_caps_);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].flow != nullptr) flows_[i].flow->set_target_rate(last_rates_[i]);
+  }
+}
+
+void TrafficManager::start(sim::Tick until) {
+  allocate_now();
+  if (simulator_->now() + config_.period <= until) {
+    simulator_->schedule(config_.period, [this, until] { start(until); });
+  }
+}
+
+}  // namespace scn::cnet

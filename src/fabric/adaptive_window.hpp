@@ -1,0 +1,45 @@
+// Adaptive source-window policy modelling the hardware's slow bandwidth
+// harvesting (paper §3.5, Fig. 5).
+//
+// The EPYC traffic-control modules re-expand a sender's effective in-flight
+// budget only gradually after a competing flow backs off — the paper measures
+// roughly 100 ms (IF) and 500 ms (P-Link) to reap freed bandwidth, and the
+// 7302's IF module oscillates. We model this as an AIMD window on the flow's
+// source token pool: every `adjust_period`, compare the recently observed
+// round-trip latency with the zero-load baseline; inflation beyond
+// `congestion_ratio` triggers a multiplicative decrease, otherwise the window
+// grows additively. The pure `update` function makes the policy unit-testable
+// without a simulator.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace scn::fabric {
+
+struct AdaptiveWindowPolicy {
+  std::uint32_t min_window = 1;
+  std::uint32_t max_window = 64;
+  double congestion_ratio = 1.15;   ///< RTT inflation treated as congestion
+  std::uint32_t additive_step = 1;  ///< window growth per uncongested period
+  double decrease_factor = 0.9;     ///< multiplicative decrease on congestion
+  sim::Tick adjust_period = sim::from_us(20.0);
+
+  /// Next window size given the current one and the RTT observations of the
+  /// last period. `avg_rtt <= 0` (no completions) leaves the window alone.
+  [[nodiscard]] std::uint32_t update(std::uint32_t current, double avg_rtt,
+                                     double base_rtt) const noexcept {
+    if (avg_rtt <= 0.0 || base_rtt <= 0.0) return current;
+    std::uint32_t next = current;
+    if (avg_rtt > base_rtt * congestion_ratio) {
+      next = static_cast<std::uint32_t>(static_cast<double>(current) * decrease_factor);
+    } else {
+      next = current + additive_step;
+    }
+    return std::clamp(next, min_window, max_window);
+  }
+};
+
+}  // namespace scn::fabric

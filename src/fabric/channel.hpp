@@ -1,0 +1,113 @@
+// Unidirectional link channel with FIFO serialization.
+//
+// This is the fundamental bandwidth-domain primitive (paper §3.3): a channel
+// has a capacity (bytes/ns) and a propagation delay. Admission computes when
+// a message finishes serializing given everything admitted before it — an
+// ideal work-conserving FIFO. Queueing delay is therefore *emergent*: it is
+// zero while the offered load is below capacity and grows without bound as
+// load approaches capacity, which is exactly the paper's "inconsistent BDP"
+// behaviour (§3.4). Buffering is modelled as unbounded here because the
+// upstream token pools (TokenPool) bound the number of in-flight requests,
+// i.e. overload control is queueless and source-driven, like the hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+
+namespace scn::fabric {
+
+class Channel {
+ public:
+  struct Admission {
+    sim::Tick depart;       ///< when the last byte has been serialized
+    sim::Tick deliver;      ///< depart + propagation delay
+    sim::Tick queue_delay;  ///< time spent waiting behind earlier messages
+  };
+
+  /// `capacity_bytes_per_ns` == GB/s. A non-positive capacity means the
+  /// channel is latency-only (no serialization, no queueing).
+  Channel(std::string name, double capacity_bytes_per_ns, sim::Tick propagation)
+      : name_(std::move(name)), capacity_(capacity_bytes_per_ns), propagation_(propagation) {}
+
+  /// Admit a message of `bytes` arriving at time `now`.
+  Admission admit(sim::Tick now, double bytes) noexcept {
+    Admission a{};
+    if (capacity_ <= 0.0) {
+      a.depart = now;
+      a.deliver = now + propagation_;
+      a.queue_delay = 0;
+    } else {
+      const sim::Tick start = next_free_ > now ? next_free_ : now;
+      const sim::Tick ser = sim::serialization_ticks(bytes, capacity_);
+      a.queue_delay = start - now;
+      a.depart = start + ser;
+      a.deliver = a.depart + propagation_;
+      next_free_ = a.depart;
+      busy_ticks_ += ser;
+    }
+    bytes_total_ += bytes;
+    ++messages_total_;
+    queue_delay_hist_.record(a.queue_delay);
+    if (a.queue_delay > max_queue_delay_) max_queue_delay_ = a.queue_delay;
+    return a;
+  }
+
+  /// Backlog the channel currently holds, expressed as time until it would
+  /// drain (0 when idle). Used by adaptive window controllers as the
+  /// backpressure signal.
+  [[nodiscard]] sim::Tick backlog(sim::Tick now) const noexcept {
+    return next_free_ > now ? next_free_ - now : 0;
+  }
+
+  /// Block the channel for `duration` (a DRAM refresh, a link replay, ...).
+  /// Everything admitted afterwards queues behind the stall, which is what
+  /// blows up tail latency under load.
+  void stall(sim::Tick now, sim::Tick duration) noexcept {
+    const sim::Tick start = next_free_ > now ? next_free_ : now;
+    next_free_ = start + duration;
+    busy_ticks_ += duration;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double capacity_bytes_per_ns() const noexcept { return capacity_; }
+  [[nodiscard]] sim::Tick propagation() const noexcept { return propagation_; }
+
+  // --- telemetry (read by scn::cnet) -------------------------------------
+  [[nodiscard]] double bytes_total() const noexcept { return bytes_total_; }
+  [[nodiscard]] std::uint64_t messages_total() const noexcept { return messages_total_; }
+  [[nodiscard]] sim::Tick busy_ticks() const noexcept { return busy_ticks_; }
+  [[nodiscard]] sim::Tick max_queue_delay() const noexcept { return max_queue_delay_; }
+  [[nodiscard]] const stats::Histogram& queue_delay_histogram() const noexcept {
+    return queue_delay_hist_;
+  }
+
+  /// Average utilization over [0, now].
+  [[nodiscard]] double utilization(sim::Tick now) const noexcept {
+    return now > 0 ? static_cast<double>(busy_ticks_) / static_cast<double>(now) : 0.0;
+  }
+
+  void reset_telemetry() noexcept {
+    bytes_total_ = 0.0;
+    messages_total_ = 0;
+    busy_ticks_ = 0;
+    max_queue_delay_ = 0;
+    queue_delay_hist_.reset();
+  }
+
+ private:
+  std::string name_;
+  double capacity_;
+  sim::Tick propagation_;
+  sim::Tick next_free_ = 0;
+
+  double bytes_total_ = 0.0;
+  std::uint64_t messages_total_ = 0;
+  sim::Tick busy_ticks_ = 0;
+  sim::Tick max_queue_delay_ = 0;
+  stats::Histogram queue_delay_hist_;
+};
+
+}  // namespace scn::fabric

@@ -1,0 +1,38 @@
+// Executes transactions along a Path on the discrete-event simulator.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fabric/path.hpp"
+#include "fabric/types.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace scn::fabric {
+
+/// Completion record handed to the issuer's callback.
+struct Completion {
+  sim::Tick issued = 0;
+  sim::Tick completed = 0;
+  sim::Tick queue_total = 0;  ///< summed queueing delay across all segments
+  Op op = Op::kRead;
+  double payload_bytes = 0.0;
+};
+
+using CompletionFn = std::function<void(const Completion&)>;
+using ReleaseFn = std::function<void()>;
+
+/// Issue one transaction of `payload_bytes` along `path`. For reads the
+/// command header travels outbound and the payload returns inbound; for
+/// (non-temporal) writes the payload travels outbound and an ack returns.
+/// `rng` drives endpoint hiccup sampling and may be null.
+///
+/// `release` fires when the issuer's tokens may be returned: at completion
+/// for reads and non-posted writes, at endpoint acceptance (data committed)
+/// for posted writes. `done` always fires at full round-trip completion and
+/// is what latency measurements observe.
+void run_transaction(sim::Simulator& simulator, Path& path, Op op, double payload_bytes,
+                     sim::Rng* rng, CompletionFn done, ReleaseFn release = nullptr);
+
+}  // namespace scn::fabric

@@ -1,0 +1,49 @@
+// Hierarchical token acquisition: core window -> CCX pool -> CCD pool.
+//
+// A transaction must hold a token at every level of the compute chiplet's
+// traffic-control hierarchy before entering the fabric (paper §3.2). Pools
+// are acquired in order (innermost first) and released together when the
+// transaction completes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fabric/token_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace scn::fabric {
+
+/// Acquire every pool in `pools` (in order), then invoke `on_all_granted`.
+/// Pools may be empty; null entries are skipped.
+inline void acquire_chain(sim::Simulator& simulator, std::vector<TokenPool*> pools,
+                          std::function<void()> on_all_granted) {
+  struct State {
+    sim::Simulator* simulator;
+    std::vector<TokenPool*> pools;
+    std::function<void()> done;
+  };
+  auto st = std::make_shared<State>(State{&simulator, std::move(pools), std::move(on_all_granted)});
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  *step = [st, step](std::size_t idx) {
+    while (idx < st->pools.size() && st->pools[idx] == nullptr) ++idx;
+    if (idx >= st->pools.size()) {
+      st->done();
+      return;
+    }
+    TokenPool* pool = st->pools[idx];
+    pool->acquire(*st->simulator, [st, step, idx] { (*step)(idx + 1); });
+  };
+  (*step)(0);
+}
+
+/// Release every (non-null) pool in `pools`.
+inline void release_chain(sim::Simulator& simulator, const std::vector<TokenPool*>& pools) {
+  for (TokenPool* pool : pools) {
+    if (pool != nullptr) pool->release(simulator);
+  }
+}
+
+}  // namespace scn::fabric

@@ -1,0 +1,113 @@
+// Queueless token-based traffic-control module.
+//
+// The paper observes (§3.2) that each compute (sub-)chiplet has a traffic
+// control module that limits outstanding requests using tokens and
+// backpressure (a "Phantom Queue"-like queueless structure), producing the
+// bounded "Max CCX Q" / "Max CCD Q" delays of Table 2. TokenPool models it:
+// a budget of tokens, acquired before a transaction enters the fabric
+// segment the pool guards and released on completion. Waiters are granted
+// FIFO, and the budget can be resized at runtime (the hook AdaptiveWindow
+// uses to model the hardware's slow bandwidth-harvesting behaviour, §3.5).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+
+namespace scn::fabric {
+
+class TokenPool {
+ public:
+  using GrantFn = std::function<void()>;
+
+  TokenPool(std::string name, std::uint32_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  /// Acquire one token; `on_grant` runs immediately (inline) if a token is
+  /// free, otherwise via the event queue when one is released.
+  void acquire(sim::Simulator& simulator, GrantFn on_grant) {
+    ++acquires_;
+    if (outstanding_ < capacity_ && waiters_.empty()) {
+      ++outstanding_;
+      wait_hist_.record(0);
+      on_grant();
+      return;
+    }
+    waiters_.push_back(Waiter{simulator.now(), std::move(on_grant)});
+    if (waiters_.size() > max_waiters_) max_waiters_ = waiters_.size();
+  }
+
+  /// Return one token, waking the oldest waiter if the budget allows.
+  void release(sim::Simulator& simulator) {
+    assert(outstanding_ > 0 && "release without matching acquire");
+    --outstanding_;
+    drain_waiters(simulator);
+  }
+
+  /// Grow or shrink the budget at runtime. Shrinking below the number of
+  /// currently-outstanding tokens is allowed: grants stop until completions
+  /// bring `outstanding` back under the new budget.
+  void resize(sim::Simulator& simulator, std::uint32_t new_capacity) {
+    capacity_ = new_capacity;
+    drain_waiters(simulator);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t outstanding() const noexcept { return outstanding_; }
+  [[nodiscard]] std::uint32_t available() const noexcept {
+    return outstanding_ < capacity_ ? capacity_ - outstanding_ : 0;
+  }
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
+  // --- telemetry ----------------------------------------------------------
+  [[nodiscard]] std::uint64_t acquires() const noexcept { return acquires_; }
+  [[nodiscard]] sim::Tick max_wait() const noexcept { return max_wait_; }
+  [[nodiscard]] std::size_t max_waiters() const noexcept { return max_waiters_; }
+  [[nodiscard]] const stats::Histogram& wait_histogram() const noexcept { return wait_hist_; }
+
+  void reset_telemetry() noexcept {
+    acquires_ = 0;
+    max_wait_ = 0;
+    max_waiters_ = 0;
+    wait_hist_.reset();
+  }
+
+ private:
+  struct Waiter {
+    sim::Tick enqueued;
+    GrantFn grant;
+  };
+
+  void drain_waiters(sim::Simulator& simulator) {
+    while (!waiters_.empty() && outstanding_ < capacity_) {
+      Waiter w = std::move(waiters_.front());
+      waiters_.pop_front();
+      ++outstanding_;
+      const sim::Tick waited = simulator.now() - w.enqueued;
+      wait_hist_.record(waited);
+      if (waited > max_wait_) max_wait_ = waited;
+      // Run grants via the event queue so releases never re-enter arbitrary
+      // generator code mid-update.
+      simulator.schedule(0, std::move(w.grant));
+    }
+  }
+
+  std::string name_;
+  std::uint32_t capacity_;
+  std::uint32_t outstanding_ = 0;
+  std::deque<Waiter> waiters_;
+
+  std::uint64_t acquires_ = 0;
+  sim::Tick max_wait_ = 0;
+  std::size_t max_waiters_ = 0;
+  stats::Histogram wait_hist_;
+};
+
+}  // namespace scn::fabric

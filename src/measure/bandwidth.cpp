@@ -1,0 +1,114 @@
+#include "measure/bandwidth.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "measure/experiment.hpp"
+#include "traffic/flow_group.hpp"
+
+namespace scn::measure {
+namespace {
+
+constexpr double kWarmupUs = 12.0;
+constexpr double kWindowUs = 40.0;
+
+struct CoreSel {
+  int ccd;
+  int ccx;
+  int lane;  // core index within the CCX (affects only the seed)
+};
+
+std::vector<CoreSel> cores_for(const topo::PlatformParams& p, Scope scope) {
+  std::vector<CoreSel> out;
+  const int ccds = scope == Scope::kCpu ? p.ccd_count : 1;
+  for (int d = 0; d < ccds; ++d) {
+    const int ccxs = (scope == Scope::kCpu || scope == Scope::kCcd) ? p.ccx_per_ccd : 1;
+    for (int x = 0; x < ccxs; ++x) {
+      const int lanes = scope == Scope::kCore ? 1 : p.cores_per_ccx;
+      for (int l = 0; l < lanes; ++l) out.push_back({d, x, l});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BandwidthResult max_bandwidth(const topo::PlatformParams& params, Scope scope, fabric::Op op,
+                              Target target) {
+  Experiment e(params);
+  auto& platform = e.platform;
+  const auto& p = platform.params();
+
+  traffic::FlowGroup group("bw");
+  const auto cores = cores_for(p, scope);
+  int id = 0;
+  for (const auto& core : cores) {
+    traffic::StreamFlow::Config cfg;
+    cfg.name = "bw" + std::to_string(id);
+    cfg.op = op;
+    if (target == Target::kDram) {
+      cfg.paths = platform.dram_paths_all(core.ccd, core.ccx);
+      cfg.window = op == fabric::Op::kRead ? p.core_read_window : p.core_write_window;
+      if (op == fabric::Op::kWrite) cfg.target_rate = p.core_write_issue_bw;
+    } else {
+      cfg.paths = {&platform.cxl_path(core.ccd, core.ccx)};
+      cfg.window = op == fabric::Op::kRead ? p.cxl_core_read_window : p.cxl_core_write_window;
+      if (op == fabric::Op::kWrite && p.core_write_issue_bw > 0.0) {
+        cfg.target_rate = p.core_write_issue_bw;
+      }
+    }
+    cfg.pools = platform.pools_for(core.ccd, core.ccx, op);
+    cfg.stats_after = sim::from_us(kWarmupUs);
+    cfg.stop_at = sim::from_us(kWarmupUs + kWindowUs);
+    cfg.record_latency = true;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(id++);
+    group.add(e.simulator, std::move(cfg));
+  }
+  group.start_all();
+  e.simulator.run_until(sim::from_us(kWarmupUs + kWindowUs + 10.0));
+
+  BandwidthResult r;
+  r.gbps = group.aggregate_gbps();
+  r.avg_ns = group.merged_latency().mean() / 1000.0;
+  r.flows = static_cast<int>(cores.size());
+  return r;
+}
+
+BandwidthResult single_umc_bandwidth(const topo::PlatformParams& params, fabric::Op op) {
+  Experiment e(params);
+  auto& platform = e.platform;
+  const auto& p = platform.params();
+
+  // Enough cores to saturate one memory controller: every core on the CPU
+  // targets UMC 0, so the controller (not any one GMI) is the bottleneck.
+  traffic::FlowGroup group("umc");
+  int id = 0;
+  for (const auto& core : cores_for(p, Scope::kCpu)) {
+    {
+      const int d = core.ccd;
+      const int x = core.ccx;
+      const int l = core.lane;
+      (void)l;
+      traffic::StreamFlow::Config cfg;
+      cfg.name = "umc" + std::to_string(id);
+      cfg.op = op;
+      cfg.paths = {&platform.dram_path(d, x, 0)};
+      cfg.pools = platform.pools_for(d, x, op);
+      cfg.window = op == fabric::Op::kRead ? p.core_read_window : p.core_write_window;
+      if (op == fabric::Op::kWrite) cfg.target_rate = p.core_write_issue_bw;
+      cfg.stats_after = sim::from_us(kWarmupUs);
+      cfg.stop_at = sim::from_us(kWarmupUs + kWindowUs);
+      cfg.seed = 2000 + static_cast<std::uint64_t>(id++);
+      group.add(e.simulator, std::move(cfg));
+    }
+  }
+  group.start_all();
+  e.simulator.run_until(sim::from_us(kWarmupUs + kWindowUs + 10.0));
+
+  BandwidthResult r;
+  r.gbps = group.aggregate_gbps();
+  r.flows = id;
+  return r;
+}
+
+}  // namespace scn::measure

@@ -1,0 +1,42 @@
+// Table 3 methodology: maximum achieved bandwidth from one core, one CCX,
+// one CCD, or the whole CPU, to the DIMMs or the CXL device.
+#pragma once
+
+#include <string>
+
+#include "fabric/types.hpp"
+#include "topo/params.hpp"
+
+namespace scn::measure {
+
+enum class Scope { kCore, kCcx, kCcd, kCpu };
+enum class Target { kDram, kCxl };
+
+[[nodiscard]] constexpr const char* to_string(Scope s) noexcept {
+  switch (s) {
+    case Scope::kCore: return "core";
+    case Scope::kCcx: return "CCX";
+    case Scope::kCcd: return "CCD";
+    case Scope::kCpu: return "CPU";
+  }
+  return "?";
+}
+
+struct BandwidthResult {
+  double gbps = 0.0;       ///< aggregate achieved payload bandwidth
+  double avg_ns = 0.0;     ///< mean transaction latency during the run
+  int flows = 0;           ///< participating cores
+};
+
+/// Saturate the chosen scope with read or non-temporal-write streams
+/// (AVX-512 analogue: max MLP per core, cacheline chunks interleaved over
+/// every reachable UMC / the CXL device) and report the achieved bandwidth.
+[[nodiscard]] BandwidthResult max_bandwidth(const topo::PlatformParams& params, Scope scope,
+                                            fabric::Op op, Target target);
+
+/// Bandwidth when every flow targets one single UMC (the paper's per-UMC
+/// 21.1/19.0 and 34.9/28.3 GB/s observation).
+[[nodiscard]] BandwidthResult single_umc_bandwidth(const topo::PlatformParams& params,
+                                                   fabric::Op op);
+
+}  // namespace scn::measure

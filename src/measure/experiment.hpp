@@ -1,0 +1,21 @@
+// A self-contained experiment context: one simulator plus one platform.
+// Every measurement constructs a fresh Experiment so channel/pool state and
+// RNG streams never leak between data points.
+#pragma once
+
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "topo/platform.hpp"
+
+namespace scn::measure {
+
+struct Experiment {
+  sim::Simulator simulator;
+  topo::Platform platform;
+
+  explicit Experiment(topo::PlatformParams params)
+      : platform(simulator, std::move(params)) {}
+};
+
+}  // namespace scn::measure

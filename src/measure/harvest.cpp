@@ -1,0 +1,158 @@
+#include "measure/harvest.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "measure/experiment.hpp"
+#include "measure/scenario.hpp"
+#include "traffic/stream_flow.hpp"
+
+namespace scn::measure {
+namespace {
+
+constexpr double kTraceMs = 6.0;        // 6 scaled seconds
+constexpr double kPrerollMs = 1.0;      // reach AIMD equilibrium before t=0
+constexpr double kBucketUs = 20.0;      // 20 scaled milliseconds per bucket
+constexpr double kThrottleDeltaGbps = 2.0;
+
+struct FlowSetup {
+  std::vector<fabric::Path*> paths;
+  std::vector<fabric::TokenPool*> pools;
+  double share_gbps = 0.0;
+  std::uint32_t max_window = 64;
+  sim::Tick adjust_period = 0;
+  double decrease_factor = 0.9;
+  double congestion_ratio = 1.15;
+};
+
+/// Two competing flow aggregates for the harvest trace. Flow i uses the
+/// i-th source site of the scenario.
+std::array<FlowSetup, 2> harvest_setups(topo::Platform& platform, SweepLink link) {
+  const auto& p = platform.params();
+  std::array<FlowSetup, 2> s;
+  if (link == SweepLink::kPlink) {
+    // Two aggregated CXL flows, each spanning two chiplets (so the per-CCD
+    // device credits cannot cap a flow below its fair device share). The
+    // aggregate is flow-level, so no per-CCX pools apply.
+    for (int i = 0; i < 2; ++i) {
+      s[i].paths = {&platform.cxl_path(2 * i, 0), &platform.cxl_path(2 * i + 1, 0)};
+      s[i].pools = {};
+      s[i].share_gbps = p.cxl_read_bw / 2.0;
+      s[i].max_window = 256;
+      s[i].adjust_period = p.plink_adjust_period;
+      s[i].decrease_factor = 0.9;
+    }
+  } else if (p.ccx_per_ccd > 1) {
+    // 7302 IF: two cores of one CCX exchanging with the sibling LLC.
+    for (int i = 0; i < 2; ++i) {
+      s[i].paths = {&platform.peer_path(0, 0, 0)};
+      s[i].pools = platform.compute_pools(0, 0);
+      s[i].share_gbps = p.ccx_down_bw / 2.0;
+      s[i].max_window = 64;
+      s[i].adjust_period = p.if_adjust_period;
+      s[i].decrease_factor = p.if_decrease_factor;
+      s[i].congestion_ratio = p.if_congestion_ratio;
+    }
+  } else {
+    // 9634 IF: two aggregated memory flows of one compute chiplet.
+    for (int i = 0; i < 2; ++i) {
+      s[i].paths = platform.dram_paths_all(0, 0);
+      s[i].pools = platform.compute_pools(0, 0);
+      s[i].share_gbps = p.gmi_down_bw / 2.0;
+      s[i].max_window = 96;
+      s[i].adjust_period = p.if_adjust_period;
+      s[i].decrease_factor = p.if_decrease_factor;
+      s[i].congestion_ratio = p.if_congestion_ratio;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+HarvestTrace harvest_trace(const topo::PlatformParams& params, SweepLink link) {
+  Experiment e(params);
+  auto setups = harvest_setups(e.platform, link);
+
+  HarvestTrace trace;
+  trace.interval_ms = kBucketUs / 1000.0;
+  trace.throttle_windows_ms = {{2.0, 3.0}, {4.0, 5.0}};
+
+  std::array<stats::TimeSeries, 2> series{stats::TimeSeries(sim::from_us(kBucketUs)),
+                                          stats::TimeSeries(sim::from_us(kBucketUs))};
+  std::array<std::unique_ptr<traffic::StreamFlow>, 2> flows;
+  for (int i = 0; i < 2; ++i) {
+    traffic::StreamFlow::Config cfg;
+    cfg.name = "harvest" + std::to_string(i);
+    cfg.op = fabric::Op::kRead;
+    cfg.paths = setups[i].paths;
+    cfg.pools = setups[i].pools;
+    cfg.window = setups[i].max_window * 3 / 4;  // start near the AIMD equilibrium
+    cfg.stop_at = sim::from_ms(kPrerollMs + kTraceMs);
+    fabric::AdaptiveWindowPolicy policy;
+    policy.min_window = 4;
+    policy.max_window = setups[i].max_window;
+    policy.adjust_period = setups[i].adjust_period;
+    policy.decrease_factor = setups[i].decrease_factor;
+    policy.congestion_ratio = setups[i].congestion_ratio;
+    cfg.adaptive = policy;
+    if (i == 0) {
+      // Flow 0's demand drops by 2 GB/s during the two throttle windows.
+      const double throttled = std::max(0.5, setups[i].share_gbps - kThrottleDeltaGbps);
+      for (const auto& [from_ms, to_ms] : trace.throttle_windows_ms) {
+        cfg.rate_schedule.push_back({sim::from_ms(kPrerollMs + from_ms), throttled});
+        cfg.rate_schedule.push_back({sim::from_ms(kPrerollMs + to_ms), 0.0});
+      }
+    }
+    cfg.seed = 6000 + static_cast<std::uint64_t>(i);
+    flows[i] = std::make_unique<traffic::StreamFlow>(e.simulator, std::move(cfg));
+    flows[i]->set_timeseries(&series[i]);
+  }
+  flows[0]->start();
+  flows[1]->start();
+  e.simulator.run_until(sim::from_ms(kPrerollMs + kTraceMs + 0.1));
+
+  const auto preroll = static_cast<std::size_t>(kPrerollMs * 1000.0 / kBucketUs);
+  const auto buckets = static_cast<std::size_t>(kTraceMs * 1000.0 / kBucketUs);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    trace.flow0_gbps.push_back(series[0].bucket_rate_per_ns(preroll + b));
+    trace.flow1_gbps.push_back(series[1].bucket_rate_per_ns(preroll + b));
+  }
+  return trace;
+}
+
+double harvest_time_ms(const HarvestTrace& trace) {
+  // Measure at the *first* throttle window: by the second one the adaptive
+  // window still carries hysteresis from the first (it re-harvests almost
+  // instantly, which is real behaviour but not the paper's metric).
+  if (trace.flow1_gbps.empty() || trace.throttle_windows_ms.empty()) return 0.0;
+  const auto& [start_ms, end_ms] = trace.throttle_windows_ms[0];
+  const auto idx_of = [&trace](double ms) {
+    return static_cast<std::size_t>(ms / trace.interval_ms);
+  };
+  const std::size_t start = idx_of(start_ms);
+  const std::size_t end = std::min(idx_of(end_ms), trace.flow1_gbps.size());
+  if (start >= end || start == 0) return 0.0;
+
+  // Baseline: average of the 10 buckets preceding the throttle window.
+  double baseline = 0.0;
+  const std::size_t base_from = start >= 10 ? start - 10 : 0;
+  for (std::size_t b = base_from; b < start; ++b) baseline += trace.flow1_gbps[b];
+  baseline /= static_cast<double>(start - base_from);
+
+  double peak = baseline;
+  for (std::size_t b = start; b < end; ++b) peak = std::max(peak, trace.flow1_gbps[b]);
+  const double gain = peak - baseline;
+  if (gain <= 0.05) return 0.0;  // nothing harvested
+
+  const double threshold = baseline + 0.9 * gain;
+  for (std::size_t b = start; b < end; ++b) {
+    if (trace.flow1_gbps[b] >= threshold) {
+      return (static_cast<double>(b - start) + 0.5) * trace.interval_ms;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace scn::measure

@@ -1,0 +1,35 @@
+// Figure 5 methodology: two competing flow aggregates on one link; flow 0's
+// demand drops by 2 GB/s during two windows and we watch whether (and how
+// fast) flow 1 harvests the freed bandwidth.
+//
+// Timescale: the paper's 6-second trace with ~100 ms (IF) / ~500 ms (P-Link)
+// harvest constants is scaled 1000x (1 paper-second == 1 simulated
+// millisecond); see DESIGN.md's substitution table. The flow aggregates use
+// an adaptive AIMD window (fabric::AdaptiveWindowPolicy), which is what makes
+// harvesting gradual — and oscillatory on the 7302's IF.
+#pragma once
+
+#include <vector>
+
+#include "measure/loadsweep.hpp"
+#include "topo/params.hpp"
+
+namespace scn::measure {
+
+struct HarvestTrace {
+  double interval_ms = 0.0;            ///< bucket width (scaled seconds)
+  std::vector<double> flow0_gbps;      ///< per-bucket achieved bandwidth
+  std::vector<double> flow1_gbps;
+  /// Buckets (scaled time) where flow 0's throttle was active.
+  std::vector<std::pair<double, double>> throttle_windows_ms;
+};
+
+/// Run the fluctuating-demand trace on `link` (kIfIntraCc or kPlink).
+[[nodiscard]] HarvestTrace harvest_trace(const topo::PlatformParams& params, SweepLink link);
+
+/// Time (scaled ms) flow 1 needed after a throttle onset to reach 90% of the
+/// bandwidth it eventually harvested; measured from the first throttle
+/// window of `trace`. Returns 0 when no harvesting happened.
+[[nodiscard]] double harvest_time_ms(const HarvestTrace& trace);
+
+}  // namespace scn::measure

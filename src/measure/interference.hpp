@@ -1,0 +1,35 @@
+// Figure 6 methodology: a frontend stream X runs at max rate while a
+// background stream Y sweeps its offered load; we record how much bandwidth
+// X retains. Interference appears only once a link *direction* saturates.
+#pragma once
+
+#include <vector>
+
+#include "fabric/types.hpp"
+#include "measure/loadsweep.hpp"
+#include "topo/params.hpp"
+
+namespace scn::measure {
+
+struct InterferencePoint {
+  double bg_requested_gbps = 0.0;
+  double bg_achieved_gbps = 0.0;
+  double fg_achieved_gbps = 0.0;
+};
+
+struct InterferenceResult {
+  fabric::Op fg = fabric::Op::kRead;
+  fabric::Op bg = fabric::Op::kRead;
+  double fg_solo_gbps = 0.0;             ///< X with no background traffic
+  std::vector<InterferencePoint> points;
+  /// First aggregate bandwidth (fg+bg achieved) at which X fell below 95% of
+  /// its solo bandwidth; 0 when no interference was observed.
+  double interference_threshold_gbps = 0.0;
+};
+
+/// Sweep Y's load over `points` levels (last level unthrottled).
+[[nodiscard]] InterferenceResult interference_sweep(const topo::PlatformParams& params,
+                                                    SweepLink link, fabric::Op fg, fabric::Op bg,
+                                                    int points = 8);
+
+}  // namespace scn::measure

@@ -1,0 +1,123 @@
+#include "measure/latency.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "measure/experiment.hpp"
+#include "mem/cache_model.hpp"
+#include "traffic/pointer_chase.hpp"
+#include "traffic/stream_flow.hpp"
+
+namespace scn::measure {
+namespace {
+
+LatencyResult summarize(const stats::Histogram& h) {
+  LatencyResult r;
+  r.avg_ns = h.mean() / 1000.0;
+  r.p50_ns = static_cast<double>(h.p50()) / 1000.0;
+  r.p999_ns = static_cast<double>(h.p999()) / 1000.0;
+  r.max_ns = static_cast<double>(h.max()) / 1000.0;
+  r.samples = h.count();
+  return r;
+}
+
+LatencyResult chase(Experiment& e, std::vector<fabric::Path*> paths, std::size_t samples) {
+  traffic::PointerChase::Config cfg;
+  cfg.paths = std::move(paths);
+  cfg.samples = samples;
+  traffic::PointerChase probe(e.simulator, cfg);
+  probe.start();
+  e.simulator.run();
+  return summarize(probe.latencies());
+}
+
+}  // namespace
+
+LatencyResult dram_position_latency(const topo::PlatformParams& params,
+                                    topo::DimmPosition position, std::size_t samples) {
+  Experiment e(params);
+  auto paths = e.platform.dram_paths_at(0, 0, position);
+  return chase(e, std::move(paths), samples);
+}
+
+LatencyResult cxl_latency(const topo::PlatformParams& params, std::size_t samples) {
+  Experiment e(params);
+  return chase(e, {&e.platform.cxl_path(0, 0)}, samples);
+}
+
+LatencyResult peer_latency(const topo::PlatformParams& params, std::size_t samples) {
+  Experiment e(params);
+  const int dst = e.platform.ccd_count() > 1 ? 1 : 0;
+  return chase(e, {&e.platform.peer_path(0, 0, dst)}, samples);
+}
+
+LatencyResult cache_latency(const topo::PlatformParams& params,
+                            std::uint64_t working_set_bytes) {
+  const mem::CacheModel cache(params);
+  const auto level = cache.level_for(working_set_bytes);
+  LatencyResult r;
+  if (level == mem::Level::kMemory) {
+    // Out of cache: measure over the fabric at the near position.
+    return dram_position_latency(params, topo::DimmPosition::kNear);
+  }
+  const double ns = sim::to_ns(cache.latency(level));
+  r.avg_ns = r.p50_ns = r.p999_ns = r.max_ns = ns;
+  r.samples = 1;
+  return r;
+}
+
+PoolQueueResult pool_queue_delays(const topo::PlatformParams& params) {
+  // The Table 2 "Max CCX/CCD Q" rows are the queueing the traffic-control
+  // module adds when a level first becomes oversubscribed. We therefore
+  // apply the *minimal* oversubscribing load per level (one extra core
+  // window beyond the pool budget) and read the steady-state wait.
+  auto run_probe = [&params](int active_cores, bool want_ccd) {
+    Experiment e(params);
+    auto& platform = e.platform;
+    const auto& p = platform.params();
+    std::vector<std::unique_ptr<traffic::StreamFlow>> flows;
+    for (int i = 0; i < active_cores; ++i) {
+      const int ccx = want_ccd ? (i % p.ccx_per_ccd) : 0;  // pack one CCX vs spread
+      traffic::StreamFlow::Config cfg;
+      cfg.name = "probe" + std::to_string(i);
+      cfg.op = fabric::Op::kRead;
+      cfg.paths = platform.dram_paths_all(0, ccx);
+      cfg.pools = platform.compute_pools(0, ccx);
+      cfg.window = p.core_read_window;
+      cfg.stats_after = sim::from_us(10.0);
+      cfg.stop_at = sim::from_us(40.0);
+      cfg.seed = 100 + static_cast<std::uint64_t>(i);
+      flows.push_back(std::make_unique<traffic::StreamFlow>(e.simulator, std::move(cfg)));
+    }
+    for (auto& f : flows) f->start();
+    e.simulator.run_until(sim::from_us(45.0));
+    double ccx_ns = 0.0;
+    double ccd_ns = 0.0;
+    if (auto* ccx = platform.ccx_pool(0, 0); ccx != nullptr) {
+      ccx_ns = static_cast<double>(ccx->wait_histogram().p90()) / 1000.0;
+    }
+    if (auto* ccd = platform.ccd_pool(0); ccd != nullptr) {
+      ccd_ns = static_cast<double>(ccd->wait_histogram().p90()) / 1000.0;
+    }
+    return std::pair<double, double>{ccx_ns, ccd_ns};
+  };
+
+  const auto& p = params;
+  PoolQueueResult r;
+  if (p.ccx_pool > 0) {
+    // Cores on one CCX until its pool is oversubscribed by one window.
+    const int need = static_cast<int>(p.ccx_pool / p.core_read_window) + 1;
+    const int cores = std::min(need, p.cores_per_ccx);
+    r.max_ccx_wait_ns = run_probe(cores, /*want_ccd=*/false).first;
+  }
+  if (p.ccd_pool > 0) {
+    // The CCX pools clip per-CCX demand, so oversubscribing the CCD pool
+    // takes the whole chiplet (e.g. 2 x 56 clipped > 90 on the 7302).
+    r.max_ccd_wait_ns = run_probe(p.cores_per_ccx * p.ccx_per_ccd, /*want_ccd=*/true).second;
+  }
+  return r;
+}
+
+}  // namespace scn::measure

@@ -1,0 +1,47 @@
+// Table 2 methodology: pointer-chasing latency probes.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/params.hpp"
+
+namespace scn::measure {
+
+struct LatencyResult {
+  double avg_ns = 0.0;
+  double p50_ns = 0.0;
+  double p999_ns = 0.0;
+  double max_ns = 0.0;
+  std::uint64_t samples = 0;
+};
+
+/// Dependent-load latency to a DIMM at the given floorplan position,
+/// measured from CCD 0 / CCX 0 (the paper's NPS-steered probe).
+[[nodiscard]] LatencyResult dram_position_latency(const topo::PlatformParams& params,
+                                                  topo::DimmPosition position,
+                                                  std::size_t samples = 20000);
+
+/// Dependent-load latency to the CXL memory device (9634 only).
+[[nodiscard]] LatencyResult cxl_latency(const topo::PlatformParams& params,
+                                        std::size_t samples = 20000);
+
+/// Dependent-load latency to a peer compute chiplet's LLC.
+[[nodiscard]] LatencyResult peer_latency(const topo::PlatformParams& params,
+                                         std::size_t samples = 20000);
+
+/// Cache-level latency for a pointer chase confined to `working_set_bytes`
+/// (constant-model levels; memory-level working sets must use the probes
+/// above). avg == p999 for cache hits.
+[[nodiscard]] LatencyResult cache_latency(const topo::PlatformParams& params,
+                                          std::uint64_t working_set_bytes);
+
+/// Maximum queueing delay observed at the CCX / CCD traffic-control pools
+/// while a compute chiplet drives read traffic at full rate (the Table 2
+/// "Max CCX Q" / "Max CCD Q" rows). Returns {ccx_ns, ccd_ns}.
+struct PoolQueueResult {
+  double max_ccx_wait_ns = 0.0;
+  double max_ccd_wait_ns = 0.0;
+};
+[[nodiscard]] PoolQueueResult pool_queue_delays(const topo::PlatformParams& params);
+
+}  // namespace scn::measure

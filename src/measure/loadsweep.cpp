@@ -1,0 +1,66 @@
+#include "measure/loadsweep.hpp"
+
+#include <memory>
+
+#include "measure/experiment.hpp"
+#include "measure/scenario.hpp"
+#include "traffic/flow_group.hpp"
+
+namespace scn::measure {
+namespace {
+
+// Writes need a long window: the deep Zen 4 write-combining queues fill
+// slowly when the offered rate only slightly exceeds the drain rate.
+constexpr double kWarmupUs = 40.0;
+constexpr double kWindowUs = 80.0;
+
+}  // namespace
+
+std::vector<LoadPoint> latency_vs_load(const topo::PlatformParams& params, SweepLink link,
+                                       fabric::Op op, int points) {
+  std::vector<LoadPoint> out;
+  const double per_core_max = per_core_max_gbps(params, link, op);
+  const double issue_cap = scenario_issue_cap(params, link, op);
+
+  for (int i = 1; i <= points; ++i) {
+    // Rate grid: fractions of the unthrottled per-core rate; the final point
+    // removes the throttle entirely (the paper's "approaching max bandwidth").
+    const bool unthrottled = i == points;
+    double rate = per_core_max * static_cast<double>(i) / static_cast<double>(points);
+    if (issue_cap > 0.0) rate = std::min(rate, issue_cap);
+
+    Experiment e(params);
+    auto sites = scenario_sites(e.platform, link);
+    traffic::FlowGroup group("sweep");
+    int id = 0;
+    double requested = 0.0;
+    for (auto& site : sites) {
+      traffic::StreamFlow::Config cfg;
+      cfg.name = "s" + std::to_string(id);
+      cfg.op = op;
+      cfg.paths = site.paths;
+      cfg.pools = e.platform.pools_for(site.ccd, site.ccx, op);
+      cfg.window = scenario_window(params, link, op);
+      cfg.target_rate = unthrottled ? issue_cap : rate;
+      cfg.stats_after = sim::from_us(kWarmupUs);
+      cfg.stop_at = sim::from_us(kWarmupUs + kWindowUs);
+      cfg.record_latency = true;
+      cfg.seed = 3000 + static_cast<std::uint64_t>(id++);
+      group.add(e.simulator, std::move(cfg));
+      requested += unthrottled ? per_core_max : rate;
+    }
+    group.start_all();
+    e.simulator.run_until(sim::from_us(kWarmupUs + kWindowUs + 15.0));
+
+    LoadPoint pt;
+    pt.requested_gbps = requested;
+    pt.achieved_gbps = group.aggregate_gbps();
+    const auto lat = group.merged_latency();
+    pt.avg_ns = lat.mean() / 1000.0;
+    pt.p999_ns = static_cast<double>(lat.p999()) / 1000.0;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace scn::measure

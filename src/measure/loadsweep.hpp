@@ -1,0 +1,44 @@
+// Figure 3 methodology: sweep offered load on one interconnect and record
+// the average and tail (P999) latency of the loaded stream itself.
+#pragma once
+
+#include <vector>
+
+#include "fabric/types.hpp"
+#include "topo/params.hpp"
+
+namespace scn::measure {
+
+/// The interconnect under study. Scenario definitions (which cores drive
+/// which endpoints) follow the paper's six panels; see EXPERIMENTS.md.
+enum class SweepLink {
+  kIfIntraCc,  ///< traffic within one compute chiplet over IF
+  kIfInterCc,  ///< compute chiplet <-> compute chiplet over IF + I/O die
+  kGmi,        ///< one compute chiplet -> local DIMMs over its GMI
+  kPlink,      ///< one I/O-die quadrant of chiplets -> CXL over the P-Link
+};
+
+[[nodiscard]] constexpr const char* to_string(SweepLink l) noexcept {
+  switch (l) {
+    case SweepLink::kIfIntraCc: return "IF(CC)";
+    case SweepLink::kIfInterCc: return "IF(CC<->CC)";
+    case SweepLink::kGmi: return "GMI";
+    case SweepLink::kPlink: return "P-Link/CXL";
+  }
+  return "?";
+}
+
+struct LoadPoint {
+  double requested_gbps = 0.0;  ///< aggregate offered load (0 rate => max)
+  double achieved_gbps = 0.0;
+  double avg_ns = 0.0;
+  double p999_ns = 0.0;
+};
+
+/// Run `points` load levels from light load to unthrottled and return one
+/// LoadPoint per level. The last point is always the unthrottled maximum.
+[[nodiscard]] std::vector<LoadPoint> latency_vs_load(const topo::PlatformParams& params,
+                                                     SweepLink link, fabric::Op op,
+                                                     int points = 8);
+
+}  // namespace scn::measure

@@ -1,0 +1,42 @@
+// Figure 4 methodology: two competing flows at a shared link with demands
+// set per case; the achieved split demonstrates sender-driven aggressive
+// bandwidth partitioning.
+#pragma once
+
+#include <array>
+
+#include "fabric/types.hpp"
+#include "measure/loadsweep.hpp"
+#include "topo/params.hpp"
+
+namespace scn::measure {
+
+/// The four demand cases of Fig. 4 (C = shared-link capacity).
+enum class PartitionCase {
+  kUnderSubscribed,  ///< case 1: demands 0.30C + 0.40C < C
+  kOneSmall,         ///< case 2: demands 0.30C + unthrottled
+  kEqualHigh,        ///< case 3: both unthrottled (equal demands > C/2)
+  kUnequalHigh,      ///< case 4: demands 0.60C + 0.90C (both > C/2)
+};
+
+[[nodiscard]] constexpr const char* to_string(PartitionCase c) noexcept {
+  switch (c) {
+    case PartitionCase::kUnderSubscribed: return "case1:under-subscribed";
+    case PartitionCase::kOneSmall: return "case2:one-small";
+    case PartitionCase::kEqualHigh: return "case3:equal-high";
+    case PartitionCase::kUnequalHigh: return "case4:unequal-high";
+  }
+  return "?";
+}
+
+struct PartitionResult {
+  std::array<double, 2> requested_gbps{};  ///< 0 => unthrottled
+  std::array<double, 2> achieved_gbps{};
+  double capacity_gbps = 0.0;
+};
+
+[[nodiscard]] PartitionResult partition_case(const topo::PlatformParams& params, SweepLink link,
+                                             PartitionCase pcase,
+                                             fabric::Op op = fabric::Op::kRead);
+
+}  // namespace scn::measure

@@ -1,0 +1,101 @@
+#include "measure/scenario.hpp"
+
+#include <algorithm>
+
+namespace scn::measure {
+
+std::vector<FlowSite> scenario_sites(topo::Platform& platform, SweepLink link) {
+  const auto& p = platform.params();
+  std::vector<FlowSite> sites;
+  switch (link) {
+    case SweepLink::kIfIntraCc:
+      if (p.ccx_per_ccd > 1) {
+        // Zen 2: CCX0 cores read the sibling CCX's LLC slice — the traffic
+        // stays on the IF/on-die route (CCX -> I/O die -> CCX).
+        for (int l = 0; l < p.cores_per_ccx; ++l) {
+          sites.push_back({0, 0, {&platform.peer_path(0, 0, 0)}});
+        }
+      } else {
+        // Zen 4 (one CCX per CCD): the intra-chiplet IF segment is exercised
+        // by the chiplet's memory traffic.
+        for (int l = 0; l < p.cores_per_ccx; ++l) {
+          sites.push_back({0, 0, platform.dram_paths_all(0, 0)});
+        }
+      }
+      break;
+    case SweepLink::kIfInterCc: {
+      // Chiplet-to-chiplet LLC traffic; sources on CCD 0 (and CCD 1 for the
+      // competing-flow experiments), destination LLC on the last CCD.
+      const int dst = p.ccd_count - 1;
+      for (int src = 0; src < 2 && src < p.ccd_count - 1; ++src) {
+        for (int l = 0; l < p.cores_per_ccx; ++l) {
+          sites.push_back({src, 0, {&platform.peer_path(src, 0, dst)}});
+        }
+      }
+      break;
+    }
+    case SweepLink::kGmi: {
+      // One full compute chiplet driving its own quadrant's DIMMs (NPS4).
+      for (int x = 0; x < p.ccx_per_ccd; ++x) {
+        auto paths = platform.dram_paths_at(0, x, topo::DimmPosition::kNear);
+        for (int l = 0; l < p.cores_per_ccx; ++l) {
+          sites.push_back({0, x, paths});
+        }
+      }
+      break;
+    }
+    case SweepLink::kPlink: {
+      // One I/O-die quadrant's chiplets (4 on the 9634) driving CXL memory.
+      const int ccds = std::min(4, p.ccd_count);
+      for (int d = 0; d < ccds; ++d) {
+        for (int x = 0; x < p.ccx_per_ccd; ++x) {
+          for (int l = 0; l < p.cores_per_ccx; ++l) {
+            sites.push_back({d, x, {&platform.cxl_path(d, x)}});
+          }
+        }
+      }
+      break;
+    }
+  }
+  return sites;
+}
+
+std::uint32_t scenario_window(const topo::PlatformParams& params, SweepLink link, fabric::Op op) {
+  if (link == SweepLink::kPlink) {
+    return op == fabric::Op::kRead ? params.cxl_core_read_window : params.cxl_core_write_window;
+  }
+  return op == fabric::Op::kRead ? params.core_read_window : params.core_write_window;
+}
+
+double scenario_issue_cap(const topo::PlatformParams& params, SweepLink link, fabric::Op op) {
+  if (op != fabric::Op::kWrite) return 0.0;
+  if (link == SweepLink::kPlink) return 0.0;  // CXL writes are credit-limited
+  return params.core_write_issue_bw;
+}
+
+double scenario_capacity(const topo::PlatformParams& params, SweepLink link, fabric::Op op) {
+  const bool read = op == fabric::Op::kRead;
+  switch (link) {
+    case SweepLink::kIfIntraCc:
+      // Zen 2 intra-CC traffic shares the source CCX's IF port.
+      if (params.ccx_per_ccd > 1) return read ? params.ccx_down_bw : params.ccx_up_bw * 0.8;
+      return read ? params.gmi_down_bw : params.gmi_up_bw * 0.8;  // 80 B carry 64 B payload
+    case SweepLink::kIfInterCc:
+      return read ? params.peer_out_bw : params.peer_in_bw;
+    case SweepLink::kGmi:
+      return read ? params.gmi_down_bw : params.gmi_up_bw * 0.8;
+    case SweepLink::kPlink:
+      return read ? params.cxl_read_bw : params.cxl_write_bw;
+  }
+  return 0.0;
+}
+
+double per_core_max_gbps(const topo::PlatformParams& params, SweepLink link, fabric::Op op) {
+  if (op == fabric::Op::kWrite) {
+    if (link == SweepLink::kPlink) return 3.0;
+    return params.core_write_issue_bw > 0.0 ? params.core_write_issue_bw : 3.6;
+  }
+  return link == SweepLink::kPlink ? 5.6 : 15.2;
+}
+
+}  // namespace scn::measure

@@ -1,0 +1,49 @@
+// Shared scenario definitions for the link-level experiments (Figs. 3-6):
+// which cores participate, which routes they drive, and the relevant window
+// sizes and capacities. Scenario rationale is documented per-panel in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/path.hpp"
+#include "fabric/token_pool.hpp"
+#include "fabric/types.hpp"
+#include "measure/loadsweep.hpp"
+#include "topo/platform.hpp"
+
+namespace scn::measure {
+
+/// One participating core and its routes. Traffic-control pools are
+/// op-dependent (writes bypass them); fetch them per-flow with
+/// Platform::pools_for.
+struct FlowSite {
+  int ccd = 0;
+  int ccx = 0;
+  std::vector<fabric::Path*> paths;
+};
+
+/// All cores participating in experiments on `link`, in deterministic order.
+/// Competing-flow experiments split this list into contiguous groups.
+[[nodiscard]] std::vector<FlowSite> scenario_sites(topo::Platform& platform, SweepLink link);
+
+/// Core window for this scenario (CXL paths use the P-Link credit windows).
+[[nodiscard]] std::uint32_t scenario_window(const topo::PlatformParams& params, SweepLink link,
+                                            fabric::Op op);
+
+/// Per-core issue-rate cap (bytes/ns payload; 0 => none). Non-zero only for
+/// writes on platforms with a write-combining drain limit.
+[[nodiscard]] double scenario_issue_cap(const topo::PlatformParams& params, SweepLink link,
+                                        fabric::Op op);
+
+/// Payload capacity of the shared segment under study (bytes/ns), used to
+/// size the Fig. 4 demand cases.
+[[nodiscard]] double scenario_capacity(const topo::PlatformParams& params, SweepLink link,
+                                       fabric::Op op);
+
+/// Estimated unthrottled per-core payload rate, used to build rate grids.
+[[nodiscard]] double per_core_max_gbps(const topo::PlatformParams& params, SweepLink link,
+                                       fabric::Op op);
+
+}  // namespace scn::measure

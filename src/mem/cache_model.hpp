@@ -1,0 +1,77 @@
+// Cache-hierarchy capacity model.
+//
+// The paper's Table 2 methodology configures the utility's pointer-chasing
+// mode and "gradually increases the working set"; the serviced level is the
+// smallest cache whose capacity covers the working set. The paper's flows
+// are dependent-load chains and streams, so capacity (not a coherence state
+// machine) decides the hit level — see DESIGN.md "Non-goals".
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "topo/params.hpp"
+
+namespace scn::mem {
+
+enum class Level : std::uint8_t { kL1 = 0, kL2 = 1, kL3 = 2, kMemory = 3 };
+
+[[nodiscard]] constexpr const char* to_string(Level l) noexcept {
+  switch (l) {
+    case Level::kL1: return "L1";
+    case Level::kL2: return "L2";
+    case Level::kL3: return "L3";
+    case Level::kMemory: return "memory";
+  }
+  return "?";
+}
+
+class CacheModel {
+ public:
+  explicit CacheModel(const topo::PlatformParams& params) noexcept
+      : l1_bytes_(static_cast<std::uint64_t>(params.l1_kb * 1024.0)),
+        l2_bytes_(static_cast<std::uint64_t>(params.l2_kb * 1024.0)),
+        l3_bytes_(static_cast<std::uint64_t>(params.l3_mb_per_ccx * 1024.0 * 1024.0)),
+        l1_lat_(params.l1_lat), l2_lat_(params.l2_lat), l3_lat_(params.l3_lat) {}
+
+  /// Smallest level that fully covers a working set (from one core's view;
+  /// L3 capacity is the per-CCX shared slice).
+  [[nodiscard]] Level level_for(std::uint64_t working_set_bytes) const noexcept {
+    if (working_set_bytes <= l1_bytes_) return Level::kL1;
+    if (working_set_bytes <= l2_bytes_) return Level::kL2;
+    if (working_set_bytes <= l3_bytes_) return Level::kL3;
+    return Level::kMemory;
+  }
+
+  /// Load-to-use latency of a cache level. kMemory has no constant latency;
+  /// it depends on the DIMM position and must be measured over the fabric.
+  [[nodiscard]] sim::Tick latency(Level level) const noexcept {
+    switch (level) {
+      case Level::kL1: return l1_lat_;
+      case Level::kL2: return l2_lat_;
+      case Level::kL3: return l3_lat_;
+      case Level::kMemory: return 0;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] std::uint64_t capacity_bytes(Level level) const noexcept {
+    switch (level) {
+      case Level::kL1: return l1_bytes_;
+      case Level::kL2: return l2_bytes_;
+      case Level::kL3: return l3_bytes_;
+      case Level::kMemory: return ~0ULL;
+    }
+    return 0;
+  }
+
+ private:
+  std::uint64_t l1_bytes_;
+  std::uint64_t l2_bytes_;
+  std::uint64_t l3_bytes_;
+  sim::Tick l1_lat_;
+  sim::Tick l2_lat_;
+  sim::Tick l3_lat_;
+};
+
+}  // namespace scn::mem

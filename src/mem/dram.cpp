@@ -1,0 +1,54 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+namespace scn::mem {
+
+void DramChannel::maybe_refresh(sim::Tick now) {
+  if (next_refresh_ == 0) next_refresh_ = sim::from_ns(t_.tREFI);
+  while (now >= next_refresh_) {
+    // All banks stall for tRFC and lose their open rows.
+    const sim::Tick done = next_refresh_ + sim::from_ns(t_.tRFC);
+    for (std::size_t b = 0; b < bank_ready_.size(); ++b) {
+      bank_ready_[b] = std::max(bank_ready_[b], done);
+      open_row_[b] = -1;
+    }
+    bus_free_ = std::max(bus_free_, done);
+    next_refresh_ += sim::from_ns(t_.tREFI);
+    ++refreshes_;
+  }
+}
+
+sim::Tick DramChannel::access(sim::Tick now, std::uint64_t address, bool is_write) {
+  maybe_refresh(now);
+  const auto bank = static_cast<std::size_t>(bank_of(address));
+  const std::int64_t row = row_of(address);
+
+  sim::Tick ready = std::max(now, bank_ready_[bank]);
+  if (open_row_[bank] == row) {
+    ++hits_;  // row-buffer hit: column access only
+  } else if (open_row_[bank] < 0) {
+    ++misses_;  // closed bank: activate then access
+    ready += sim::from_ns(t_.tRCD);
+    open_row_[bank] = row;
+    row_opened_at_[bank] = ready;
+  } else {
+    ++conflicts_;  // conflict: respect tRAS, precharge, activate, access
+    const sim::Tick ras_done = row_opened_at_[bank] + sim::from_ns(t_.tRAS);
+    ready = std::max(ready, ras_done) + sim::from_ns(t_.tRP) + sim::from_ns(t_.tRCD);
+    open_row_[bank] = row;
+    row_opened_at_[bank] = ready;
+  }
+
+  // Column latency, then the burst occupies the shared data bus. Column
+  // commands pipeline: the bank accepts the next one a burst-slot after this
+  // one (tCCD), while CAS latency overlaps across requests.
+  const sim::Tick data_start = std::max(ready + sim::from_ns(t_.tCL), bus_free_);
+  const sim::Tick done = data_start + sim::from_ns(t_.burst_ns);
+  bus_free_ = done;
+  (void)is_write;  // the read/write column occupancy is symmetric here
+  bank_ready_[bank] = ready + sim::from_ns(t_.burst_ns);
+  return done;
+}
+
+}  // namespace scn::mem

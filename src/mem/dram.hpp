@@ -1,0 +1,96 @@
+// Bank-level DRAM / UMC model.
+//
+// The default platform endpoint abstracts a UMC as a service rate plus a
+// fixed access latency — sufficient for every paper number. This module is
+// the detailed substrate behind that abstraction: per-bank row-buffer state,
+// DDR timing constraints (tRCD/tRP/tCL/tRAS), data-bus serialization, and
+// periodic refresh. tests/test_mem_dram.cpp cross-validates that its
+// steady-state service rate and idle latency agree with the abstract
+// parameters the platforms are calibrated with, and the platform can be
+// switched to it wholesale (PlatformParams::detailed_dram).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace scn::mem {
+
+/// DDR timing set, in nanoseconds (per-part datasheet values).
+struct DramTimings {
+  double tRCD = 0.0;   ///< activate -> column command
+  double tRP = 0.0;    ///< precharge
+  double tCL = 0.0;    ///< column access (CAS) latency
+  double tRAS = 0.0;   ///< minimum row-open time
+  double tRFC = 0.0;   ///< refresh cycle time
+  double tREFI = 0.0;  ///< refresh interval
+  double burst_ns = 0.0;  ///< data-bus occupancy of one 64 B burst
+  int banks = 16;
+  int row_bytes = 8192;  ///< row-buffer coverage in bytes
+
+  /// DDR4-3200 (the Dell 7525's DIMMs): 64 B bursts at 25.6 GB/s peak per
+  /// channel; refresh and row misses bring the effective rate near the
+  /// calibrated ~21 GB/s per UMC.
+  static DramTimings ddr4_3200() {
+    return DramTimings{13.75, 13.75, 13.75, 32.0, 350.0, 3900.0, 2.5, 16, 8192};
+  }
+
+  /// DDR5-4800 (the Supermicro box): 64 B burst at 38.4 GB/s per channel.
+  static DramTimings ddr5_4800() {
+    return DramTimings{16.0, 16.0, 16.0, 32.0, 295.0, 3900.0, 1.667, 32, 8192};
+  }
+};
+
+/// One memory channel behind a UMC: open-page policy, FCFS per arrival order
+/// (the fabric already serializes arrivals), refresh stalls.
+class DramChannel {
+ public:
+  explicit DramChannel(DramTimings timings) : t_(timings) {
+    bank_ready_.assign(static_cast<std::size_t>(t_.banks), 0);
+    open_row_.assign(static_cast<std::size_t>(t_.banks), -1);
+    row_opened_at_.assign(static_cast<std::size_t>(t_.banks), 0);
+  }
+
+  /// Service a 64 B access to `address` arriving at `now`; returns the tick
+  /// at which the data burst completes (read) or is written (write).
+  sim::Tick access(sim::Tick now, std::uint64_t address, bool is_write);
+
+  // --- statistics -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t row_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t row_misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t row_conflicts() const noexcept { return conflicts_; }
+  [[nodiscard]] std::uint64_t refreshes() const noexcept { return refreshes_; }
+  [[nodiscard]] double row_hit_rate() const noexcept {
+    const auto total = hits_ + misses_ + conflicts_;
+    return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+
+  [[nodiscard]] const DramTimings& timings() const noexcept { return t_; }
+
+ private:
+  [[nodiscard]] int bank_of(std::uint64_t address) const noexcept {
+    // Interleave banks on row granularity so streams rotate banks.
+    return static_cast<int>((address / static_cast<std::uint64_t>(t_.row_bytes)) %
+                            static_cast<std::uint64_t>(t_.banks));
+  }
+  [[nodiscard]] std::int64_t row_of(std::uint64_t address) const noexcept {
+    return static_cast<std::int64_t>(address / static_cast<std::uint64_t>(t_.row_bytes) /
+                                     static_cast<std::uint64_t>(t_.banks));
+  }
+
+  void maybe_refresh(sim::Tick now);
+
+  DramTimings t_;
+  std::vector<sim::Tick> bank_ready_;    ///< earliest next column command per bank
+  std::vector<std::int64_t> open_row_;   ///< open row id per bank (-1 == closed)
+  std::vector<sim::Tick> row_opened_at_; ///< for tRAS accounting
+  sim::Tick bus_free_ = 0;               ///< data bus serialization
+  sim::Tick next_refresh_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace scn::mem

@@ -1,0 +1,56 @@
+// Adapter: a DramChannel as a fabric endpoint service function.
+//
+// Transactions in the fabric carry no addresses (the experiments are
+// stream/chase shaped), so the adapter synthesizes the address stream the
+// workload implies: a sequential cursor (high row-buffer locality, like the
+// paper's sequential AVX-512 streams) optionally mixed with random accesses.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/dram.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace scn::mem {
+
+class DramEndpoint {
+ public:
+  struct Config {
+    DramTimings timings;
+    double random_fraction = 0.0;   ///< fraction of accesses at random rows
+    sim::Tick front_end = 0;        ///< UMC front-end latency before DRAM
+    std::uint64_t seed = 0xD1AA;
+  };
+
+  explicit DramEndpoint(Config config)
+      : channel_(config.timings), front_end_(config.front_end),
+        random_fraction_(config.random_fraction), rng_(config.seed) {}
+
+  /// fabric::Endpoint-compatible service: returns the completion tick for a
+  /// 64 B-granular access arriving at `now`.
+  sim::Tick service(sim::Tick now, bool is_write, double bytes) {
+    const int lines = bytes > 64.0 ? static_cast<int>((bytes + 63.0) / 64.0) : 1;
+    sim::Tick done = now;
+    for (int i = 0; i < lines; ++i) {
+      std::uint64_t address = cursor_;
+      cursor_ += 64;
+      if (random_fraction_ > 0.0 && rng_.uniform() < random_fraction_) {
+        address = rng_.below(1ULL << 34);
+      }
+      done = channel_.access(now + front_end_, address, is_write);
+    }
+    return done;
+  }
+
+  [[nodiscard]] const DramChannel& channel() const noexcept { return channel_; }
+
+ private:
+  DramChannel channel_;
+  sim::Tick front_end_;
+  double random_fraction_;
+  sim::Rng rng_;
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace scn::mem

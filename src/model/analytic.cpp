@@ -1,0 +1,110 @@
+#include "model/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace scn::model {
+namespace {
+
+double leg_bytes(fabric::Op op, bool outbound, double chunk) {
+  if (op == fabric::Op::kRead) return outbound ? fabric::kHeaderBytes : chunk;
+  return outbound ? chunk + fabric::kHeaderBytes : fabric::kHeaderBytes;
+}
+
+double leg_serialization_ns(const std::vector<fabric::Hop>& leg, double bytes) {
+  double ns = 0.0;
+  for (const auto& hop : leg) {
+    if (hop.channel != nullptr && hop.channel->capacity_bytes_per_ns() > 0.0) {
+      ns += bytes / hop.channel->capacity_bytes_per_ns();
+    }
+  }
+  return ns;
+}
+
+/// Channels the payload direction crosses, including the endpoint service.
+void payload_channels(const fabric::Path& path, bool read,
+                      std::vector<const fabric::Channel*>& out) {
+  const auto& leg = read ? path.inbound : path.outbound;
+  for (const auto& hop : leg) {
+    if (hop.channel != nullptr && hop.channel->capacity_bytes_per_ns() > 0.0) {
+      out.push_back(hop.channel);
+    }
+  }
+  const fabric::Channel* svc = read ? path.endpoint.read_service : path.endpoint.write_service;
+  if (svc != nullptr && svc->capacity_bytes_per_ns() > 0.0) out.push_back(svc);
+}
+
+}  // namespace
+
+double serialization_ns(const fabric::Path& path, fabric::Op op, double chunk_bytes) {
+  double ns = leg_serialization_ns(path.outbound, leg_bytes(op, true, chunk_bytes)) +
+              leg_serialization_ns(path.inbound, leg_bytes(op, false, chunk_bytes));
+  const fabric::Channel* svc =
+      op == fabric::Op::kRead ? path.endpoint.read_service : path.endpoint.write_service;
+  if (svc != nullptr && svc->capacity_bytes_per_ns() > 0.0) {
+    ns += chunk_bytes / svc->capacity_bytes_per_ns();
+  }
+  return ns;
+}
+
+Prediction predict_multi(const std::vector<fabric::Path*>& paths, const Workload& w) {
+  Prediction p;
+  if (paths.empty()) return p;
+  const bool read = w.op == fabric::Op::kRead;
+  const double k = static_cast<double>(paths.size());
+
+  // Zero-load RTT: average over the interleave set.
+  double rtt = 0.0;
+  for (const auto* path : paths) {
+    rtt += sim::to_ns(path->zero_load_rtt()) + serialization_ns(*path, w.op, w.chunk_bytes);
+  }
+  p.zero_load_rtt_ns = rtt / k;
+
+  // Effective capacity: each channel carries count/K of the traffic.
+  std::unordered_map<const fabric::Channel*, int> counts;
+  std::vector<const fabric::Channel*> scratch;
+  for (const auto* path : paths) {
+    scratch.clear();
+    payload_channels(*path, read, scratch);
+    for (const auto* ch : scratch) ++counts[ch];
+  }
+  double cap = 0.0;
+  for (const auto& [ch, count] : counts) {
+    const double effective = ch->capacity_bytes_per_ns() * k / static_cast<double>(count);
+    if (cap == 0.0 || effective < cap) cap = effective;
+  }
+  // Write payloads carry a header on the same direction.
+  if (!read && cap > 0.0) cap *= w.chunk_bytes / (w.chunk_bytes + fabric::kHeaderBytes);
+  p.capacity_gbps = cap;
+
+  // BDP / window bound.
+  p.window_bound_gbps = static_cast<double>(w.total_window) * w.chunk_bytes / p.zero_load_rtt_ns;
+
+  double achieved = p.window_bound_gbps;
+  if (cap > 0.0) achieved = std::min(achieved, cap);
+  if (w.offered_gbps > 0.0) achieved = std::min(achieved, w.offered_gbps);
+  p.achieved_gbps = achieved;
+
+  // Loaded latency. A capacity-bound closed window queues until Little's law
+  // balances (RTT = W * chunk / cap); a rate-limited flow below capacity sees
+  // only the M/D/1 waiting term.
+  if (cap > 0.0 && achieved >= cap * (1.0 - 1e-9)) {
+    p.avg_latency_ns = static_cast<double>(w.total_window) * w.chunk_bytes / cap;
+    p.utilization = 1.0;
+  } else {
+    const double rho = cap > 0.0 ? achieved / cap : 0.0;
+    const double service_ns = cap > 0.0 ? w.chunk_bytes / cap : 0.0;
+    const double wait_ns = rho < 1.0 ? service_ns * rho / (2.0 * (1.0 - rho)) : 0.0;  // M/D/1 Wq
+    p.avg_latency_ns = p.zero_load_rtt_ns + wait_ns;
+    p.utilization = rho;
+  }
+  return p;
+}
+
+Prediction predict(const fabric::Path& path, const Workload& w) {
+  std::vector<fabric::Path*> one{const_cast<fabric::Path*>(&path)};
+  return predict_multi(one, w);
+}
+
+}  // namespace scn::model

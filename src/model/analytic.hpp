@@ -1,0 +1,58 @@
+// Chiplet-centric analytical performance model (paper direction #5: "take an
+// interconnect transaction view and develop a chiplet-centric architectural
+// performance model").
+//
+// Closed forms over a fabric::Path:
+//   zero-load RTT   = sum(fixed latencies + propagation) + serialization
+//   max bandwidth   = min(window-bound W*chunk/RTT0, path payload capacity)
+//   loaded latency  = RTT0 + M/D/1 waiting at the bottleneck segment, capped
+//                     by the window bound (Little's law: a closed system of W
+//                     requests cannot see RTT > W*chunk/achieved_rate).
+//
+// The model is validated against the discrete-event simulator in
+// tests/test_model.cpp and bench_ablation_model; agreement within ~10% is
+// what makes the abstraction usable for capacity planning without running
+// the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/path.hpp"
+#include "fabric/types.hpp"
+
+namespace scn::model {
+
+struct Workload {
+  fabric::Op op = fabric::Op::kRead;
+  double chunk_bytes = fabric::kCachelineBytes;
+  std::uint32_t total_window = 32;  ///< outstanding requests, all sources
+  double offered_gbps = 0.0;        ///< payload offered load; 0 => unthrottled
+};
+
+struct Prediction {
+  double zero_load_rtt_ns = 0.0;
+  double capacity_gbps = 0.0;       ///< path payload capacity (link bound)
+  double window_bound_gbps = 0.0;   ///< W * chunk / RTT0 (BDP bound)
+  double achieved_gbps = 0.0;       ///< min of the bounds and the offer
+  double avg_latency_ns = 0.0;      ///< expected loaded round-trip latency
+  double utilization = 0.0;         ///< rho at the bottleneck
+};
+
+/// Serialization time the payload pays along the path (store-and-forward
+/// across every finite-capacity channel), ns.
+[[nodiscard]] double serialization_ns(const fabric::Path& path, fabric::Op op,
+                                      double chunk_bytes);
+
+/// Evaluate the model for one path + workload.
+[[nodiscard]] Prediction predict(const fabric::Path& path, const Workload& workload);
+
+/// Evaluate the model for a round-robin interleave over `paths` (e.g. one
+/// core or one chiplet spreading over every UMC, or an aggregate over
+/// several CCX ports). A channel appearing in `count` of the K paths carries
+/// count/K of the traffic, so its effective capacity is cap * K / count —
+/// this is what makes per-UMC service a non-bottleneck under interleaving
+/// while a shared GMI binds at its raw capacity.
+[[nodiscard]] Prediction predict_multi(const std::vector<fabric::Path*>& paths,
+                                       const Workload& workload);
+
+}  // namespace scn::model

@@ -1,0 +1,89 @@
+#include "noc/bufferless.hpp"
+
+#include <algorithm>
+
+namespace scn::noc {
+
+BufferlessNetwork::BufferlessNetwork(NocConfig config) : config_(config) {
+  at_router_.resize(static_cast<std::size_t>(config_.node_count()));
+  inject_queues_.resize(static_cast<std::size_t>(config_.node_count()));
+}
+
+bool BufferlessNetwork::inject(int src, int dst, std::uint64_t now_cycle) {
+  auto& q = inject_queues_[static_cast<std::size_t>(src)];
+  if (static_cast<int>(q.size()) >= config_.inject_queue) return false;
+  q.push_back(Flit{next_id_++, dst, now_cycle});
+  ++injected_;
+  return true;
+}
+
+void BufferlessNetwork::step() {
+  const int nodes = config_.node_count();
+  std::vector<std::vector<Flit>> next(static_cast<std::size_t>(nodes));
+
+  for (int n = 0; n < nodes; ++n) {
+    auto& resident = at_router_[static_cast<std::size_t>(n)];
+
+    // Eject anything destined here (the NI can sink every arrival).
+    for (auto it = resident.begin(); it != resident.end();) {
+      if (it->dst == n) {
+        ++delivered_;
+        latency_.record(static_cast<std::int64_t>(cycle_ - it->injected_cycle + 1));
+        it = resident.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Inject while there is a guaranteed free output (<= 3 residents leave
+    // one of the 4 directions spare).
+    auto& q = inject_queues_[static_cast<std::size_t>(n)];
+    while (!q.empty() && resident.size() < 4) {
+      resident.push_back(q.front());
+      q.pop_front();
+    }
+
+    // Oldest-first: older flits pick their productive port before younger
+    // ones; the rest deflect to any remaining port. Age order guarantees the
+    // network-wide oldest flit always advances (livelock freedom).
+    std::sort(resident.begin(), resident.end(),
+              [](const Flit& a, const Flit& b) { return a.injected_cycle < b.injected_cycle; });
+    bool taken[kPortCount] = {false, false, false, false, false};
+    for (const Flit& flit : resident) {
+      // productive ports toward the destination
+      const int x = config_.x_of(n);
+      const int y = config_.y_of(n);
+      const int dx = config_.x_of(flit.dst) - x;
+      const int dy = config_.y_of(flit.dst) - y;
+      int choice = -1;
+      auto try_port = [&](int port) {
+        if (choice < 0 && port != kLocal && !taken[port] && config_.neighbor(n, port) >= 0) {
+          choice = port;
+        }
+      };
+      if (dx > 0) try_port(kEast);
+      if (dx < 0) try_port(kWest);
+      if (dy > 0) try_port(kSouth);
+      if (dy < 0) try_port(kNorth);
+      if (choice < 0) {
+        // deflect: first free legal direction
+        for (int port = kNorth; port < kPortCount; ++port) try_port(port);
+        if (choice >= 0) ++deflections_;
+      }
+      if (choice < 0) {
+        // All four directions taken by older flits — cannot happen with at
+        // most 4 residents, but keep the flit in place defensively.
+        next[static_cast<std::size_t>(n)].push_back(flit);
+        continue;
+      }
+      taken[choice] = true;
+      next[static_cast<std::size_t>(config_.neighbor(n, choice))].push_back(flit);
+    }
+    resident.clear();
+  }
+
+  at_router_ = std::move(next);
+  ++cycle_;
+}
+
+}  // namespace scn::noc

@@ -1,0 +1,66 @@
+// Bufferless deflection-routed NoC (BLESS-style; the paper's §2.3 cites
+// Moscibroda & Mutlu's case for bufferless routing as one of the router
+// disciplines a server NoC may use).
+//
+// Single-flit packets, no router buffers: each cycle every router matches
+// the flits it holds to distinct output ports. Flits that win a productive
+// port advance toward the destination; the rest are deflected out of
+// whatever ports remain. Oldest-first priority guarantees livelock freedom.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "sim/random.hpp"
+#include "stats/histogram.hpp"
+
+namespace scn::noc {
+
+class BufferlessNetwork {
+ public:
+  explicit BufferlessNetwork(NocConfig config);
+
+  /// Queue a single-flit packet for injection (a node injects when it has a
+  /// free output slot, i.e. fewer than 4 flits resident).
+  bool inject(int src, int dst, std::uint64_t now_cycle);
+
+  void step();
+  void run(std::uint64_t cycles) {
+    for (std::uint64_t i = 0; i < cycles; ++i) step();
+  }
+
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+  [[nodiscard]] std::uint64_t injected_packets() const noexcept { return injected_; }
+  [[nodiscard]] std::uint64_t delivered_packets() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t deflections() const noexcept { return deflections_; }
+  [[nodiscard]] std::uint64_t in_flight() const noexcept { return injected_ - delivered_; }
+  [[nodiscard]] const stats::Histogram& latency_histogram() const noexcept { return latency_; }
+  [[nodiscard]] double throughput() const noexcept {
+    if (cycle_ == 0) return 0.0;
+    return static_cast<double>(delivered_) /
+           (static_cast<double>(cycle_) * config_.node_count());
+  }
+
+ private:
+  struct Flit {
+    std::uint64_t id;
+    int dst;
+    std::uint64_t injected_cycle;
+  };
+
+  NocConfig config_;
+  // flits resident at each router at the start of the cycle
+  std::vector<std::vector<Flit>> at_router_;
+  std::vector<std::deque<Flit>> inject_queues_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t deflections_ = 0;
+  stats::Histogram latency_;
+  sim::Rng rng_{0xB1E55ULL};
+};
+
+}  // namespace scn::noc

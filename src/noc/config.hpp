@@ -1,0 +1,81 @@
+// Configuration and shared types for the flit-level network-on-chip library.
+//
+// This is the detailed model of the paper's link (L2) layer: the I/O-die NoC
+// is "a reliable and hierarchical packet-switched network" whose first level
+// uses a Mesh/Torus/... topology with buffered or bufferless routing (§2.3).
+// The transaction-level fabric (scn::fabric) abstracts this as per-segment
+// capacities and hop latencies; this library is the substrate that justifies
+// and cross-validates those abstractions (see bench_ablation_noc and
+// tests/test_noc.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace scn::noc {
+
+enum class TopologyKind : std::uint8_t { kMesh, kTorus };
+enum class RoutingAlgo : std::uint8_t { kXY, kYX, kWestFirst };
+
+[[nodiscard]] constexpr const char* to_string(TopologyKind t) noexcept {
+  return t == TopologyKind::kMesh ? "mesh" : "torus";
+}
+[[nodiscard]] constexpr const char* to_string(RoutingAlgo r) noexcept {
+  switch (r) {
+    case RoutingAlgo::kXY: return "xy";
+    case RoutingAlgo::kYX: return "yx";
+    case RoutingAlgo::kWestFirst: return "west-first";
+  }
+  return "?";
+}
+
+/// Router ports. kLocal is the inject/eject port.
+enum Port : int { kLocal = 0, kNorth = 1, kEast = 2, kSouth = 3, kWest = 4, kPortCount = 5 };
+
+struct NocConfig {
+  int width = 4;
+  int height = 4;
+  TopologyKind topology = TopologyKind::kMesh;
+  RoutingAlgo routing = RoutingAlgo::kXY;
+  int vc_count = 2;        ///< virtual channels per input port
+  int vc_depth = 4;        ///< flit buffer depth per VC
+  int packet_length = 4;   ///< flits per packet (e.g. 64 B / 16 B phits)
+  int inject_queue = 16;   ///< packets a node can hold before inject stalls
+
+  [[nodiscard]] int node_count() const noexcept { return width * height; }
+  [[nodiscard]] int x_of(int node) const noexcept { return node % width; }
+  [[nodiscard]] int y_of(int node) const noexcept { return node / width; }
+  [[nodiscard]] int node_at(int x, int y) const noexcept { return y * width + x; }
+
+  /// Neighbor of `node` through `port`, or -1 when the mesh edge ends there.
+  [[nodiscard]] int neighbor(int node, int port) const noexcept {
+    int x = x_of(node);
+    int y = y_of(node);
+    switch (port) {
+      case kNorth: y -= 1; break;
+      case kSouth: y += 1; break;
+      case kEast: x += 1; break;
+      case kWest: x -= 1; break;
+      default: return -1;
+    }
+    if (topology == TopologyKind::kTorus) {
+      x = (x + width) % width;
+      y = (y + height) % height;
+      return node_at(x, y);
+    }
+    if (x < 0 || x >= width || y < 0 || y >= height) return -1;
+    return node_at(x, y);
+  }
+
+  /// The port that is the reverse direction of `port` (for credit returns).
+  [[nodiscard]] static int reverse(int port) noexcept {
+    switch (port) {
+      case kNorth: return kSouth;
+      case kSouth: return kNorth;
+      case kEast: return kWest;
+      case kWest: return kEast;
+      default: return kLocal;
+    }
+  }
+};
+
+}  // namespace scn::noc

@@ -1,0 +1,223 @@
+#include "noc/network.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace scn::noc {
+
+Network::Network(NocConfig config) : config_(config) {
+  const int nodes = config_.node_count();
+  routers_.resize(static_cast<std::size_t>(nodes));
+  inject_queues_.resize(static_cast<std::size_t>(nodes));
+  for (auto& r : routers_) {
+    r.in.assign(kPortCount, std::vector<VcState>(static_cast<std::size_t>(config_.vc_count)));
+    r.out_owner_port.assign(kPortCount, -1);
+    r.out_owner_vc.assign(kPortCount, -1);
+    r.rr_next.assign(kPortCount, 0);
+    r.credits.assign(kPortCount,
+                     std::vector<int>(static_cast<std::size_t>(config_.vc_count), config_.vc_depth));
+  }
+}
+
+bool Network::inject(int src, int dst, std::uint64_t now_cycle) {
+  auto& q = inject_queues_[static_cast<std::size_t>(src)];
+  if (static_cast<int>(q.size()) >= config_.inject_queue) return false;
+  Packet p;
+  p.id = next_packet_id_++;
+  p.src = src;
+  p.dst = dst;
+  p.length = config_.packet_length;
+  p.injected_cycle = now_cycle;
+  q.push_back(p);
+  ++injected_;
+  return true;
+}
+
+int Network::route_port(int router, int dst, int /*in_port*/) const noexcept {
+  if (router == dst) return kLocal;
+  const int x = config_.x_of(router);
+  const int y = config_.y_of(router);
+  const int dx_raw = config_.x_of(dst) - x;
+  const int dy_raw = config_.y_of(dst) - y;
+  int dx = dx_raw;
+  int dy = dy_raw;
+  if (config_.topology == TopologyKind::kTorus) {
+    // Shortest direction around each ring.
+    if (std::abs(dx) > config_.width / 2) dx = dx > 0 ? dx - config_.width : dx + config_.width;
+    if (std::abs(dy) > config_.height / 2) dy = dy > 0 ? dy - config_.height : dy + config_.height;
+  }
+  switch (config_.routing) {
+    case RoutingAlgo::kXY:
+      if (dx > 0) return kEast;
+      if (dx < 0) return kWest;
+      return dy > 0 ? kSouth : kNorth;
+    case RoutingAlgo::kYX:
+      if (dy > 0) return kSouth;
+      if (dy < 0) return kNorth;
+      return dx > 0 ? kEast : kWest;
+    case RoutingAlgo::kWestFirst: {
+      // Turn model: all westward hops happen first; afterwards route
+      // adaptively among the remaining productive directions, preferring the
+      // output with more downstream credits.
+      if (dx < 0) return kWest;
+      int best = -1;
+      int best_credits = -1;
+      auto consider = [&](int port) {
+        int total = 0;
+        for (int v = 0; v < config_.vc_count; ++v) {
+          total += routers_[static_cast<std::size_t>(router)]
+                       .credits[static_cast<std::size_t>(port)][static_cast<std::size_t>(v)];
+        }
+        if (total > best_credits) {
+          best_credits = total;
+          best = port;
+        }
+      };
+      if (dx > 0) consider(kEast);
+      if (dy > 0) consider(kSouth);
+      if (dy < 0) consider(kNorth);
+      assert(best >= 0);
+      return best;
+    }
+  }
+  return kLocal;
+}
+
+int Network::select_vc(int /*router*/, int out_port, const Flit& flit) const noexcept {
+  if (out_port == kLocal) return 0;
+  // Torus dateline discipline: packets move to VC 1 after a wraparound
+  // crossing; meshes keep the class they started in.
+  if (config_.topology == TopologyKind::kTorus && config_.vc_count > 1) {
+    return flit.dateline_vc;
+  }
+  return flit.dateline_vc % config_.vc_count;
+}
+
+void Network::step() {
+  const int nodes = config_.node_count();
+
+  // Phase 1: injection — move at most one flit per node from its packet
+  // queue into the local input VC 0.
+  for (int n = 0; n < nodes; ++n) {
+    auto& q = inject_queues_[static_cast<std::size_t>(n)];
+    if (q.empty()) continue;
+    auto& vc = routers_[static_cast<std::size_t>(n)].in[kLocal][0];
+    if (static_cast<int>(vc.buffer.size()) >= config_.vc_depth) continue;
+    Packet& p = q.front();
+    // p.length counts down the flits still to emit; the packet is removed
+    // from the queue once its tail flit has entered the local VC.
+    const int original = config_.packet_length;
+    const int seq = original - p.length;
+    Flit f{p.id, p.dst, seq, original, p.injected_cycle, 0, cycle_};
+    vc.buffer.push_back(f);
+    if (--p.length == 0) q.pop_front();
+  }
+
+  // Phase 2: per router, per output port: allocate owners and move flits.
+  for (int n = 0; n < nodes; ++n) {
+    auto& router = routers_[static_cast<std::size_t>(n)];
+    for (int out = 0; out < kPortCount; ++out) {
+      // (a) ensure the output has an owner with a ready flit
+      int owner_port = router.out_owner_port[static_cast<std::size_t>(out)];
+      int owner_vc = router.out_owner_vc[static_cast<std::size_t>(out)];
+      if (owner_port < 0) {
+        // round-robin over input (port, vc) pairs needing this output
+        const int slots = kPortCount * config_.vc_count;
+        int start = router.rr_next[static_cast<std::size_t>(out)];
+        for (int k = 0; k < slots; ++k) {
+          const int idx = (start + k) % slots;
+          const int ip = idx / config_.vc_count;
+          const int iv = idx % config_.vc_count;
+          auto& vc = router.in[static_cast<std::size_t>(ip)][static_cast<std::size_t>(iv)];
+          if (vc.buffer.empty() || vc.out_port >= 0) continue;
+          const Flit& head = vc.buffer.front();
+          if (head.seq != 0) continue;  // only heads allocate
+          if (route_port(n, head.dst, ip) != out) continue;
+          vc.out_port = out;
+          vc.out_vc = select_vc(n, out, head);
+          router.out_owner_port[static_cast<std::size_t>(out)] = ip;
+          router.out_owner_vc[static_cast<std::size_t>(out)] = iv;
+          router.rr_next[static_cast<std::size_t>(out)] = (idx + 1) % slots;
+          owner_port = ip;
+          owner_vc = iv;
+          break;
+        }
+      }
+      if (owner_port < 0) continue;
+
+      // (b) try to move one flit of the owning VC
+      auto& vc = router.in[static_cast<std::size_t>(owner_port)][static_cast<std::size_t>(owner_vc)];
+      if (vc.buffer.empty()) continue;
+      Flit flit = vc.buffer.front();
+      // One link traversal per cycle: skip flits that already moved (or were
+      // injected) this cycle.
+      if (flit.moved_at == cycle_) continue;
+
+      if (out == kLocal) {
+        vc.buffer.pop_front();
+        ++delivered_flits_;
+        if (flit.seq == flit.length - 1) {
+          ++delivered_;
+          latency_.record(static_cast<std::int64_t>(cycle_ - flit.injected_cycle + 1));
+        }
+      } else {
+        const int down = config_.neighbor(n, out);
+        if (down < 0) continue;  // routing never sends off-mesh; defensive
+        const int dvc = vc.out_vc;
+        auto& credits = router.credits[static_cast<std::size_t>(out)][static_cast<std::size_t>(dvc)];
+        if (credits <= 0) continue;
+        auto& dst_vc = routers_[static_cast<std::size_t>(down)]
+                           .in[static_cast<std::size_t>(NocConfig::reverse(out))]
+                           [static_cast<std::size_t>(dvc)];
+        vc.buffer.pop_front();
+        --credits;
+        // Dateline: crossing a wrap link upgrades the packet's VC class.
+        Flit moved = flit;
+        moved.moved_at = cycle_;
+        if (config_.topology == TopologyKind::kTorus) {
+          const int x = config_.x_of(n);
+          const int y = config_.y_of(n);
+          const bool wrap = (out == kEast && x == config_.width - 1) ||
+                            (out == kWest && x == 0) ||
+                            (out == kSouth && y == config_.height - 1) ||
+                            (out == kNorth && y == 0);
+          if (wrap && config_.vc_count > 1) moved.dateline_vc = 1;
+        }
+        dst_vc.buffer.push_back(moved);
+      }
+
+      // (c) credit return to whoever feeds this input VC
+      if (owner_port != kLocal) {
+        const int upstream = config_.neighbor(n, owner_port);
+        if (upstream >= 0) {
+          ++routers_[static_cast<std::size_t>(upstream)]
+                .credits[static_cast<std::size_t>(NocConfig::reverse(owner_port))]
+                        [static_cast<std::size_t>(owner_vc)];
+        }
+      }
+
+      // (d) tail passed: release the wormhole lock
+      if (flit.seq == flit.length - 1) {
+        router.out_owner_port[static_cast<std::size_t>(out)] = -1;
+        router.out_owner_vc[static_cast<std::size_t>(out)] = -1;
+        vc.out_port = -1;
+        vc.out_vc = -1;
+      }
+    }
+  }
+  ++cycle_;
+}
+
+int Network::hop_count(int src, int dst) const noexcept {
+  int hops = 0;
+  int at = src;
+  while (at != dst && hops < config_.node_count() * 2) {
+    const int port = route_port(at, dst, kLocal);
+    if (port == kLocal) break;
+    at = config_.neighbor(at, port);
+    ++hops;
+  }
+  return hops;
+}
+
+}  // namespace scn::noc

@@ -1,0 +1,112 @@
+// Cycle-driven wormhole NoC with virtual channels and credit flow control.
+//
+// Router model (1 cycle per hop): each cycle every router (a) routes the
+// head flit of each non-empty input VC, (b) arbitrates each output port
+// round-robin among candidate input VCs (an output stays locked to the
+// winning VC until the packet's tail passes — wormhole switching), and
+// (c) forwards at most one flit per output, consuming a downstream credit.
+// Torus rings use a dateline VC discipline; WestFirst is the classic
+// turn-model adaptive algorithm (no turns into -x), deadlock-free on meshes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "sim/random.hpp"
+#include "stats/histogram.hpp"
+
+namespace scn::noc {
+
+struct Packet {
+  std::uint64_t id = 0;
+  int src = 0;
+  int dst = 0;
+  int length = 1;
+  std::uint64_t injected_cycle = 0;
+};
+
+class Network {
+ public:
+  explicit Network(NocConfig config);
+
+  /// Queue a packet for injection at `src`. Returns false when the node's
+  /// injection queue is full (the caller should retry later — this is the
+  /// interface backpressure).
+  bool inject(int src, int dst, std::uint64_t now_cycle);
+
+  /// Advance one cycle.
+  void step();
+
+  /// Convenience: run `cycles` cycles.
+  void run(std::uint64_t cycles) {
+    for (std::uint64_t i = 0; i < cycles; ++i) step();
+  }
+
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+  [[nodiscard]] std::uint64_t injected_packets() const noexcept { return injected_; }
+  [[nodiscard]] std::uint64_t delivered_packets() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t delivered_flits() const noexcept { return delivered_flits_; }
+  [[nodiscard]] std::uint64_t in_flight() const noexcept { return injected_ - delivered_; }
+
+  /// Packet latency (inject -> tail ejected), cycles.
+  [[nodiscard]] const stats::Histogram& latency_histogram() const noexcept { return latency_; }
+
+  /// Delivered flits per node per cycle over the whole run.
+  [[nodiscard]] double throughput() const noexcept {
+    if (cycle_ == 0) return 0.0;
+    return static_cast<double>(delivered_flits_) /
+           (static_cast<double>(cycle_) * config_.node_count());
+  }
+
+  [[nodiscard]] const NocConfig& config() const noexcept { return config_; }
+
+  /// Zero-load hop count between two nodes under the configured routing.
+  [[nodiscard]] int hop_count(int src, int dst) const noexcept;
+
+ private:
+  struct Flit {
+    std::uint64_t packet_id;
+    int dst;
+    int seq;        ///< 0 == head
+    int length;
+    std::uint64_t injected_cycle;
+    int dateline_vc;        ///< VC class after crossing a torus dateline
+    std::uint64_t moved_at;  ///< last cycle this flit traversed a link
+  };
+
+  struct VcState {
+    std::deque<Flit> buffer;
+    int out_port = -1;  ///< allocated output (wormhole lock), -1 == none
+    int out_vc = -1;
+  };
+
+  struct RouterState {
+    // [port][vc]
+    std::vector<std::vector<VcState>> in;
+    // per output port: owning (in_port, in_vc) or -1; round-robin pointer
+    std::vector<int> out_owner_port;
+    std::vector<int> out_owner_vc;
+    std::vector<int> rr_next;
+    // credits available toward the downstream router, [port][vc]
+    std::vector<std::vector<int>> credits;
+  };
+
+  [[nodiscard]] int route_port(int router, int dst, int in_port) const noexcept;
+  [[nodiscard]] int select_vc(int router, int out_port, const Flit& flit) const noexcept;
+
+  NocConfig config_;
+  std::vector<RouterState> routers_;
+  std::vector<std::deque<Packet>> inject_queues_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t delivered_flits_ = 0;
+  stats::Histogram latency_;
+  sim::Rng rng_{0x0C5EEDULL};
+};
+
+}  // namespace scn::noc

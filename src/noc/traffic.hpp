@@ -1,0 +1,106 @@
+// Synthetic NoC traffic patterns and load/latency evaluation harness.
+#pragma once
+
+#include <cstdint>
+
+#include "noc/config.hpp"
+#include "sim/random.hpp"
+
+namespace scn::noc {
+
+enum class Pattern : std::uint8_t {
+  kUniform,        ///< uniform random destination
+  kTranspose,      ///< (x, y) -> (y, x)
+  kBitComplement,  ///< node -> N-1-node
+  kHotspot,        ///< a fraction of traffic targets one node (e.g. a UMC)
+  kQuadrant,       ///< corner injectors spread over their own quadrant — the
+                   ///< I/O-die pattern (GMI ports -> local UMCs)
+};
+
+[[nodiscard]] constexpr const char* to_string(Pattern p) noexcept {
+  switch (p) {
+    case Pattern::kUniform: return "uniform";
+    case Pattern::kTranspose: return "transpose";
+    case Pattern::kBitComplement: return "bit-complement";
+    case Pattern::kHotspot: return "hotspot";
+    case Pattern::kQuadrant: return "quadrant";
+  }
+  return "?";
+}
+
+/// Destination for a packet injected at `src` under `pattern`.
+[[nodiscard]] inline int destination(Pattern pattern, const NocConfig& config, int src,
+                                     sim::Rng& rng, double hotspot_fraction = 0.5,
+                                     int hotspot_node = 0) {
+  const int nodes = config.node_count();
+  switch (pattern) {
+    case Pattern::kUniform: {
+      int dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(nodes)));
+      return dst == src ? (dst + 1) % nodes : dst;
+    }
+    case Pattern::kTranspose: {
+      const int dst = config.node_at(config.y_of(src) % config.width,
+                                     config.x_of(src) % config.height);
+      return dst == src ? (dst + 1) % nodes : dst;
+    }
+    case Pattern::kBitComplement:
+      return nodes - 1 - src;
+    case Pattern::kHotspot:
+      if (rng.uniform() < hotspot_fraction) return hotspot_node == src ? (src + 1) % nodes : hotspot_node;
+      return destination(Pattern::kUniform, config, src, rng);
+    case Pattern::kQuadrant: {
+      // Destinations restricted to the source's 2x2-quadrant of the die.
+      const int qx = config.x_of(src) < config.width / 2 ? 0 : config.width / 2;
+      const int qy = config.y_of(src) < config.height / 2 ? 0 : config.height / 2;
+      const int qw = config.width / 2 > 0 ? config.width / 2 : 1;
+      const int qh = config.height / 2 > 0 ? config.height / 2 : 1;
+      const int dx = qx + static_cast<int>(rng.below(static_cast<std::uint64_t>(qw)));
+      const int dy = qy + static_cast<int>(rng.below(static_cast<std::uint64_t>(qh)));
+      const int dst = config.node_at(dx, dy);
+      return dst == src ? (dst + 1) % nodes : dst;
+    }
+  }
+  return 0;
+}
+
+/// Result of one offered-load point.
+struct LoadPoint {
+  double offered_flits_per_node_cycle = 0.0;
+  double delivered_flits_per_node_cycle = 0.0;
+  double avg_latency_cycles = 0.0;
+  double p99_latency_cycles = 0.0;
+  std::uint64_t delivered_packets = 0;
+};
+
+/// Drive `net` with Bernoulli injections at the given per-node flit rate for
+/// `cycles` cycles (plus a drain tail) and report latency/throughput.
+/// Works for both Network and BufferlessNetwork (duck-typed).
+template <typename Net>
+LoadPoint run_load_point(Net& net, const NocConfig& config, Pattern pattern, double flit_rate,
+                         std::uint64_t cycles, std::uint64_t seed = 42) {
+  sim::Rng rng(seed);
+  const double packet_rate = flit_rate / config.packet_length;
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (int n = 0; n < config.node_count(); ++n) {
+      if (rng.uniform() < packet_rate) {
+        net.inject(n, destination(pattern, config, n, rng), net.cycle());
+      }
+    }
+    net.step();
+  }
+  // Drain without further injection (bounded so saturated runs terminate).
+  std::uint64_t drain = 0;
+  while (net.in_flight() > 0 && drain < cycles * 4) {
+    net.step();
+    ++drain;
+  }
+  LoadPoint pt;
+  pt.offered_flits_per_node_cycle = flit_rate;
+  pt.delivered_flits_per_node_cycle = net.throughput();
+  pt.avg_latency_cycles = net.latency_histogram().mean();
+  pt.p99_latency_cycles = static_cast<double>(net.latency_histogram().p99());
+  pt.delivered_packets = net.delivered_packets();
+  return pt;
+}
+
+}  // namespace scn::noc

@@ -1,0 +1,90 @@
+// Pending-event set for the discrete-event engine.
+//
+// A 4-ary implicit heap keyed on (time, sequence). The sequence number makes
+// ordering of same-tick events deterministic (FIFO in scheduling order),
+// which is essential for bit-exact reproducibility of experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace scn::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  struct Entry {
+    Tick time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Tick next_time() const noexcept { return heap_.front().time; }
+
+  void push(Tick time, EventFn fn) {
+    heap_.push_back(Entry{time, next_seq_++, std::move(fn)});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Remove and return the earliest event. Precondition: !empty().
+  Entry pop() {
+    Entry top = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return top;
+  }
+
+  void clear() noexcept { heap_.clear(); }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  static bool before(const Entry& a, const Entry& b) noexcept {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace scn::sim

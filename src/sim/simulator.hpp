@@ -1,0 +1,78 @@
+// Discrete-event simulator core.
+//
+// Single-threaded by design: the entire point of this substrate is exact
+// reproducibility of the paper's measurements, and the experiments are small
+// enough (hundreds of microseconds of simulated time) that parallelism would
+// buy nothing but nondeterminism.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace scn::sim {
+
+class Simulator {
+ public:
+  /// Current simulation time.
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` ticks from now (delay >= 0).
+  void schedule(Tick delay, EventFn fn) {
+    assert(delay >= 0 && "events cannot be scheduled in the past");
+    queue_.push(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute time (>= now()).
+  void schedule_at(Tick when, EventFn fn) {
+    assert(when >= now_ && "events cannot be scheduled in the past");
+    queue_.push(when, std::move(fn));
+  }
+
+  [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
+  [[nodiscard]] std::size_t pending_count() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_count() const noexcept { return executed_; }
+
+  /// Run until the event queue drains. Returns the final simulation time.
+  Tick run() {
+    while (!queue_.empty()) step();
+    return now_;
+  }
+
+  /// Run events with time <= deadline; afterwards now() == deadline (or later
+  /// if an executed event scheduled exactly at the deadline advanced time).
+  Tick run_until(Tick deadline) {
+    while (!queue_.empty() && queue_.next_time() <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+    return now_;
+  }
+
+  /// Execute exactly one event if available. Returns false when drained.
+  bool step() {
+    if (queue_.empty()) return false;
+    auto entry = queue_.pop();
+    assert(entry.time >= now_);
+    now_ = entry.time;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+
+  /// Drop all pending events and reset the clock. Invalidates any component
+  /// state tied to previous time values; intended for test fixtures only.
+  void reset() {
+    queue_.clear();
+    now_ = 0;
+    executed_ = 0;
+  }
+
+ private:
+  EventQueue queue_;
+  Tick now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace scn::sim

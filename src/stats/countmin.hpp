@@ -1,0 +1,81 @@
+// Count-Min sketch for per-flow byte accounting (paper direction #5:
+// sketch-based profiling with compact probabilistic structures).
+//
+// Width/depth are chosen by the caller from the usual (epsilon, delta)
+// guarantees: width = ceil(e / epsilon), depth = ceil(ln(1 / delta)).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace scn::stats {
+
+class CountMinSketch {
+ public:
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed = 0x5EEDC0DE)
+      : width_(std::max<std::size_t>(1, width)), depth_(std::max<std::size_t>(1, depth)),
+        table_(width_ * depth_, 0) {
+    hash_seeds_.reserve(depth_);
+    std::uint64_t s = seed;
+    for (std::size_t d = 0; d < depth_; ++d) {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      hash_seeds_.push_back(s | 1ULL);
+    }
+  }
+
+  /// Sketch sized for additive error <= epsilon * total with probability
+  /// >= 1 - delta.
+  static CountMinSketch for_error(double epsilon, double delta, std::uint64_t seed = 0x5EEDC0DE) {
+    const auto width = static_cast<std::size_t>(std::ceil(std::exp(1.0) / epsilon));
+    const auto depth = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+    return CountMinSketch(width, depth, seed);
+  }
+
+  void add(std::uint64_t key, std::uint64_t amount = 1) noexcept {
+    for (std::size_t d = 0; d < depth_; ++d) {
+      table_[d * width_ + slot(key, d)] += amount;
+    }
+    total_ += amount;
+  }
+
+  /// Point query: overestimates by at most eps * total (w.h.p.), never under.
+  [[nodiscard]] std::uint64_t estimate(std::uint64_t key) const noexcept {
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t d = 0; d < depth_; ++d) {
+      best = std::min(best, table_[d * width_ + slot(key, d)]);
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  void reset() noexcept {
+    std::fill(table_.begin(), table_.end(), 0ULL);
+    total_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot(std::uint64_t key, std::size_t d) const noexcept {
+    // xxhash-like avalanche of (key ^ per-row seed).
+    std::uint64_t h = key ^ hash_seeds_[d];
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    h *= 0xC4CEB9FE1A85EC53ULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h % width_);
+  }
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::vector<std::uint64_t> table_;
+  std::vector<std::uint64_t> hash_seeds_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace scn::stats

@@ -1,0 +1,21 @@
+// Fairness metrics for competing-flow experiments (Fig. 4 and the traffic
+// manager ablation).
+#pragma once
+
+#include <span>
+
+namespace scn::stats {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1.0 means a
+/// perfectly equal allocation. Returns 1.0 for empty or all-zero input.
+inline double jain_index(std::span<const double> allocations) noexcept {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (allocations.empty() || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace scn::stats

@@ -1,0 +1,115 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace scn::stats {
+
+Histogram::Histogram() : buckets_(static_cast<std::size_t>(kExponents) * kSubBucketCount, 0) {}
+
+std::size_t Histogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < static_cast<std::uint64_t>(kSubBucketCount)) return static_cast<std::size_t>(v);
+  // Row r >= 1 holds values whose most-significant bit is at position
+  // r + kSubBucketBits - 1; the top kSubBucketBits bits select the sub-bucket.
+  const int msb = 63 - std::countl_zero(v);
+  const int row = msb - kSubBucketBits + 1;
+  const auto sub = static_cast<std::size_t>((v >> row) & (kSubBucketCount - 1));
+  return static_cast<std::size_t>(row) * kSubBucketCount + sub;
+}
+
+std::int64_t Histogram::bucket_upper_bound(std::size_t idx) noexcept {
+  const auto row = idx / kSubBucketCount;
+  const auto sub = idx % kSubBucketCount;
+  if (row == 0) return static_cast<std::int64_t>(sub);
+  // Bucket (row, sub) covers [sub << row, ((sub + 1) << row) - 1] where the
+  // sub index implicitly carries the leading bit (sub >= kSubBucketCount/2).
+  return static_cast<std::int64_t>(((static_cast<std::uint64_t>(sub) + 1) << row) - 1);
+}
+
+void Histogram::record(std::int64_t value) noexcept { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::uint64_t count) noexcept {
+  if (count == 0) return;
+  const std::uint64_t v = value < 0 ? 0ULL : static_cast<std::uint64_t>(value);
+  std::size_t idx = bucket_index(v);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  buckets_[idx] += count;
+  if (count_ == 0) {
+    min_ = static_cast<std::int64_t>(v);
+    max_ = static_cast<std::int64_t>(v);
+  } else {
+    min_ = std::min<std::int64_t>(min_, static_cast<std::int64_t>(v));
+    max_ = std::max<std::int64_t>(max_, static_cast<std::int64_t>(v));
+  }
+  count_ += count;
+  const double dv = static_cast<double>(v);
+  sum_ += dv * static_cast<double>(count);
+  sum_sq_ += dv * dv * static_cast<double>(count);
+}
+
+std::int64_t Histogram::min() const noexcept { return count_ == 0 ? 0 : min_; }
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const noexcept {
+  if (count_ < 2) return 0.0;
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::int64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return max_;
+  const auto target =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0ULL);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = sum_sq_ = 0.0;
+}
+
+std::string Histogram::summary_string(double unit_scale, const std::string& unit) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f%s p50=%.1f%s p99=%.1f%s p999=%.1f%s max=%.1f%s",
+                static_cast<unsigned long long>(count_), mean() * unit_scale, unit.c_str(),
+                static_cast<double>(p50()) * unit_scale, unit.c_str(),
+                static_cast<double>(p99()) * unit_scale, unit.c_str(),
+                static_cast<double>(p999()) * unit_scale, unit.c_str(),
+                static_cast<double>(max()) * unit_scale, unit.c_str());
+  return buf;
+}
+
+}  // namespace scn::stats

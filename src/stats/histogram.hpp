@@ -1,0 +1,65 @@
+// HDR-style log-bucketed histogram for latency distributions.
+//
+// The paper reports average and P999 latencies; sub-1% relative error on
+// quantiles is plenty. Buckets are organized as (exponent, mantissa-slice)
+// pairs: values up to 2^kSubBucketBits are exact, beyond that relative error
+// is bounded by 2 / 2^kSubBucketBits (~1.6%).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scn::stats {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Record one sample (values < 0 clamp to 0).
+  void record(std::int64_t value) noexcept;
+  /// Record `count` identical samples.
+  void record_n(std::int64_t value, std::uint64_t count) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::int64_t min() const noexcept;
+  [[nodiscard]] std::int64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Quantile in [0,1]; returns an upper bound of the bucket containing the
+  /// q-th sample. quantile(1.0) == max().
+  [[nodiscard]] std::int64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] std::int64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::int64_t p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] std::int64_t p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] std::int64_t p999() const noexcept { return quantile(0.999); }
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other) noexcept;
+
+  void reset() noexcept;
+
+  /// One-line human-readable summary (for telemetry export).
+  [[nodiscard]] std::string summary_string(double unit_scale = 1.0,
+                                           const std::string& unit = "") const;
+
+ private:
+  static constexpr int kSubBucketBits = 7;  // 128 sub-buckets per exponent
+  static constexpr int kSubBucketCount = 1 << kSubBucketBits;
+  static constexpr int kExponents = 64 - kSubBucketBits + 1;
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept;
+  [[nodiscard]] static std::int64_t bucket_upper_bound(std::size_t idx) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace scn::stats

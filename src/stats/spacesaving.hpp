@@ -1,0 +1,68 @@
+// Space-Saving heavy-hitter tracker (Metwally et al.) for identifying the
+// top-k flows by bytes without per-flow state — complements the Count-Min
+// sketch in the flow profiler.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace scn::stats {
+
+class SpaceSaving {
+ public:
+  struct Counter {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;  // upper bound on overestimation
+  };
+
+  explicit SpaceSaving(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  void add(std::uint64_t key, std::uint64_t amount = 1) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      counters_[it->second].count += amount;
+      return;
+    }
+    if (counters_.size() < capacity_) {
+      index_[key] = counters_.size();
+      counters_.push_back(Counter{key, amount, 0});
+      return;
+    }
+    // Evict the minimum counter; the newcomer inherits its count as error.
+    std::size_t min_idx = 0;
+    for (std::size_t i = 1; i < counters_.size(); ++i) {
+      if (counters_[i].count < counters_[min_idx].count) min_idx = i;
+    }
+    index_.erase(counters_[min_idx].key);
+    const std::uint64_t floor = counters_[min_idx].count;
+    counters_[min_idx] = Counter{key, floor + amount, floor};
+    index_[key] = min_idx;
+  }
+
+  /// Counters sorted by estimated count, descending.
+  [[nodiscard]] std::vector<Counter> top() const {
+    std::vector<Counter> out = counters_;
+    std::sort(out.begin(), out.end(),
+              [](const Counter& a, const Counter& b) { return a.count > b.count; });
+    return out;
+  }
+
+  /// Estimated count for a key (0 if not tracked).
+  [[nodiscard]] std::uint64_t estimate(std::uint64_t key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? 0 : counters_[it->second].count;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return counters_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Counter> counters_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace scn::stats

@@ -1,0 +1,59 @@
+// Fixed-interval time-series accumulator.
+//
+// Used for Figure-5-style plots: record (time, amount) pairs and read back
+// per-interval rates. Intervals are [k*dt, (k+1)*dt).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace scn::stats {
+
+class TimeSeries {
+ public:
+  /// `interval` is the bucket width in ticks (> 0).
+  explicit TimeSeries(sim::Tick interval) : interval_(interval > 0 ? interval : 1) {}
+
+  /// Add `amount` (e.g. bytes delivered) at simulation time `t`.
+  void record(sim::Tick t, double amount) {
+    if (t < 0) t = 0;
+    const auto idx = static_cast<std::size_t>(t / interval_);
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+    buckets_[idx] += amount;
+  }
+
+  [[nodiscard]] sim::Tick interval() const noexcept { return interval_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Total amount recorded in bucket `idx` (0 if beyond the recorded range).
+  [[nodiscard]] double bucket_total(std::size_t idx) const noexcept {
+    return idx < buckets_.size() ? buckets_[idx] : 0.0;
+  }
+
+  /// Average rate in bucket `idx`, in amount-per-tick.
+  [[nodiscard]] double bucket_rate(std::size_t idx) const noexcept {
+    return bucket_total(idx) / static_cast<double>(interval_);
+  }
+
+  /// Convenience: rate in amount-per-nanosecond (== GB/s when amount=bytes).
+  [[nodiscard]] double bucket_rate_per_ns(std::size_t idx) const noexcept {
+    return bucket_rate(idx) * static_cast<double>(sim::kTicksPerNs);
+  }
+
+  [[nodiscard]] double total() const noexcept {
+    double s = 0.0;
+    for (double b : buckets_) s += b;
+    return s;
+  }
+
+  void reset() noexcept { buckets_.clear(); }
+
+ private:
+  sim::Tick interval_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace scn::stats

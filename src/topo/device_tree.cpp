@@ -1,0 +1,94 @@
+#include "topo/device_tree.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace scn::topo {
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string device_tree(const Platform& platform) {
+  const auto& p = platform.params();
+  std::ostringstream os;
+  os << "/dts-v1/;\n";
+  os << "/ {\n";
+  os << "  compatible = \"scn,chiplet-net\";\n";
+  os << fmt("  model = \"%s (%s)\";\n", p.name.c_str(), p.microarchitecture.c_str());
+  os << "  chiplet-net {\n";
+  for (int c = 0; c < p.ccd_count; ++c) {
+    os << fmt("    ccd@%d {\n", c);
+    os << "      type = \"compute-chiplet\";\n";
+    os << fmt("      process = \"%s\";\n", p.process_compute.c_str());
+    os << fmt("      quadrant = <%d>;\n", c % 4);
+    for (int x = 0; x < p.ccx_per_ccd; ++x) {
+      os << fmt("      ccx@%d {\n", x);
+      os << fmt("        cores = <%d>;\n", p.cores_per_ccx);
+      os << fmt("        l3-cache-mb = <%d>;\n", static_cast<int>(p.l3_mb_per_ccx));
+      os << fmt("        if-port { class = \"infinity-fabric\"; up-gbps = <%d>; down-gbps = <%d>; };\n",
+                static_cast<int>(p.ccx_up_bw), static_cast<int>(p.ccx_down_bw));
+      os << "      };\n";
+    }
+    os << fmt("      gmi-port { class = \"gmi\"; up-gbps = <%d>; down-gbps = <%d>; };\n",
+              static_cast<int>(p.gmi_up_bw), static_cast<int>(p.gmi_down_bw));
+    os << "    };\n";
+  }
+  os << "    iod@0 {\n";
+  os << "      type = \"io-chiplet\";\n";
+  os << fmt("      process = \"%s\";\n", p.process_io.c_str());
+  os << fmt("      noc { topology = \"mesh\"; hop-ns = <%d>; up-gbps = <%d>; down-gbps = <%d>; };\n",
+            static_cast<int>(sim::to_ns(p.shop_lat)), static_cast<int>(p.noc_up_bw),
+            static_cast<int>(p.noc_down_bw));
+  for (int u = 0; u < p.umc_count; ++u) {
+    os << fmt("      umc@%d { quadrant = <%d>; read-gbps = <%d>; write-gbps = <%d>; };\n", u,
+              u % 4, static_cast<int>(p.umc_read_bw), static_cast<int>(p.umc_write_bw));
+  }
+  os << fmt("      io-hub { latency-ns = <%d>; pcie = \"%s\"; };\n",
+            static_cast<int>(sim::to_ns(p.iohub_lat)), p.pcie.c_str());
+  if (p.has_cxl()) {
+    os << fmt("      p-link { up-gbps = <%d>; down-gbps = <%d>; };\n",
+              static_cast<int>(p.plink_up_bw), static_cast<int>(p.plink_down_bw));
+  }
+  os << "    };\n";
+  if (p.has_cxl()) {
+    os << "    cxl-mem@0 {\n";
+    os << "      type = \"device-domain\";\n";
+    os << fmt("      access-ns = <%d>;\n", static_cast<int>(sim::to_ns(p.cxl_access)));
+    os << fmt("      read-gbps = <%d>; write-gbps = <%d>;\n", static_cast<int>(p.cxl_read_bw),
+              static_cast<int>(p.cxl_write_bw));
+    os << "    };\n";
+  }
+  os << "  };\n";
+  os << "};\n";
+  return os.str();
+}
+
+std::string inventory(const Platform& platform) {
+  const auto& p = platform.params();
+  std::ostringstream os;
+  os << p.name << " (" << p.microarchitecture << "): " << p.ccd_count << " compute chiplets x "
+     << p.ccx_per_ccd << " CCX x " << p.cores_per_ccx << " cores = " << p.total_cores()
+     << " cores; " << p.umc_count << " UMCs";
+  if (p.has_cxl()) os << "; CXL memory device";
+  os << "\n";
+  os << "  links: IF " << p.ccx_down_bw << "/" << p.ccx_up_bw << " GB/s (down/up), GMI "
+     << p.gmi_down_bw << "/" << p.gmi_up_bw << " GB/s, NoC " << p.noc_down_bw << "/"
+     << p.noc_up_bw << " GB/s";
+  if (p.has_cxl()) {
+    os << ", P-Link " << p.plink_down_bw << "/" << p.plink_up_bw << " GB/s";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace scn::topo

@@ -1,0 +1,21 @@
+// Hardware-abstracted chiplet networking layer, part 1 (paper §4, direction
+// #1): a device-tree-like description of the chiplet network, the analogue of
+// the proposed /sys/firmware/chiplet-net. Runtime telemetry (the
+// /proc/chiplet-net analogue) lives in scn::cnet.
+#pragma once
+
+#include <string>
+
+#include "topo/platform.hpp"
+
+namespace scn::topo {
+
+/// Render the platform's structure in device-tree source syntax: chiplets,
+/// interconnect ports with their link class and capacities, memory
+/// controllers and device domains.
+[[nodiscard]] std::string device_tree(const Platform& platform);
+
+/// One-line-per-component inventory (human-oriented).
+[[nodiscard]] std::string inventory(const Platform& platform);
+
+}  // namespace scn::topo

@@ -1,0 +1,150 @@
+// Platform parameter sets for the two characterized processors.
+//
+// Every number here is either taken directly from the paper (Table 1 specs,
+// Table 2 latencies) or calibrated so that the emergent behaviour of the
+// fabric model reproduces Tables 2-3 and Figures 3-6. The calibration
+// rationale for each group is documented inline; tests/test_calibration.cpp
+// asserts the resulting model stays within tolerance of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace scn::topo {
+
+/// DIMM position relative to the requesting compute chiplet (Table 2).
+enum class DimmPosition : std::uint8_t { kNear = 0, kVertical = 1, kHorizontal = 2, kDiagonal = 3 };
+
+[[nodiscard]] constexpr const char* to_string(DimmPosition p) noexcept {
+  switch (p) {
+    case DimmPosition::kNear: return "near";
+    case DimmPosition::kVertical: return "vertical";
+    case DimmPosition::kHorizontal: return "horizontal";
+    case DimmPosition::kDiagonal: return "diagonal";
+  }
+  return "?";
+}
+
+struct PlatformParams {
+  std::string name;
+
+  // ---- Table 1: structural specifications --------------------------------
+  int ccd_count = 0;       ///< compute chiplets per CPU
+  int ccx_per_ccd = 0;     ///< core complexes per CCD
+  int cores_per_ccx = 0;   ///< cores per CCX
+  int umc_count = 0;       ///< unified memory controllers on the I/O die
+  double l1_kb = 0.0;      ///< per core
+  double l2_kb = 0.0;      ///< per core
+  double l3_mb_per_ccx = 0.0;
+  std::string microarchitecture;
+  std::string process_compute;
+  std::string process_io;
+  std::string pcie;
+  double base_ghz = 0.0;
+  double turbo_ghz = 0.0;
+
+  // ---- Table 2: cache latencies (constants, measured) ---------------------
+  sim::Tick l1_lat = 0;
+  sim::Tick l2_lat = 0;
+  sim::Tick l3_lat = 0;
+
+  // ---- fixed data-path latencies (calibrated so the zero-load DRAM RTT
+  //      matches the Table 2 "near" value and position deltas) --------------
+  sim::Tick core_out_lat = 0;   ///< L1/L2/L3 miss walk + CCM, outbound
+  sim::Tick return_lat = 0;     ///< fixed response-side tail into the core
+  sim::Tick gmi_prop = 0;       ///< GMI link propagation (outbound channel)
+  sim::Tick shop_lat = 0;       ///< nominal switching-hop latency (Table 2 row)
+  int base_shops = 0;           ///< I/O-die hops even for a "near" DIMM
+  sim::Tick cs_lat = 0;         ///< coherent station
+  sim::Tick iohub_lat = 0;      ///< I/O hub (Table 2 row)
+  sim::Tick rootcplx_lat = 0;   ///< PCIe root complex + I/O moderator
+  sim::Tick plink_prop = 0;     ///< P-Link propagation
+  sim::Tick dram_access = 0;    ///< UMC + DRAM array access
+  sim::Tick cxl_access = 0;     ///< CXL controller + media access
+  sim::Tick llc_peer_access = 0;  ///< remote LLC slice access (CC<->CC)
+  /// Extra round-trip routing latency for a DIMM at each position class,
+  /// indexed by DimmPosition (measured deltas of Table 2).
+  std::array<sim::Tick, 4> position_extra{};
+
+  // ---- source windows (tokens per core; calibrated from Table 3 row 1:
+  //      achieved_bw = window * 64 B / zero-load RTT) -----------------------
+  std::uint32_t core_read_window = 0;
+  /// Write-combining depth: posted NT writes in flight per core. On Zen 4
+  /// this is deep (the Fig. 3-e 4.8x write-latency blowup implies ~250 lines
+  /// in flight per CCD) while the issue *rate* is separately capped.
+  std::uint32_t core_write_window = 0;
+  /// Per-core NT-write issue rate cap, payload bytes/ns (0 => uncapped).
+  double core_write_issue_bw = 0.0;
+  std::uint32_t cxl_core_read_window = 0;   ///< P-Link per-requester credits
+  std::uint32_t cxl_core_write_window = 0;  ///< CXL writes are non-posted
+  /// Compute-chiplet traffic-control pools (0 => level absent). The 7302's
+  /// tight pools bound queueing (flat Fig. 3-a/c); the 9634's looser pool
+  /// lets link queueing dominate (the 2x rise of Fig. 3-b).
+  std::uint32_t ccx_pool = 0;
+  std::uint32_t ccd_pool = 0;
+
+  // ---- channel capacities, bytes/ns == GB/s (calibrated from Table 3 and
+  //      the Fig. 6 interference thresholds) --------------------------------
+  double ccx_up_bw = 0.0;    ///< CCX IF port, toward the I/O die
+  double ccx_down_bw = 0.0;  ///< CCX IF port, toward the cores
+  double gmi_up_bw = 0.0;    ///< per-CCD GMI, toward the I/O die
+  double gmi_down_bw = 0.0;  ///< per-CCD GMI, toward the CCD
+  double noc_up_bw = 0.0;    ///< I/O-die trunk, CPU->memory aggregate
+  double noc_down_bw = 0.0;  ///< I/O-die trunk, memory->CPU aggregate
+  double umc_read_bw = 0.0;  ///< per-UMC read return rate
+  double umc_write_bw = 0.0; ///< per-UMC write drain rate
+  double peer_out_bw = 0.0;  ///< per-CCD LLC egress onto the cross mesh
+  double peer_in_bw = 0.0;   ///< per-CCD LLC ingress from the cross mesh
+  double iodev_ccd_down_bw = 0.0;  ///< per-CCD device-read return credit
+  double iodev_ccd_up_bw = 0.0;    ///< per-CCD device-write submit credit
+  double plink_up_bw = 0.0;
+  double plink_down_bw = 0.0;
+  double cxl_read_bw = 0.0;  ///< CXL device service; <= 0 => no CXL module
+  double cxl_write_bw = 0.0;
+
+  // ---- tail behaviour ------------------------------------------------------
+  /// Rare per-request slow accesses (additive; delays only that request).
+  double hiccup_prob = 0.0;
+  sim::Tick dram_hiccup = 0;
+  sim::Tick cxl_hiccup = 0;
+  /// Periodic endpoint-blocking noise (refresh-like): every `noise_interval`
+  /// each memory/device service channel stalls for the hiccup duration;
+  /// every `noise_burst_every`-th stall is `noise_burst_factor`x longer.
+  /// Under load these stalls make queued requests pile up, producing the
+  /// paper's 2-5x tail amplification (§3.4); at ~1% duty they cost almost no
+  /// bandwidth. 0 disables.
+  sim::Tick noise_interval = 0;
+  int noise_burst_every = 10;
+  double noise_burst_factor = 3.0;
+
+  // ---- detailed-substrate switches ----------------------------------------
+  /// Replace the abstract UMC service-rate endpoints with bank-level DRAM
+  /// models (mem::DramEndpoint): DDR timings, row-buffer state, refresh.
+  /// Default off — the abstract endpoints are what the paper numbers are
+  /// calibrated against; tests/test_mem_dram.cpp cross-validates the two.
+  bool detailed_dram = false;
+
+  // ---- Fig. 5 harvesting dynamics (see fabric::AdaptiveWindowPolicy) ------
+  sim::Tick if_adjust_period = 0;     ///< IF-class window adjustment period
+  sim::Tick plink_adjust_period = 0;  ///< P-Link-class adjustment period
+  double if_decrease_factor = 0.9;    ///< 7302 IF uses an aggressive factor
+                                      ///< which produces its Fig. 5 oscillation
+  double if_congestion_ratio = 1.15;  ///< RTT inflation the IF controller
+                                      ///< tolerates; the 7302's is hair-trigger
+
+  [[nodiscard]] int cores_per_ccd() const noexcept { return ccx_per_ccd * cores_per_ccx; }
+  [[nodiscard]] int total_cores() const noexcept { return ccd_count * cores_per_ccd(); }
+  [[nodiscard]] bool has_cxl() const noexcept { return cxl_read_bw > 0.0; }
+};
+
+/// AMD EPYC 7302 (Zen 2): 16 cores / 8 CCX / 4 CCD, 12 nm I/O die.
+[[nodiscard]] PlatformParams epyc7302();
+
+/// AMD EPYC 9634 (Zen 4): 84 cores / 12 CCX / 12 CCD, 6 nm I/O die,
+/// four Micron CZ120 CXL modules behind the P-Links.
+[[nodiscard]] PlatformParams epyc9634();
+
+}  // namespace scn::topo

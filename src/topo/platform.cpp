@@ -1,0 +1,320 @@
+#include "topo/platform.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace scn::topo {
+namespace {
+
+std::string idx_name(const std::string& base, int i) { return base + "[" + std::to_string(i) + "]"; }
+
+}  // namespace
+
+Platform::Platform(sim::Simulator& simulator, PlatformParams params)
+    : simulator_(&simulator), params_(std::move(params)) {
+  const auto& p = params_;
+  const int ccx_total = p.ccd_count * p.ccx_per_ccd;
+
+  ccx_up_.reserve(ccx_total);
+  ccx_down_.reserve(ccx_total);
+  ccx_pools_.reserve(ccx_total);
+  for (int i = 0; i < ccx_total; ++i) {
+    ccx_up_.push_back(std::make_unique<fabric::Channel>(idx_name("ccx_up", i), p.ccx_up_bw, 0));
+    ccx_down_.push_back(
+        std::make_unique<fabric::Channel>(idx_name("ccx_down", i), p.ccx_down_bw, 0));
+    ccx_pools_.push_back(p.ccx_pool > 0
+                             ? std::make_unique<fabric::TokenPool>(idx_name("ccx_pool", i), p.ccx_pool)
+                             : nullptr);
+  }
+  gmi_up_.reserve(p.ccd_count);
+  gmi_down_.reserve(p.ccd_count);
+  ccd_pools_.reserve(p.ccd_count);
+  peer_out_.reserve(p.ccd_count);
+  peer_in_.reserve(p.ccd_count);
+  for (int c = 0; c < p.ccd_count; ++c) {
+    gmi_up_.push_back(
+        std::make_unique<fabric::Channel>(idx_name("gmi_up", c), p.gmi_up_bw, p.gmi_prop));
+    gmi_down_.push_back(std::make_unique<fabric::Channel>(idx_name("gmi_down", c), p.gmi_down_bw, 0));
+    ccd_pools_.push_back(p.ccd_pool > 0
+                             ? std::make_unique<fabric::TokenPool>(idx_name("ccd_pool", c), p.ccd_pool)
+                             : nullptr);
+    peer_out_.push_back(std::make_unique<fabric::Channel>(idx_name("peer_out", c), p.peer_out_bw, 0));
+    peer_in_.push_back(std::make_unique<fabric::Channel>(idx_name("peer_in", c), p.peer_in_bw, 0));
+  }
+  noc_up_ = std::make_unique<fabric::Channel>("noc_up", p.noc_up_bw, 0);
+  noc_down_ = std::make_unique<fabric::Channel>("noc_down", p.noc_down_bw, 0);
+  umc_read_.reserve(p.umc_count);
+  umc_write_.reserve(p.umc_count);
+  for (int u = 0; u < p.umc_count; ++u) {
+    umc_read_.push_back(std::make_unique<fabric::Channel>(idx_name("umc_read", u), p.umc_read_bw, 0));
+    umc_write_.push_back(
+        std::make_unique<fabric::Channel>(idx_name("umc_write", u), p.umc_write_bw, 0));
+  }
+  if (p.has_cxl()) {
+    plink_up_ = std::make_unique<fabric::Channel>("plink_up", p.plink_up_bw, p.plink_prop);
+    plink_down_ = std::make_unique<fabric::Channel>("plink_down", p.plink_down_bw, 0);
+    cxl_read_ = std::make_unique<fabric::Channel>("cxl_read", p.cxl_read_bw, 0);
+    cxl_write_ = std::make_unique<fabric::Channel>("cxl_write", p.cxl_write_bw, 0);
+    iodev_down_.reserve(p.ccd_count);
+    iodev_up_.reserve(p.ccd_count);
+    for (int c = 0; c < p.ccd_count; ++c) {
+      iodev_down_.push_back(
+          std::make_unique<fabric::Channel>(idx_name("iodev_down", c), p.iodev_ccd_down_bw, 0));
+      iodev_up_.push_back(
+          std::make_unique<fabric::Channel>(idx_name("iodev_up", c), p.iodev_ccd_up_bw, 0));
+    }
+  }
+  if (p.detailed_dram) {
+    // DDR4 on the Zen 2 box, DDR5 on the Zen 4 box (Table 1 testbeds). The
+    // front-end constant keeps the idle end-to-end latency aligned with the
+    // abstract calibration (dram_access = front_end + tRCD + tCL + burst).
+    const auto timings = p.ccx_per_ccd > 1 ? mem::DramTimings::ddr4_3200()
+                                           : mem::DramTimings::ddr5_4800();
+    const sim::Tick row_miss =
+        sim::from_ns(timings.tRCD + timings.tCL + timings.burst_ns);
+    const sim::Tick front_end = p.dram_access > row_miss ? p.dram_access - row_miss : 0;
+    dram_detail_.reserve(p.umc_count);
+    for (int u = 0; u < p.umc_count; ++u) {
+      mem::DramEndpoint::Config cfg;
+      cfg.timings = timings;
+      cfg.front_end = front_end;
+      cfg.seed = 0xD1AA + static_cast<std::uint64_t>(u);
+      dram_detail_.push_back(std::make_unique<mem::DramEndpoint>(cfg));
+    }
+  }
+  schedule_noise();
+}
+
+void Platform::schedule_noise() {
+  if (params_.noise_interval <= 0) return;
+  // Refresh-like endpoint stalls for the experiment horizon (covers the
+  // longest trace, Fig. 5's 6 scaled-seconds, with slack). The stalls block
+  // the endpoint's service channels so queued requests pile up behind them —
+  // the tail amplification of §3.4 — at ~1% duty cycle.
+  constexpr sim::Tick kHorizon = sim::from_ms(12.0);
+  struct Spec {
+    fabric::Channel* channel;
+    sim::Tick duration;
+  };
+  std::vector<Spec> specs;
+  for (auto& ch : umc_read_) specs.push_back({ch.get(), params_.dram_hiccup});
+  for (auto& ch : umc_write_) specs.push_back({ch.get(), params_.dram_hiccup});
+  if (cxl_read_) specs.push_back({cxl_read_.get(), params_.cxl_hiccup});
+  if (cxl_write_) specs.push_back({cxl_write_.get(), params_.cxl_hiccup});
+
+  const sim::Tick interval = params_.noise_interval;
+  const int burst_every = params_.noise_burst_every > 0 ? params_.noise_burst_every : 1;
+  const double burst_factor = params_.noise_burst_factor;
+  int idx = 0;
+  for (const auto& spec : specs) {
+    // Deterministic per-channel phase so stalls do not align across UMCs.
+    const sim::Tick phase = (static_cast<sim::Tick>(idx) * 7919 * sim::kTicksPerNs) % interval;
+    ++idx;
+    auto tick = std::make_shared<std::function<void(int)>>();
+    fabric::Channel* channel = spec.channel;
+    const sim::Tick duration = spec.duration;
+    sim::Simulator* simulator = simulator_;
+    *tick = [=](int n) {
+      const bool burst = burst_every > 0 && n % burst_every == burst_every - 1;
+      const auto d = burst ? static_cast<sim::Tick>(static_cast<double>(duration) * burst_factor)
+                           : duration;
+      channel->stall(simulator->now(), d);
+      if (simulator->now() + interval <= kHorizon) {
+        simulator->schedule(interval, [tick, n] { (*tick)(n + 1); });
+      }
+    };
+    simulator_->schedule_at(phase, [tick] { (*tick)(0); });
+  }
+}
+
+std::vector<fabric::TokenPool*> Platform::pools_for(int ccd, int ccx, fabric::Op op) {
+  if (op == fabric::Op::kWrite) return {};
+  return compute_pools(ccd, ccx);
+}
+
+DimmPosition Platform::position_of(int ccd, int umc) const noexcept {
+  // 2x2 quadrant floorplan; CCDs and UMCs are distributed round-robin. The
+  // die is wider than tall, so a horizontal crossing is longer than a
+  // vertical one and a diagonal crossing is the longest route class.
+  const int cq = ccd % 4;
+  const int uq = umc % 4;
+  const int dx = std::abs((cq & 1) - (uq & 1));
+  const int dy = std::abs((cq >> 1) - (uq >> 1));
+  if (dx == 0 && dy == 0) return DimmPosition::kNear;
+  if (dx == 0) return DimmPosition::kVertical;
+  if (dy == 0) return DimmPosition::kHorizontal;
+  return DimmPosition::kDiagonal;
+}
+
+fabric::Channel& Platform::ccx_up(int ccd, int ccx) noexcept {
+  return *ccx_up_[static_cast<std::size_t>(ccd * params_.ccx_per_ccd + ccx)];
+}
+fabric::Channel& Platform::ccx_down(int ccd, int ccx) noexcept {
+  return *ccx_down_[static_cast<std::size_t>(ccd * params_.ccx_per_ccd + ccx)];
+}
+
+fabric::TokenPool* Platform::ccx_pool(int ccd, int ccx) noexcept {
+  return ccx_pools_[static_cast<std::size_t>(ccd * params_.ccx_per_ccd + ccx)].get();
+}
+fabric::TokenPool* Platform::ccd_pool(int ccd) noexcept {
+  return ccd_pools_[static_cast<std::size_t>(ccd)].get();
+}
+
+std::vector<fabric::TokenPool*> Platform::compute_pools(int ccd, int ccx) {
+  return {ccx_pool(ccd, ccx), ccd_pool(ccd)};
+}
+
+std::vector<fabric::Channel*> Platform::all_channels() {
+  std::vector<fabric::Channel*> out;
+  auto add = [&out](auto& vec) {
+    for (auto& ch : vec) {
+      if (ch) out.push_back(ch.get());
+    }
+  };
+  add(ccx_up_);
+  add(ccx_down_);
+  add(gmi_up_);
+  add(gmi_down_);
+  out.push_back(noc_up_.get());
+  out.push_back(noc_down_.get());
+  add(umc_read_);
+  add(umc_write_);
+  add(peer_out_);
+  add(peer_in_);
+  add(iodev_down_);
+  add(iodev_up_);
+  for (auto* ch : {plink_up_.get(), plink_down_.get(), cxl_read_.get(), cxl_write_.get()}) {
+    if (ch != nullptr) out.push_back(ch);
+  }
+  return out;
+}
+
+std::vector<fabric::TokenPool*> Platform::all_pools() {
+  std::vector<fabric::TokenPool*> out;
+  for (auto& pool : ccx_pools_) {
+    if (pool) out.push_back(pool.get());
+  }
+  for (auto& pool : ccd_pools_) {
+    if (pool) out.push_back(pool.get());
+  }
+  return out;
+}
+
+fabric::Path& Platform::cached(const std::string& key, fabric::Path&& path) {
+  auto it = path_cache_.find(key);
+  if (it == path_cache_.end()) {
+    it = path_cache_.emplace(key, std::make_unique<fabric::Path>(std::move(path))).first;
+  }
+  return *it->second;
+}
+
+fabric::Path& Platform::dram_path(int ccd, int ccx, int umc) {
+  const std::string key =
+      "dram/" + std::to_string(ccd) + "/" + std::to_string(ccx) + "/" + std::to_string(umc);
+  if (auto it = path_cache_.find(key); it != path_cache_.end()) return *it->second;
+
+  const auto& p = params_;
+  const auto pos = position_of(ccd, umc);
+  fabric::Path path;
+  path.name = key;
+  path.outbound = {
+      {nullptr, p.core_out_lat},
+      {&ccx_up(ccd, ccx), 0},
+      {&gmi_up(ccd), 0},
+      {nullptr, p.base_shops * p.shop_lat + p.position_extra[static_cast<std::size_t>(pos)]},
+      {&noc_up(), 0},
+      {nullptr, p.cs_lat},
+  };
+  path.endpoint = {&umc_read(umc), &umc_write(umc), p.dram_access, p.hiccup_prob, p.dram_hiccup};
+  if (p.detailed_dram) {
+    mem::DramEndpoint* detail = dram_detail_[static_cast<std::size_t>(umc)].get();
+    path.endpoint.custom_service = [detail](sim::Tick now, bool is_write, double bytes) {
+      return detail->service(now, is_write, bytes);
+    };
+  }
+  path.inbound = {
+      {&noc_down(), 0},
+      {&gmi_down(ccd), 0},
+      {&ccx_down(ccd, ccx), 0},
+      {nullptr, p.return_lat},
+  };
+  return cached(key, std::move(path));
+}
+
+std::vector<fabric::Path*> Platform::dram_paths_all(int ccd, int ccx) {
+  std::vector<fabric::Path*> out;
+  out.reserve(static_cast<std::size_t>(params_.umc_count));
+  for (int u = 0; u < params_.umc_count; ++u) out.push_back(&dram_path(ccd, ccx, u));
+  return out;
+}
+
+std::vector<fabric::Path*> Platform::dram_paths_at(int ccd, int ccx, DimmPosition pos) {
+  std::vector<fabric::Path*> out;
+  for (int u = 0; u < params_.umc_count; ++u) {
+    if (position_of(ccd, u) == pos) out.push_back(&dram_path(ccd, ccx, u));
+  }
+  return out;
+}
+
+fabric::Path& Platform::cxl_path(int ccd, int ccx) {
+  assert(has_cxl() && "platform has no CXL device (the 7302 box, Table 1)");
+  const std::string key = "cxl/" + std::to_string(ccd) + "/" + std::to_string(ccx);
+  if (auto it = path_cache_.find(key); it != path_cache_.end()) return *it->second;
+
+  const auto& p = params_;
+  fabric::Path path;
+  path.name = key;
+  path.outbound = {
+      {nullptr, p.core_out_lat},
+      {&ccx_up(ccd, ccx), 0},
+      {&gmi_up(ccd), 0},
+      {nullptr, p.base_shops * p.shop_lat},
+      {&noc_up(), 0},
+      {nullptr, p.iohub_lat + p.rootcplx_lat},
+      {iodev_up(ccd), 0},
+      {plink_up(), 0},
+  };
+  // CXL.mem writes are non-posted: credits are held until the NDR returns.
+  path.endpoint = {cxl_read(), cxl_write(), p.cxl_access, p.hiccup_prob, p.cxl_hiccup,
+                   /*posted_writes=*/false};
+  path.inbound = {
+      {plink_down(), 0},
+      {iodev_down(ccd), 0},
+      {&noc_down(), 0},
+      {&gmi_down(ccd), 0},
+      {&ccx_down(ccd, ccx), 0},
+      {nullptr, p.return_lat},
+  };
+  return cached(key, std::move(path));
+}
+
+fabric::Path& Platform::peer_path(int src_ccd, int src_ccx, int dst_ccd) {
+  const std::string key =
+      "peer/" + std::to_string(src_ccd) + "/" + std::to_string(src_ccx) + "/" + std::to_string(dst_ccd);
+  if (auto it = path_cache_.find(key); it != path_cache_.end()) return *it->second;
+
+  const auto& p = params_;
+  fabric::Path path;
+  path.name = key;
+  path.outbound = {
+      {nullptr, p.core_out_lat},
+      {&ccx_up(src_ccd, src_ccx), 0},
+      {&gmi_up(src_ccd), 0},
+      {nullptr, p.base_shops * p.shop_lat},
+  };
+  // Remote-LLC accesses see rare slow responses too (snoop/probe conflicts);
+  // reuse the platform hiccup rate at half the DRAM magnitude.
+  path.endpoint = {&peer_out(dst_ccd), &peer_in(dst_ccd), p.llc_peer_access, p.hiccup_prob,
+                   p.dram_hiccup};
+  path.inbound = {
+      {&gmi_down(src_ccd), 0},
+      {&ccx_down(src_ccd, src_ccx), 0},
+      {nullptr, p.return_lat},
+  };
+  return cached(key, std::move(path));
+}
+
+}  // namespace scn::topo

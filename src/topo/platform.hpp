@@ -1,0 +1,141 @@
+// Instantiated platform: channels, token pools and routes for one CPU.
+//
+// Platform owns every fabric object for a socket and builds (and caches) the
+// Path a transaction takes between any (CCD, CCX) source and any endpoint
+// (a UMC/DIMM, the CXL device, or a peer chiplet's LLC). Experiments obtain
+// paths and token chains from here and drive them with scn::traffic
+// generators; scn::cnet reads the channels/pools back out for telemetry.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fabric/channel.hpp"
+#include "fabric/path.hpp"
+#include "fabric/token_pool.hpp"
+#include "fabric/types.hpp"
+#include "mem/dram_endpoint.hpp"
+#include "sim/simulator.hpp"
+#include "topo/params.hpp"
+
+namespace scn::topo {
+
+/// Identifies a core on the socket.
+struct CoreLoc {
+  int ccd = 0;
+  int ccx = 0;
+  int core = 0;
+};
+
+class Platform {
+ public:
+  Platform(sim::Simulator& simulator, PlatformParams params);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  [[nodiscard]] const PlatformParams& params() const noexcept { return params_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return *simulator_; }
+
+  // ---- structure -----------------------------------------------------------
+  [[nodiscard]] int ccd_count() const noexcept { return params_.ccd_count; }
+  [[nodiscard]] int ccx_per_ccd() const noexcept { return params_.ccx_per_ccd; }
+  [[nodiscard]] int cores_per_ccx() const noexcept { return params_.cores_per_ccx; }
+  [[nodiscard]] int umc_count() const noexcept { return params_.umc_count; }
+  [[nodiscard]] bool has_cxl() const noexcept { return params_.has_cxl(); }
+
+  /// Floorplan position of DIMM behind `umc` relative to `ccd` (2x2 quadrant
+  /// grid; CCDs and UMCs are distributed round-robin over quadrants).
+  [[nodiscard]] DimmPosition position_of(int ccd, int umc) const noexcept;
+
+  /// Bank-level DRAM model behind `umc` (null unless params.detailed_dram).
+  [[nodiscard]] mem::DramEndpoint* dram_detail(int umc) noexcept {
+    return dram_detail_.empty() ? nullptr : dram_detail_[static_cast<std::size_t>(umc)].get();
+  }
+
+  // ---- channels (named accessors used by experiments & telemetry) ---------
+  [[nodiscard]] fabric::Channel& ccx_up(int ccd, int ccx) noexcept;
+  [[nodiscard]] fabric::Channel& ccx_down(int ccd, int ccx) noexcept;
+  [[nodiscard]] fabric::Channel& gmi_up(int ccd) noexcept { return *gmi_up_[ccd]; }
+  [[nodiscard]] fabric::Channel& gmi_down(int ccd) noexcept { return *gmi_down_[ccd]; }
+  [[nodiscard]] fabric::Channel& noc_up() noexcept { return *noc_up_; }
+  [[nodiscard]] fabric::Channel& noc_down() noexcept { return *noc_down_; }
+  [[nodiscard]] fabric::Channel& umc_read(int umc) noexcept { return *umc_read_[umc]; }
+  [[nodiscard]] fabric::Channel& umc_write(int umc) noexcept { return *umc_write_[umc]; }
+  [[nodiscard]] fabric::Channel& peer_out(int ccd) noexcept { return *peer_out_[ccd]; }
+  [[nodiscard]] fabric::Channel& peer_in(int ccd) noexcept { return *peer_in_[ccd]; }
+  [[nodiscard]] fabric::Channel* plink_up() noexcept { return plink_up_.get(); }
+  [[nodiscard]] fabric::Channel* plink_down() noexcept { return plink_down_.get(); }
+  [[nodiscard]] fabric::Channel* cxl_read() noexcept { return cxl_read_.get(); }
+  [[nodiscard]] fabric::Channel* cxl_write() noexcept { return cxl_write_.get(); }
+  [[nodiscard]] fabric::Channel* iodev_down(int ccd) noexcept {
+    return iodev_down_.empty() ? nullptr : iodev_down_[ccd].get();
+  }
+  [[nodiscard]] fabric::Channel* iodev_up(int ccd) noexcept {
+    return iodev_up_.empty() ? nullptr : iodev_up_[ccd].get();
+  }
+
+  /// Every channel on the platform, for telemetry sweeps.
+  [[nodiscard]] std::vector<fabric::Channel*> all_channels();
+  /// Every traffic-control pool, for telemetry sweeps.
+  [[nodiscard]] std::vector<fabric::TokenPool*> all_pools();
+
+  // ---- token chains --------------------------------------------------------
+  /// The compute-chiplet traffic-control chain a transaction from
+  /// (ccd, ccx) must pass: CCX pool then CCD pool (entries may be null).
+  [[nodiscard]] std::vector<fabric::TokenPool*> compute_pools(int ccd, int ccx);
+  /// Traffic-control chain for an op: reads pass the CCX/CCD pools, posted
+  /// writes bypass them (the write-combining path is not MSHR-token
+  /// governed — this is what lets Zen 4 write queues grow to the Fig. 3-e
+  /// depths while reads stay pool-bounded).
+  [[nodiscard]] std::vector<fabric::TokenPool*> pools_for(int ccd, int ccx, fabric::Op op);
+  [[nodiscard]] fabric::TokenPool* ccx_pool(int ccd, int ccx) noexcept;
+  [[nodiscard]] fabric::TokenPool* ccd_pool(int ccd) noexcept;
+
+  // ---- routes --------------------------------------------------------------
+  /// Route from (ccd, ccx) to the DIMM behind `umc`.
+  [[nodiscard]] fabric::Path& dram_path(int ccd, int ccx, int umc);
+  /// NPS1-style interleave set: routes to every UMC, round-robin targets.
+  [[nodiscard]] std::vector<fabric::Path*> dram_paths_all(int ccd, int ccx);
+  /// NPS4-style position targeting: routes to the UMCs at one position class.
+  [[nodiscard]] std::vector<fabric::Path*> dram_paths_at(int ccd, int ccx, DimmPosition pos);
+  /// Route from (ccd, ccx) to the CXL memory device. Platform must have CXL.
+  [[nodiscard]] fabric::Path& cxl_path(int ccd, int ccx);
+  /// Route from (src_ccd, src_ccx) to a peer chiplet's LLC slice.
+  [[nodiscard]] fabric::Path& peer_path(int src_ccd, int src_ccx, int dst_ccd);
+
+ private:
+  [[nodiscard]] fabric::Path& cached(const std::string& key, fabric::Path&& path);
+  void schedule_noise();
+
+  sim::Simulator* simulator_;
+  PlatformParams params_;
+
+  std::vector<std::unique_ptr<fabric::Channel>> ccx_up_;   // [ccd * ccx_per_ccd + ccx]
+  std::vector<std::unique_ptr<fabric::Channel>> ccx_down_;
+  std::vector<std::unique_ptr<fabric::Channel>> gmi_up_;   // [ccd]
+  std::vector<std::unique_ptr<fabric::Channel>> gmi_down_;
+  std::unique_ptr<fabric::Channel> noc_up_;
+  std::unique_ptr<fabric::Channel> noc_down_;
+  std::vector<std::unique_ptr<fabric::Channel>> umc_read_;  // [umc]
+  std::vector<std::unique_ptr<fabric::Channel>> umc_write_;
+  std::vector<std::unique_ptr<fabric::Channel>> peer_out_;  // [ccd]
+  std::vector<std::unique_ptr<fabric::Channel>> peer_in_;
+  std::vector<std::unique_ptr<fabric::Channel>> iodev_down_;  // [ccd], CXL only
+  std::vector<std::unique_ptr<fabric::Channel>> iodev_up_;    // [ccd], CXL only
+  std::unique_ptr<fabric::Channel> plink_up_;
+  std::unique_ptr<fabric::Channel> plink_down_;
+  std::unique_ptr<fabric::Channel> cxl_read_;
+  std::unique_ptr<fabric::Channel> cxl_write_;
+
+  std::vector<std::unique_ptr<fabric::TokenPool>> ccx_pools_;  // [ccd * ccx_per_ccd + ccx]
+  std::vector<std::unique_ptr<fabric::TokenPool>> ccd_pools_;  // [ccd]
+  std::vector<std::unique_ptr<mem::DramEndpoint>> dram_detail_;  // [umc], detailed mode
+
+  std::map<std::string, std::unique_ptr<fabric::Path>> path_cache_;
+};
+
+}  // namespace scn::topo

@@ -1,0 +1,101 @@
+#include "topo/system.hpp"
+
+#include <cassert>
+
+namespace scn::topo {
+
+System::System(sim::Simulator& simulator, SystemParams params)
+    : simulator_(&simulator), params_(std::move(params)) {
+  assert(params_.socket_count >= 1);
+  sockets_.reserve(static_cast<std::size_t>(params_.socket_count));
+  for (int s = 0; s < params_.socket_count; ++s) {
+    auto socket_params = params_.socket;
+    socket_params.name += "/socket" + std::to_string(s);
+    sockets_.push_back(std::make_unique<Platform>(simulator, std::move(socket_params)));
+  }
+  xgmi_.resize(static_cast<std::size_t>(params_.socket_count));
+  for (int from = 0; from < params_.socket_count; ++from) {
+    xgmi_[static_cast<std::size_t>(from)].resize(static_cast<std::size_t>(params_.socket_count));
+    for (int to = 0; to < params_.socket_count; ++to) {
+      if (from == to) continue;
+      xgmi_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] =
+          std::make_unique<fabric::Channel>(
+              "xgmi[" + std::to_string(from) + "->" + std::to_string(to) + "]", params_.xgmi_bw,
+              params_.xgmi_prop);
+    }
+  }
+}
+
+fabric::Channel& System::xgmi(int from, int to) noexcept {
+  return *xgmi_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+}
+
+fabric::Path& System::dram_path(int src_socket, int ccd, int ccx, int dst_socket, int umc) {
+  if (src_socket == dst_socket) return socket(src_socket).dram_path(ccd, ccx, umc);
+
+  const std::string key = "xdram/" + std::to_string(src_socket) + "/" + std::to_string(ccd) +
+                          "/" + std::to_string(ccx) + "/" + std::to_string(dst_socket) + "/" +
+                          std::to_string(umc);
+  if (auto it = path_cache_.find(key); it != path_cache_.end()) return *it->second;
+
+  Platform& src = socket(src_socket);
+  Platform& dst = socket(dst_socket);
+  const auto& p = src.params();
+  // The remote request leaves through the source I/O die, crosses xGMI, and
+  // then follows the home socket's memory route; the home position class is
+  // taken from CCD 0's view (the xGMI port sits at a fixed die corner).
+  const auto pos = dst.position_of(0, umc);
+  fabric::Path path;
+  path.name = key;
+  path.outbound = {
+      {nullptr, p.core_out_lat},
+      {&src.ccx_up(ccd, ccx), 0},
+      {&src.gmi_up(ccd), 0},
+      {nullptr, p.base_shops * p.shop_lat},
+      {&src.noc_up(), 0},
+      {&xgmi(src_socket, dst_socket), 0},
+      {nullptr, p.base_shops * p.shop_lat +
+                    p.position_extra[static_cast<std::size_t>(pos)]},
+      {&dst.noc_up(), 0},
+      {nullptr, p.cs_lat},
+  };
+  path.endpoint = {&dst.umc_read(umc), &dst.umc_write(umc), p.dram_access, p.hiccup_prob,
+                   p.dram_hiccup};
+  path.inbound = {
+      {&dst.noc_down(), 0},
+      {&xgmi(dst_socket, src_socket), 0},
+      {&src.noc_down(), 0},
+      {&src.gmi_down(ccd), 0},
+      {&src.ccx_down(ccd, ccx), 0},
+      {nullptr, p.return_lat},
+  };
+  auto owned = std::make_unique<fabric::Path>(std::move(path));
+  auto& ref = *owned;
+  path_cache_.emplace(key, std::move(owned));
+  return ref;
+}
+
+std::vector<fabric::Path*> System::dram_paths_all(int src_socket, int ccd, int ccx,
+                                                  int dst_socket) {
+  std::vector<fabric::Path*> out;
+  const int umcs = socket(dst_socket).umc_count();
+  out.reserve(static_cast<std::size_t>(umcs));
+  for (int u = 0; u < umcs; ++u) out.push_back(&dram_path(src_socket, ccd, ccx, dst_socket, u));
+  return out;
+}
+
+std::vector<fabric::Channel*> System::all_channels() {
+  std::vector<fabric::Channel*> out;
+  for (auto& s : sockets_) {
+    auto chans = s->all_channels();
+    out.insert(out.end(), chans.begin(), chans.end());
+  }
+  for (auto& row : xgmi_) {
+    for (auto& ch : row) {
+      if (ch) out.push_back(ch.get());
+    }
+  }
+  return out;
+}
+
+}  // namespace scn::topo

@@ -1,0 +1,61 @@
+// Multi-socket system model.
+//
+// The paper's Dell 7525 testbed carries *two* EPYC 7302 packages; its
+// characterization stays within one socket, but any deployment of the
+// chiplet-networking layer must also see the next tier of the hierarchy: the
+// socket-to-socket xGMI links (Infinity Fabric inter-socket). System wires N
+// Platforms together and builds remote-memory routes: a core's request
+// leaves its own I/O die, crosses xGMI, traverses the home socket's NoC and
+// lands on the home UMC — one more level of the Fig. 2 "network of
+// heterogeneous networks".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "topo/platform.hpp"
+
+namespace scn::topo {
+
+struct SystemParams {
+  PlatformParams socket;         ///< per-socket platform parameters
+  int socket_count = 2;
+  double xgmi_bw = 35.0;         ///< per-direction xGMI bandwidth, bytes/ns
+  sim::Tick xgmi_prop = sim::from_ns(45.0);  ///< one-way socket-hop latency
+};
+
+class System {
+ public:
+  System(sim::Simulator& simulator, SystemParams params);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  [[nodiscard]] int socket_count() const noexcept { return params_.socket_count; }
+  [[nodiscard]] Platform& socket(int i) noexcept { return *sockets_[static_cast<std::size_t>(i)]; }
+
+  /// The xGMI channel carrying traffic from socket `from` toward `to`.
+  [[nodiscard]] fabric::Channel& xgmi(int from, int to) noexcept;
+
+  /// Route from a core on `src_socket` to a DIMM homed on `dst_socket`.
+  /// Same-socket requests are just the platform's own route.
+  [[nodiscard]] fabric::Path& dram_path(int src_socket, int ccd, int ccx, int dst_socket,
+                                        int umc);
+
+  /// NUMA-interleave set: every UMC of the destination socket.
+  [[nodiscard]] std::vector<fabric::Path*> dram_paths_all(int src_socket, int ccd, int ccx,
+                                                          int dst_socket);
+
+  /// All channels across every socket plus the xGMI mesh (telemetry sweeps).
+  [[nodiscard]] std::vector<fabric::Channel*> all_channels();
+
+ private:
+  sim::Simulator* simulator_;
+  SystemParams params_;
+  std::vector<std::unique_ptr<Platform>> sockets_;
+  // xgmi_[from][to], empty diagonal
+  std::vector<std::vector<std::unique_ptr<fabric::Channel>>> xgmi_;
+  std::map<std::string, std::unique_ptr<fabric::Path>> path_cache_;
+};
+
+}  // namespace scn::topo

@@ -1,0 +1,55 @@
+// Aggregates of per-core StreamFlows: "all cores of a CCX / CCD / CPU issue
+// as many accesses as possible" (Table 3 methodology), plus helpers shared by
+// the competing-flow experiments (Figs. 4-6).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "traffic/stream_flow.hpp"
+
+namespace scn::traffic {
+
+/// Owns a set of StreamFlows and reports their aggregate throughput.
+class FlowGroup {
+ public:
+  explicit FlowGroup(std::string name = "group") : name_(std::move(name)) {}
+
+  StreamFlow& add(sim::Simulator& simulator, StreamFlow::Config config) {
+    flows_.push_back(std::make_unique<StreamFlow>(simulator, std::move(config)));
+    return *flows_.back();
+  }
+
+  void start_all() {
+    for (auto& f : flows_) f->start();
+  }
+
+  void stop_all() noexcept {
+    for (auto& f : flows_) f->stop();
+  }
+
+  [[nodiscard]] double aggregate_gbps() const noexcept {
+    double total = 0.0;
+    for (const auto& f : flows_) total += f->achieved_gbps();
+    return total;
+  }
+
+  /// Latency distribution merged across member flows.
+  [[nodiscard]] stats::Histogram merged_latency() const {
+    stats::Histogram h;
+    for (const auto& f : flows_) h.merge(f->latency_histogram());
+    return h;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return flows_.size(); }
+  [[nodiscard]] StreamFlow& flow(std::size_t i) noexcept { return *flows_[i]; }
+  [[nodiscard]] const StreamFlow& flow(std::size_t i) const noexcept { return *flows_[i]; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<StreamFlow>> flows_;
+};
+
+}  // namespace scn::traffic

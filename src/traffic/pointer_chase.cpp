@@ -1,0 +1,22 @@
+#include "traffic/pointer_chase.hpp"
+
+#include "fabric/runner.hpp"
+
+namespace scn::traffic {
+
+void PointerChase::next() {
+  if (issued_ >= config_.samples) {
+    if (on_done_) on_done_();
+    return;
+  }
+  ++issued_;
+  fabric::Path* path = config_.paths[rr_];
+  rr_ = (rr_ + 1) % config_.paths.size();
+  fabric::run_transaction(*simulator_, *path, config_.op, config_.chunk_bytes, &rng_,
+                          [this](const fabric::Completion& c) {
+                            latencies_.record(c.completed - c.issued);
+                            next();
+                          });
+}
+
+}  // namespace scn::traffic

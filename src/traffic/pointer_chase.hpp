@@ -1,0 +1,56 @@
+// Pointer-chasing latency probe (the paper's Table 2 methodology): a single
+// outstanding dependent load, repeated `samples` times. Because each access
+// waits for the previous one, the measured distribution is the pure data-path
+// round-trip latency of the targeted endpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/path.hpp"
+#include "fabric/types.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+
+namespace scn::traffic {
+
+class PointerChase {
+ public:
+  struct Config {
+    std::string name = "chase";
+    std::vector<fabric::Path*> paths;  ///< targets, visited round-robin
+    fabric::Op op = fabric::Op::kRead;
+    std::size_t samples = 20000;
+    double chunk_bytes = fabric::kCachelineBytes;
+    std::uint64_t seed = 7;
+  };
+
+  PointerChase(sim::Simulator& simulator, Config config)
+      : simulator_(&simulator), config_(std::move(config)), rng_(config_.seed) {}
+
+  /// Begin the chase; `on_done` fires after the last access completes.
+  void start(std::function<void()> on_done = nullptr) {
+    on_done_ = std::move(on_done);
+    issued_ = 0;
+    next();
+  }
+
+  [[nodiscard]] const stats::Histogram& latencies() const noexcept { return latencies_; }
+  [[nodiscard]] double mean_ns() const noexcept { return latencies_.mean() / 1000.0; }
+
+ private:
+  void next();
+
+  sim::Simulator* simulator_;
+  Config config_;
+  sim::Rng rng_;
+  std::function<void()> on_done_;
+  std::size_t issued_ = 0;
+  std::size_t rr_ = 0;
+  stats::Histogram latencies_;
+};
+
+}  // namespace scn::traffic

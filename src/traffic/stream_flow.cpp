@@ -1,0 +1,120 @@
+#include "traffic/stream_flow.hpp"
+
+#include <cassert>
+
+#include "fabric/runner.hpp"
+#include "fabric/token_chain.hpp"
+
+namespace scn::traffic {
+
+StreamFlow::StreamFlow(sim::Simulator& simulator, Config config)
+    : simulator_(&simulator), config_(std::move(config)), rng_(config_.seed) {
+  assert(!config_.paths.empty() && "a flow needs at least one target route");
+  window_pool_ = std::make_unique<fabric::TokenPool>(config_.name + "/window", config_.window);
+  base_rtt_ns_ = sim::to_ns(config_.paths.front()->zero_load_rtt());
+}
+
+void StreamFlow::start() {
+  simulator_->schedule_at(config_.start_at, [this] {
+    if (loop_active_) return;
+    loop_active_ = true;
+    issue_loop();
+  });
+  for (const auto& [when, rate] : config_.rate_schedule) {
+    simulator_->schedule_at(when, [this, r = rate] { config_.target_rate = r; });
+  }
+  if (config_.adaptive.has_value()) {
+    simulator_->schedule_at(config_.start_at + config_.adaptive->adjust_period,
+                            [this] { adapt_window(); });
+  }
+}
+
+sim::Tick StreamFlow::issue_gap() const noexcept {
+  if (config_.target_rate <= 0.0) return 0;
+  return sim::serialization_ticks(config_.chunk_bytes, config_.target_rate);
+}
+
+fabric::Path* StreamFlow::next_path() noexcept {
+  if (config_.paths.size() == 1) return config_.paths.front();
+  if (config_.random_target) {
+    return config_.paths[static_cast<std::size_t>(rng_.below(config_.paths.size()))];
+  }
+  fabric::Path* p = config_.paths[rr_index_];
+  rr_index_ = (rr_index_ + 1) % config_.paths.size();
+  return p;
+}
+
+void StreamFlow::issue_loop() {
+  if (stopped_ || simulator_->now() >= config_.stop_at) return;
+  // Acquire the core's MLP window first; this is where a too-fast issuer
+  // stalls (the backpressure that makes achieved < requested).
+  window_pool_->acquire(*simulator_, [this] {
+    if (stopped_ || simulator_->now() >= config_.stop_at) {
+      window_pool_->release(*simulator_);
+      return;
+    }
+    launch_one();
+    const sim::Tick gap = issue_gap();
+    if (gap == 0) {
+      issue_loop();  // unthrottled: self-clocked by window tokens
+    } else {
+      simulator_->schedule(gap, [this] { issue_loop(); });
+    }
+  });
+}
+
+void StreamFlow::launch_one() {
+  fabric::Path* path = next_path();
+  const sim::Tick entered = simulator_->now();
+  fabric::acquire_chain(*simulator_, config_.pools, [this, path, entered] {
+    fabric::run_transaction(
+        *simulator_, *path, config_.op, config_.chunk_bytes, &rng_,
+        [this, entered](const fabric::Completion& c) {
+          on_complete(entered, c.issued, c.completed);
+        },
+        [this] {
+          fabric::release_chain(*simulator_, config_.pools);
+          window_pool_->release(*simulator_);
+        });
+  });
+}
+
+void StreamFlow::on_complete(sim::Tick entered, sim::Tick issued, sim::Tick completed) {
+  const sim::Tick rtt = completed - issued;
+  period_rtt_sum_ += sim::to_ns(completed - entered);
+  ++period_rtt_count_;
+  if (timeseries_ != nullptr) timeseries_->record(completed, config_.chunk_bytes);
+  // Bandwidth accounting uses the fixed window [stats_after, stop_at] so that
+  // summing flows cannot overestimate (each flow shares the denominator).
+  if (completed < config_.stats_after || completed > config_.stop_at) return;
+  if (first_counted_ < 0) first_counted_ = completed;
+  last_completion_ = completed;
+  delivered_bytes_ += config_.chunk_bytes;
+  ++completions_;
+  if (config_.record_latency) latency_.record(rtt);
+}
+
+double StreamFlow::achieved_gbps() const noexcept {
+  if (completions_ < 2) return 0.0;
+  if (config_.stop_at != std::numeric_limits<sim::Tick>::max()) {
+    const double ns = sim::to_ns(config_.stop_at - config_.stats_after);
+    return ns > 0.0 ? delivered_bytes_ / ns : 0.0;
+  }
+  if (last_completion_ <= first_counted_) return 0.0;
+  return delivered_bytes_ / sim::to_ns(last_completion_ - first_counted_);
+}
+
+void StreamFlow::adapt_window() {
+  if (stopped_ || simulator_->now() >= config_.stop_at) return;
+  const auto& policy = *config_.adaptive;
+  const double avg_rtt = period_rtt_count_ > 0
+                             ? period_rtt_sum_ / static_cast<double>(period_rtt_count_)
+                             : 0.0;
+  period_rtt_sum_ = 0.0;
+  period_rtt_count_ = 0;
+  const std::uint32_t next = policy.update(window_pool_->capacity(), avg_rtt, base_rtt_ns_);
+  if (next != window_pool_->capacity()) window_pool_->resize(*simulator_, next);
+  simulator_->schedule(policy.adjust_period, [this] { adapt_window(); });
+}
+
+}  // namespace scn::traffic

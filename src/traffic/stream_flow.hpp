@@ -1,0 +1,117 @@
+// Stream flow generator: the bandwidth workload of the paper's utility.
+//
+// One StreamFlow models one core's memory stream (sequential reads via
+// AVX-512 loads, or non-temporal writes). The core's memory-level
+// parallelism is a private token window; issued transactions additionally
+// pass the compute chiplet's CCX/CCD traffic-control pools before entering
+// the fabric. Offered load is set with `target_rate` (the paper's
+// NOP-instruction rate control): the issuer emits one chunk per interval and
+// stalls when the window is exhausted, so achieved < requested under
+// backpressure, exactly like a real core spinning on full MSHRs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fabric/adaptive_window.hpp"
+#include "fabric/path.hpp"
+#include "fabric/token_pool.hpp"
+#include "fabric/types.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/timeseries.hpp"
+
+namespace scn::traffic {
+
+class StreamFlow {
+ public:
+  struct Config {
+    std::string name = "flow";
+    fabric::Op op = fabric::Op::kRead;
+    /// Target routes; successive chunks round-robin across them (address
+    /// interleaving over UMCs) or pick uniformly when `random_target`.
+    std::vector<fabric::Path*> paths;
+    /// Compute-chiplet traffic-control chain (may contain nulls).
+    std::vector<fabric::TokenPool*> pools;
+    std::uint32_t window = 29;        ///< core MLP (outstanding chunks)
+    double chunk_bytes = 64.0;        ///< transfer granularity
+    double target_rate = 0.0;         ///< bytes/ns; 0 => unthrottled
+    bool random_target = false;
+    sim::Tick start_at = 0;
+    sim::Tick stop_at = std::numeric_limits<sim::Tick>::max();
+    sim::Tick stats_after = 0;        ///< warmup: ignore completions before
+    bool record_latency = false;
+    std::optional<fabric::AdaptiveWindowPolicy> adaptive;  ///< Fig. 5 dynamics
+    /// Optional (time, rate bytes/ns) schedule for fluctuating demand; each
+    /// entry replaces target_rate at the given tick.
+    std::vector<std::pair<sim::Tick, double>> rate_schedule;
+    std::uint64_t seed = 1;
+  };
+
+  StreamFlow(sim::Simulator& simulator, Config config);
+
+  /// Arm the flow (registers its start event). Must be called before run().
+  void start();
+
+  /// Stop issuing immediately; in-flight transactions drain naturally.
+  void stop() noexcept { stopped_ = true; }
+
+  // ---- results -------------------------------------------------------------
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+  [[nodiscard]] double delivered_bytes() const noexcept { return delivered_bytes_; }
+  [[nodiscard]] std::uint64_t completions() const noexcept { return completions_; }
+  /// Payload throughput over the measurement window [stats_after, last
+  /// completion], in bytes/ns == GB/s.
+  [[nodiscard]] double achieved_gbps() const noexcept;
+  [[nodiscard]] const stats::Histogram& latency_histogram() const noexcept { return latency_; }
+  [[nodiscard]] std::uint32_t current_window() const noexcept { return window_pool_->capacity(); }
+
+  /// Attach a per-interval byte recorder (Fig. 5 time series). Not owned.
+  void set_timeseries(stats::TimeSeries* ts) noexcept { timeseries_ = ts; }
+
+  /// Replace the offered rate at runtime (bytes/ns; 0 => unthrottled).
+  void set_target_rate(double bytes_per_ns) noexcept { config_.target_rate = bytes_per_ns; }
+
+ private:
+  void issue_loop();
+  void launch_one();
+  /// `entered` is when the transaction entered the traffic-control chain
+  /// (pre-pool); `issued` is when it entered the fabric (post-pool). The
+  /// latency histogram uses the fabric RTT (what the paper's Fig. 3 reports);
+  /// the adaptive window controller uses the full RTT including pool waits
+  /// (the congestion signal the hardware module actually reacts to).
+  void on_complete(sim::Tick entered, sim::Tick issued, sim::Tick completed);
+  void adapt_window();
+
+  [[nodiscard]] fabric::Path* next_path() noexcept;
+  [[nodiscard]] sim::Tick issue_gap() const noexcept;
+
+  sim::Simulator* simulator_;
+  Config config_;
+  sim::Rng rng_;
+  std::unique_ptr<fabric::TokenPool> window_pool_;
+  std::size_t rr_index_ = 0;
+  bool stopped_ = false;
+  bool loop_active_ = false;
+
+  double delivered_bytes_ = 0.0;
+  std::uint64_t completions_ = 0;
+  sim::Tick first_counted_ = -1;
+  sim::Tick last_completion_ = 0;
+  stats::Histogram latency_;
+  stats::TimeSeries* timeseries_ = nullptr;
+
+  // adaptive-window bookkeeping (per adjustment period)
+  double period_rtt_sum_ = 0.0;
+  std::uint64_t period_rtt_count_ = 0;
+  double base_rtt_ns_ = 0.0;
+};
+
+}  // namespace scn::traffic

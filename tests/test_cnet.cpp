@@ -1,0 +1,287 @@
+// Unit tests: flow abstraction, telemetry export, max-min traffic manager,
+// traffic-matrix tomography, sketch-backed profiler.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cnet/flow.hpp"
+#include "cnet/profiler.hpp"
+#include "cnet/telemetry.hpp"
+#include "cnet/tomography.hpp"
+#include "cnet/traffic_manager.hpp"
+#include "measure/experiment.hpp"
+#include "topo/params.hpp"
+#include "traffic/stream_flow.hpp"
+
+namespace scn::cnet {
+namespace {
+
+using measure::Experiment;
+using sim::from_us;
+
+TEST(FlowRegistry, AssignsDenseIds) {
+  FlowRegistry reg;
+  const auto a = reg.register_flow({.name = "a"});
+  const auto b = reg.register_flow({.name = "b"});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.describe(a).name, "a");
+  EXPECT_EQ(reg.all_ids().size(), 2u);
+}
+
+TEST(FlowRegistry, DescriptorToString) {
+  FlowDescriptor d;
+  d.name = "stream0";
+  d.src_ccd = 2;
+  d.dst = Domain::kCxl;
+  d.op = fabric::Op::kWrite;
+  d.demand_gbps = 5.0;
+  const auto s = d.to_string();
+  EXPECT_NE(s.find("stream0"), std::string::npos);
+  EXPECT_NE(s.find("ccd2"), std::string::npos);
+  EXPECT_NE(s.find("cxl"), std::string::npos);
+  EXPECT_NE(s.find("write"), std::string::npos);
+}
+
+TEST(Telemetry, LinksStartIdle) {
+  Experiment e(topo::epyc7302());
+  for (const auto& s : link_stats(e.platform)) {
+    EXPECT_EQ(s.messages, 0u) << s.name;
+    EXPECT_DOUBLE_EQ(s.delivered_gbps, 0.0);
+  }
+}
+
+TEST(Telemetry, CountsTraffic) {
+  Experiment e(topo::epyc7302());
+  traffic::StreamFlow::Config cfg;
+  cfg.paths = e.platform.dram_paths_all(0, 0);
+  cfg.pools = e.platform.pools_for(0, 0, fabric::Op::kRead);
+  cfg.window = 16;
+  cfg.stop_at = from_us(20.0);
+  traffic::StreamFlow flow(e.simulator, cfg);
+  flow.start();
+  e.simulator.run_until(from_us(25.0));
+
+  bool saw_gmi_traffic = false;
+  for (const auto& s : link_stats(e.platform)) {
+    if (s.name == "gmi_down[0]") {
+      saw_gmi_traffic = s.messages > 100 && s.delivered_gbps > 1.0;
+    }
+    if (s.name == "gmi_down[1]") {
+      EXPECT_EQ(s.messages, 0u);  // traffic came from CCD 0 only
+    }
+  }
+  EXPECT_TRUE(saw_gmi_traffic);
+}
+
+TEST(Telemetry, BottleneckIsTheSaturatedLink) {
+  Experiment e(topo::epyc7302());
+  // One CCX's cores saturate their IF port (ccx_down is the binding segment).
+  std::vector<std::unique_ptr<traffic::StreamFlow>> flows;
+  for (int c = 0; c < 2; ++c) {
+    traffic::StreamFlow::Config cfg;
+    cfg.paths = e.platform.dram_paths_all(0, 0);
+    cfg.pools = e.platform.pools_for(0, 0, fabric::Op::kRead);
+    cfg.window = 32;
+    cfg.stop_at = from_us(30.0);
+    cfg.seed = 10 + static_cast<std::uint64_t>(c);
+    flows.push_back(std::make_unique<traffic::StreamFlow>(e.simulator, std::move(cfg)));
+  }
+  for (auto& f : flows) f->start();
+  e.simulator.run_until(from_us(30.0));
+  const auto hot = bottleneck_link(e.platform);
+  EXPECT_EQ(hot.name, "ccx_down[0]");
+  EXPECT_GT(hot.utilization, 0.8);
+}
+
+TEST(Telemetry, ProcExportContainsSections) {
+  Experiment e(topo::epyc9634());
+  const auto text = proc_chiplet_net(e.platform);
+  EXPECT_NE(text.find("/proc/chiplet-net"), std::string::npos);
+  EXPECT_NE(text.find("EPYC 9634"), std::string::npos);
+  EXPECT_NE(text.find("gmi_up[0]"), std::string::npos);
+  EXPECT_NE(text.find("plink_up"), std::string::npos);
+  EXPECT_NE(text.find("ccx_pool[0]"), std::string::npos);
+}
+
+TEST(Telemetry, JsonIsWellFormedEnough) {
+  Experiment e(topo::epyc7302());
+  const auto json = telemetry_json(e.platform);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Balanced braces/brackets (cheap structural check).
+  int braces = 0;
+  int brackets = 0;
+  for (char ch : json) {
+    braces += ch == '{' ? 1 : (ch == '}' ? -1 : 0);
+    brackets += ch == '[' ? 1 : (ch == ']' ? -1 : 0);
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"links\":["), std::string::npos);
+  EXPECT_NE(json.find("\"pools\":["), std::string::npos);
+}
+
+// --- max-min allocation -----------------------------------------------------
+
+TEST(MaxMin, SingleLinkEqualShare) {
+  const auto rates = max_min_rates({0.0, 0.0}, {{0}, {0}}, {30.0});
+  EXPECT_NEAR(rates[0], 15.0, 1e-9);
+  EXPECT_NEAR(rates[1], 15.0, 1e-9);
+}
+
+TEST(MaxMin, SmallDemandProtected) {
+  const auto rates = max_min_rates({5.0, 0.0}, {{0}, {0}}, {30.0});
+  EXPECT_NEAR(rates[0], 5.0, 1e-9);
+  EXPECT_NEAR(rates[1], 25.0, 1e-9);
+}
+
+TEST(MaxMin, DemandsBelowCapacityAllSatisfied) {
+  const auto rates = max_min_rates({8.0, 12.0}, {{0}, {0}}, {30.0});
+  EXPECT_NEAR(rates[0], 8.0, 1e-9);
+  EXPECT_NEAR(rates[1], 12.0, 1e-9);
+}
+
+TEST(MaxMin, Case4DemandsGetFairSplit) {
+  // Fig. 4 case 4: demands 0.6C and 0.9C on one link -> both clamp at C/2.
+  const double c = 33.4;
+  const auto rates = max_min_rates({0.6 * c, 0.9 * c}, {{0}, {0}}, {c});
+  EXPECT_NEAR(rates[0], c / 2, 1e-9);
+  EXPECT_NEAR(rates[1], c / 2, 1e-9);
+}
+
+TEST(MaxMin, MultiLinkBottleneck) {
+  // Flow 0 crosses links 0+1, flow 1 only link 1, flow 2 only link 0.
+  // caps: link0=10, link1=20. Progressive filling: all rise to 5 (link0
+  // saturates: f0+f2), then f1 continues to 15.
+  const auto rates = max_min_rates({0.0, 0.0, 0.0}, {{0, 1}, {1}, {0}}, {10.0, 20.0});
+  EXPECT_NEAR(rates[0], 5.0, 1e-9);
+  EXPECT_NEAR(rates[2], 5.0, 1e-9);
+  EXPECT_NEAR(rates[1], 15.0, 1e-9);
+}
+
+TEST(MaxMin, EmptyInputs) {
+  EXPECT_TRUE(max_min_rates({}, {}, {}).empty());
+}
+
+TEST(MaxMin, AllocationsNeverExceedCapacity) {
+  const std::vector<double> caps{10.0, 14.0, 7.0};
+  const std::vector<std::vector<int>> links{{0}, {0, 1}, {1, 2}, {2}, {0, 2}};
+  const auto rates = max_min_rates({0, 0, 0, 0, 0}, links, caps);
+  std::vector<double> load(caps.size(), 0.0);
+  for (std::size_t f = 0; f < rates.size(); ++f) {
+    for (int l : links[f]) load[static_cast<std::size_t>(l)] += rates[f];
+  }
+  for (std::size_t l = 0; l < caps.size(); ++l) EXPECT_LE(load[l], caps[l] + 1e-6);
+}
+
+TEST(TrafficManager, InstallsRateLimits) {
+  Experiment e(topo::epyc7302());
+  traffic::StreamFlow::Config cfg;
+  cfg.paths = e.platform.dram_paths_all(0, 0);
+  cfg.window = 32;
+  cfg.stop_at = from_us(40.0);
+  traffic::StreamFlow f0(e.simulator, cfg);
+  cfg.seed = 2;
+  traffic::StreamFlow f1(e.simulator, cfg);
+
+  TrafficManager tm(e.simulator, {});
+  const int link = tm.add_link("ccx_down[0]", 25.4);
+  tm.manage({0, &f0, 0.0, {link}});
+  tm.manage({1, &f1, 0.0, {link}});
+  tm.allocate_now();
+  ASSERT_EQ(tm.last_allocation().size(), 2u);
+  EXPECT_NEAR(tm.last_allocation()[0], 25.4 * 0.98 / 2, 0.01);
+
+  f0.start();
+  f1.start();
+  e.simulator.run_until(from_us(45.0));
+  // Each flow honors its installed limit.
+  EXPECT_NEAR(f0.achieved_gbps(), 25.4 * 0.98 / 2, 0.8);
+  EXPECT_NEAR(f1.achieved_gbps(), 25.4 * 0.98 / 2, 0.8);
+}
+
+// --- tomography ---------------------------------------------------------------
+
+TEST(Tomography, ExactRecoveryWhenIdentifiable) {
+  // 3 flows, 3 links, full-rank incidence.
+  TomographyProblem p;
+  p.incidence = {{1, 0, 0}, {0, 1, 0}, {1, 1, 1}};
+  const std::vector<double> truth{4.0, 7.0, 2.0};
+  p.link_loads = {4.0, 7.0, 13.0};
+  const auto r = estimate_traffic_matrix(p, 2000, 1e-10);
+  ASSERT_EQ(r.flow_rates.size(), 3u);
+  for (int f = 0; f < 3; ++f) EXPECT_NEAR(r.flow_rates[static_cast<std::size_t>(f)], truth[static_cast<std::size_t>(f)], 0.05);
+  EXPECT_LT(r.residual_norm, 0.05);
+}
+
+TEST(Tomography, ResidualSmallEvenWhenUnderdetermined) {
+  // 2 links, 3 flows: not identifiable, but the estimate must explain the
+  // observed loads.
+  TomographyProblem p;
+  p.incidence = {{1, 1, 0}, {0, 1, 1}};
+  p.link_loads = {10.0, 8.0};
+  const auto r = estimate_traffic_matrix(p);
+  EXPECT_LT(r.residual_norm, 0.1);
+  for (double x : r.flow_rates) EXPECT_GE(x, 0.0);
+}
+
+TEST(Tomography, EmptyProblem) {
+  const auto r = estimate_traffic_matrix({});
+  EXPECT_TRUE(r.flow_rates.empty());
+}
+
+TEST(Tomography, ZeroLoadsGiveZeroRates) {
+  TomographyProblem p;
+  p.incidence = {{1, 0}, {0, 1}};
+  p.link_loads = {0.0, 0.0};
+  const auto r = estimate_traffic_matrix(p);
+  for (double x : r.flow_rates) EXPECT_NEAR(x, 0.0, 1e-3);
+}
+
+// --- profiler -------------------------------------------------------------------
+
+TEST(Profiler, EstimatesAreUpperBoundsWithinEpsilon) {
+  FlowProfiler prof(FlowProfiler::Config{.epsilon = 0.01, .delta = 0.001, .top_k = 8, .seed = 0xC0FFEE});
+  // Flow 7 sends 1000 x 64 B; flows 0..99 send 10 x 64 B each.
+  for (int i = 0; i < 1000; ++i) prof.record(7, 64.0, 100);
+  for (fabric::FlowId f = 100; f < 200; ++f) {
+    for (int i = 0; i < 10; ++i) prof.record(f, 64.0, 100);
+  }
+  const auto est = prof.bytes_estimate(7);
+  EXPECT_GE(est, 64000u);
+  EXPECT_LE(est, 64000u + static_cast<std::uint64_t>(0.01 * static_cast<double>(prof.total_bytes())));
+}
+
+TEST(Profiler, HeavyHitterRanking) {
+  FlowProfiler prof;
+  for (int i = 0; i < 500; ++i) prof.record(1, 64.0, 10);
+  for (int i = 0; i < 300; ++i) prof.record(2, 64.0, 10);
+  for (int i = 0; i < 10; ++i) prof.record(3, 64.0, 10);
+  const auto top = prof.top_flows();
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 2u);
+}
+
+TEST(Profiler, MemoryIndependentOfFlowCount) {
+  FlowProfiler prof;
+  const auto before = prof.memory_bytes();
+  for (fabric::FlowId f = 0; f < 10000; ++f) prof.record(f, 64.0, 10);
+  EXPECT_EQ(prof.memory_bytes(), before);
+  EXPECT_EQ(prof.transactions(), 10000u);
+}
+
+TEST(Profiler, LatencyHistogramAggregates) {
+  FlowProfiler prof;
+  prof.record(1, 64.0, 1000);
+  prof.record(2, 64.0, 3000);
+  EXPECT_EQ(prof.latency_histogram().count(), 2u);
+  EXPECT_DOUBLE_EQ(prof.latency_histogram().mean(), 2000.0);
+}
+
+}  // namespace
+}  // namespace scn::cnet

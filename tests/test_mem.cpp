@@ -1,0 +1,66 @@
+// Unit tests: cache-hierarchy capacity model.
+#include <gtest/gtest.h>
+
+#include "mem/cache_model.hpp"
+#include "topo/params.hpp"
+
+namespace scn::mem {
+namespace {
+
+TEST(CacheModel, LevelBoundaries7302) {
+  const CacheModel cache(topo::epyc7302());
+  EXPECT_EQ(cache.level_for(1), Level::kL1);
+  EXPECT_EQ(cache.level_for(32 * 1024), Level::kL1);
+  EXPECT_EQ(cache.level_for(32 * 1024 + 1), Level::kL2);
+  EXPECT_EQ(cache.level_for(512 * 1024), Level::kL2);
+  EXPECT_EQ(cache.level_for(512 * 1024 + 1), Level::kL3);
+  EXPECT_EQ(cache.level_for(16ULL * 1024 * 1024), Level::kL3);
+  EXPECT_EQ(cache.level_for(16ULL * 1024 * 1024 + 1), Level::kMemory);
+}
+
+TEST(CacheModel, LevelBoundaries9634) {
+  const CacheModel cache(topo::epyc9634());
+  EXPECT_EQ(cache.level_for(64 * 1024), Level::kL1);
+  EXPECT_EQ(cache.level_for(1024 * 1024), Level::kL2);
+  EXPECT_EQ(cache.level_for(32ULL * 1024 * 1024), Level::kL3);
+  EXPECT_EQ(cache.level_for(1ULL << 40), Level::kMemory);
+}
+
+TEST(CacheModel, LatenciesComeFromParams) {
+  const auto params = topo::epyc7302();
+  const CacheModel cache(params);
+  EXPECT_EQ(cache.latency(Level::kL1), params.l1_lat);
+  EXPECT_EQ(cache.latency(Level::kL2), params.l2_lat);
+  EXPECT_EQ(cache.latency(Level::kL3), params.l3_lat);
+  EXPECT_EQ(cache.latency(Level::kMemory), 0);
+}
+
+TEST(CacheModel, CapacityAccessors) {
+  const CacheModel cache(topo::epyc9634());
+  EXPECT_EQ(cache.capacity_bytes(Level::kL1), 64ULL * 1024);
+  EXPECT_EQ(cache.capacity_bytes(Level::kL2), 1024ULL * 1024);
+  EXPECT_EQ(cache.capacity_bytes(Level::kL3), 32ULL * 1024 * 1024);
+}
+
+TEST(CacheModel, LevelNames) {
+  EXPECT_STREQ(to_string(Level::kL1), "L1");
+  EXPECT_STREQ(to_string(Level::kMemory), "memory");
+}
+
+// Property sweep: the level is monotone in working-set size.
+class CacheMonotone : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CacheMonotone, LevelNeverShrinksWithWorkingSet) {
+  const CacheModel cache(GetParam() ? topo::epyc9634() : topo::epyc7302());
+  Level last = Level::kL1;
+  for (std::uint64_t ws = 1024; ws <= (1ULL << 36); ws *= 2) {
+    const auto level = cache.level_for(ws);
+    EXPECT_GE(static_cast<int>(level), static_cast<int>(last));
+    last = level;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, CacheMonotone, ::testing::Values(false, true));
+
+}  // namespace
+}  // namespace scn::mem

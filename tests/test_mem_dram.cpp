@@ -1,0 +1,162 @@
+// Unit + cross-validation tests for the bank-level DRAM model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "measure/bandwidth.hpp"
+#include "measure/experiment.hpp"
+#include "measure/latency.hpp"
+#include "mem/dram.hpp"
+#include "mem/dram_endpoint.hpp"
+#include "topo/params.hpp"
+#include "traffic/stream_flow.hpp"
+
+namespace scn::mem {
+namespace {
+
+using sim::from_ns;
+using sim::to_ns;
+
+TEST(DramChannel, RowHitIsColumnAccessOnly) {
+  DramChannel ch(DramTimings::ddr4_3200());
+  const auto first = ch.access(0, 0, false);           // opens the row
+  const auto second = ch.access(first, 64, false);     // same row: hit
+  EXPECT_EQ(ch.row_misses(), 1u);
+  EXPECT_EQ(ch.row_hits(), 1u);
+  // Hit latency = tCL + burst; miss latency adds tRCD.
+  EXPECT_NEAR(to_ns(second - first), 13.75 + 2.5, 0.01);
+  EXPECT_NEAR(to_ns(first), 13.75 + 13.75 + 2.5, 0.01);
+}
+
+TEST(DramChannel, RowConflictPaysPrechargeAndActivate) {
+  auto t = DramTimings::ddr4_3200();
+  DramChannel ch(t);
+  const auto row_stride = static_cast<std::uint64_t>(t.row_bytes) * t.banks;
+  const auto first = ch.access(0, 0, false);
+  // Same bank, different row -> conflict.
+  const auto second = ch.access(first, row_stride, false);
+  EXPECT_EQ(ch.row_conflicts(), 1u);
+  EXPECT_GT(to_ns(second - first), t.tRP + t.tRCD + t.tCL);
+}
+
+TEST(DramChannel, SequentialStreamMostlyHits) {
+  DramChannel ch(DramTimings::ddr4_3200());
+  sim::Tick t = 0;
+  for (int i = 0; i < 1000; ++i) t = ch.access(t, static_cast<std::uint64_t>(i) * 64, false);
+  EXPECT_GT(ch.row_hit_rate(), 0.95);
+}
+
+TEST(DramChannel, BusSerializationBoundsThroughput) {
+  // A backlog of concurrent row hits pipelines: steady state is one burst
+  // per burst_ns on the data bus (CAS latency overlaps across requests).
+  auto t = DramTimings::ddr4_3200();
+  DramChannel ch(t);
+  const int n = 2000;
+  sim::Tick done = 0;
+  for (int i = 0; i < n; ++i) {
+    done = ch.access(/*now=*/0, static_cast<std::uint64_t>(i) * 64, false);
+  }
+  const double gbps = n * 64.0 / to_ns(done);
+  EXPECT_LE(gbps, 64.0 / t.burst_ns + 0.1);
+  EXPECT_GT(gbps, 64.0 / t.burst_ns * 0.9);
+}
+
+TEST(DramChannel, SingleOutstandingPaysFullColumnLatency) {
+  // A dependent chain (pointer chase) cannot pipeline: each access costs
+  // tCL + burst even on row hits.
+  auto t = DramTimings::ddr4_3200();
+  DramChannel ch(t);
+  sim::Tick now = ch.access(0, 0, false);
+  const auto second = ch.access(now, 64, false);
+  EXPECT_NEAR(to_ns(second - now), t.tCL + t.burst_ns, 0.01);
+}
+
+TEST(DramChannel, RefreshStallsAllBanks) {
+  auto t = DramTimings::ddr4_3200();
+  DramChannel ch(t);
+  ch.access(0, 0, false);
+  // Jump past a refresh interval: the next access must pay (part of) tRFC
+  // and the open row is lost.
+  const auto now = from_ns(t.tREFI + 1.0);
+  const auto done = ch.access(now, 0, false);
+  EXPECT_GE(ch.refreshes(), 1u);
+  EXPECT_EQ(ch.row_hits(), 0u);  // row was closed by refresh
+  EXPECT_GT(to_ns(done - now), t.tRFC * 0.5);
+}
+
+TEST(DramEndpoint, SequentialServiceMatchesAbstractRate) {
+  // Steady-state service rate of the detailed endpoint ~ the abstract
+  // per-UMC cap the platforms are calibrated with (21.1 GB/s on DDR4).
+  DramEndpoint::Config cfg;
+  cfg.timings = DramTimings::ddr4_3200();
+  DramEndpoint ep(cfg);
+  sim::Tick done = 0;
+  const int n = 20000;
+  // Saturated window: arrivals pile up faster than service (the fabric's
+  // token windows produce exactly this under Table-3 load).
+  for (int i = 0; i < n; ++i) done = ep.service(/*now=*/0, false, 64.0);
+  const double gbps = n * 64.0 / to_ns(done);
+  EXPECT_NEAR(gbps, 23.5, 2.5);  // between the 25.6 peak and the 21.1 effective
+}
+
+TEST(DramEndpoint, RandomFractionLowersHitRate) {
+  DramEndpoint::Config cfg;
+  cfg.timings = DramTimings::ddr4_3200();
+  cfg.random_fraction = 0.8;
+  DramEndpoint ep(cfg);
+  sim::Tick t = 0;
+  for (int i = 0; i < 5000; ++i) t = ep.service(t, false, 64.0);
+  EXPECT_LT(ep.channel().row_hit_rate(), 0.5);
+}
+
+// ---- platform integration (detailed_dram mode) -------------------------------
+
+TEST(DetailedDram, IdleLatencyStaysNearCalibration) {
+  auto params = topo::epyc7302();
+  params.detailed_dram = true;
+  const auto detailed = measure::dram_position_latency(params, topo::DimmPosition::kNear, 4000);
+  // The sequential chase hits open rows; idle latency lands within ~12% of
+  // the abstract calibration (124 ns).
+  EXPECT_NEAR(detailed.avg_ns, 124.0, 15.0);
+}
+
+TEST(DetailedDram, SingleUmcBandwidthNearAbstractCap) {
+  auto params = topo::epyc9634();
+  params.detailed_dram = true;
+  const auto r = measure::single_umc_bandwidth(params, fabric::Op::kRead);
+  // DDR5-4800: 38.4 peak, ~34.9 calibrated effective; the detailed model
+  // must land in that band.
+  EXPECT_GT(r.gbps, 31.0);
+  EXPECT_LT(r.gbps, 38.4);
+}
+
+TEST(DetailedDram, CpuBandwidthStillNocBound) {
+  auto params = topo::epyc9634();
+  params.detailed_dram = true;
+  const auto r = measure::max_bandwidth(params, measure::Scope::kCpu, fabric::Op::kRead,
+                                        measure::Target::kDram);
+  // The I/O-die trunk remains the socket-wide ceiling (Table 3: 366 GB/s).
+  EXPECT_NEAR(r.gbps, 366.2, 366.2 * 0.06);
+}
+
+TEST(DetailedDram, StatsExposedThroughPlatform) {
+  auto params = topo::epyc7302();
+  params.detailed_dram = true;
+  measure::Experiment e(params);
+  traffic::StreamFlow::Config cfg;
+  cfg.paths = {&e.platform.dram_path(0, 0, 0)};
+  cfg.pools = e.platform.pools_for(0, 0, fabric::Op::kRead);
+  cfg.window = 16;
+  cfg.stop_at = sim::from_us(20.0);
+  traffic::StreamFlow flow(e.simulator, cfg);
+  flow.start();
+  e.simulator.run_until(sim::from_us(25.0));
+  auto* detail = e.platform.dram_detail(0);
+  ASSERT_NE(detail, nullptr);
+  EXPECT_GT(detail->channel().row_hits() + detail->channel().row_misses(), 1000u);
+  EXPECT_GT(detail->channel().row_hit_rate(), 0.9);
+  EXPECT_EQ(e.platform.dram_detail(1)->channel().row_hits(), 0u);  // untouched UMC
+}
+
+}  // namespace
+}  // namespace scn::mem

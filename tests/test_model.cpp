@@ -1,0 +1,154 @@
+// Validation tests: the analytical model must agree with the discrete-event
+// simulator (paper direction #5 — a usable chiplet-centric performance model).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "measure/bandwidth.hpp"
+#include "measure/experiment.hpp"
+#include "measure/latency.hpp"
+#include "model/analytic.hpp"
+#include "topo/params.hpp"
+#include "traffic/stream_flow.hpp"
+
+namespace scn::model {
+namespace {
+
+using measure::Experiment;
+
+TEST(Analytic, SerializationSumsChannels) {
+  Experiment e(topo::epyc7302());
+  auto& path = e.platform.dram_path(0, 0, 0);
+  const double ser = serialization_ns(path, fabric::Op::kRead, 64.0);
+  // Header out (3 channels) + payload back (3 channels + UMC service).
+  EXPECT_GT(ser, 5.0);
+  EXPECT_LT(ser, 15.0);
+}
+
+TEST(Analytic, ZeroLoadRttMatchesPointerChase) {
+  const auto params = topo::epyc7302();
+  Workload w;
+  w.total_window = 1;
+  Experiment e(params);
+  const auto pred = predict(e.platform.dram_path(0, 0, 0), w);
+  const auto measured = measure::dram_position_latency(params, topo::DimmPosition::kNear, 4000);
+  EXPECT_NEAR(pred.zero_load_rtt_ns, measured.avg_ns, measured.avg_ns * 0.05);
+}
+
+TEST(Analytic, WindowBoundPredictsCoreBandwidth) {
+  const auto params = topo::epyc9634();
+  Experiment e(params);
+  Workload w;
+  w.total_window = params.core_read_window;
+  const auto pred = predict_multi(e.platform.dram_paths_all(0, 0), w);
+  const auto measured =
+      measure::max_bandwidth(params, measure::Scope::kCore, fabric::Op::kRead,
+                             measure::Target::kDram);
+  EXPECT_NEAR(pred.achieved_gbps, measured.gbps, measured.gbps * 0.12);
+}
+
+TEST(Analytic, CapacityBoundPredictsCcdBandwidth) {
+  const auto params = topo::epyc7302();
+  Experiment e(params);
+  Workload w;
+  w.total_window = params.core_read_window * static_cast<std::uint32_t>(params.cores_per_ccd());
+  // A CCD-wide aggregate: both CCX ports' interleave sets combined.
+  auto paths = e.platform.dram_paths_all(0, 0);
+  const auto ccx1 = e.platform.dram_paths_all(0, 1);
+  paths.insert(paths.end(), ccx1.begin(), ccx1.end());
+  const auto pred = predict_multi(paths, w);
+  // The CCD is link-bound: prediction = gmi_down capacity.
+  EXPECT_NEAR(pred.achieved_gbps, params.gmi_down_bw, 0.01);
+  const auto measured = measure::max_bandwidth(params, measure::Scope::kCcd, fabric::Op::kRead,
+                                               measure::Target::kDram);
+  EXPECT_NEAR(pred.achieved_gbps, measured.gbps, measured.gbps * 0.12);
+}
+
+TEST(Analytic, LoadedLatencyViaLittlesLaw) {
+  // 7302 CCD saturation: model predicts RTT = W * 64 / capacity once the
+  // window exceeds the BDP — the Fig. 3-d loaded average.
+  const auto params = topo::epyc7302();
+  Experiment e(params);
+  Workload w;
+  w.total_window = params.ccd_pool;  // the CCD pool bounds outstanding
+  auto paths = e.platform.dram_paths_all(0, 0);
+  const auto ccx1 = e.platform.dram_paths_all(0, 1);
+  paths.insert(paths.end(), ccx1.begin(), ccx1.end());
+  const auto pred = predict_multi(paths, w);
+  EXPECT_NEAR(pred.avg_latency_ns,
+              static_cast<double>(params.ccd_pool) * 64.0 / params.gmi_down_bw, 1.0);
+  EXPECT_NEAR(pred.avg_latency_ns, 175.0, 10.0);  // matches the measured 172-177
+}
+
+TEST(Analytic, OfferedLoadBelowCapacityKeepsLatencyNearBase) {
+  const auto params = topo::epyc9634();
+  Experiment e(params);
+  Workload w;
+  w.total_window = 200;
+  w.offered_gbps = 5.0;  // far below the ~33 GB/s path capacity
+  const auto pred = predict_multi(e.platform.dram_paths_all(0, 0), w);
+  EXPECT_LT(pred.avg_latency_ns, pred.zero_load_rtt_ns + 5.0);
+  EXPECT_NEAR(pred.achieved_gbps, 5.0, 1e-9);
+}
+
+TEST(Analytic, WritePayloadCapacityAccountsHeader) {
+  const auto params = topo::epyc9634();
+  Experiment e(params);
+  Workload w;
+  w.op = fabric::Op::kWrite;
+  w.total_window = 252;
+  const auto pred = predict_multi(e.platform.dram_paths_all(0, 0), w);
+  // gmi_up carries 80 B per 64 B payload: capacity 29.1 * 0.8 = 23.3.
+  EXPECT_NEAR(pred.capacity_gbps, params.gmi_up_bw * 0.8, 0.05);
+}
+
+TEST(Analytic, CxlPredictions) {
+  const auto params = topo::epyc9634();
+  Experiment e(params);
+  Workload w;
+  w.total_window = params.cxl_core_read_window;
+  const auto pred = predict(e.platform.cxl_path(0, 0), w);
+  EXPECT_NEAR(pred.zero_load_rtt_ns, 243.0, 12.0);
+  EXPECT_NEAR(pred.achieved_gbps, 5.4, 0.6);  // Table 3 CXL core read
+}
+
+// Property sweep: prediction vs simulation for the window-bound regime over
+// several window sizes on both platforms.
+class ModelVsSim : public ::testing::TestWithParam<std::tuple<bool, std::uint32_t>> {};
+
+TEST_P(ModelVsSim, SingleFlowBandwidthWithin12Percent) {
+  const auto [is9634, window] = GetParam();
+  const auto params = is9634 ? topo::epyc9634() : topo::epyc7302();
+  Experiment e(params);
+  auto paths = e.platform.dram_paths_all(0, 0);
+
+  Workload w;
+  w.total_window = window;
+  auto pred = predict_multi(paths, w);
+
+  traffic::StreamFlow::Config cfg;
+  cfg.paths = paths;
+  cfg.pools = e.platform.pools_for(0, 0, fabric::Op::kRead);
+  cfg.window = window;
+  cfg.stats_after = sim::from_us(10.0);
+  cfg.stop_at = sim::from_us(40.0);
+  traffic::StreamFlow flow(e.simulator, cfg);
+  flow.start();
+  e.simulator.run_until(sim::from_us(45.0));
+
+  EXPECT_NEAR(pred.achieved_gbps, flow.achieved_gbps(),
+              std::max(0.8, flow.achieved_gbps() * 0.12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, ModelVsSim,
+                         ::testing::Combine(::testing::Values(false, true),
+                                            ::testing::Values(4u, 8u, 16u, 32u)),
+                         [](const auto& info) {
+                           return std::string(std::get<0>(info.param) ? "epyc9634" : "epyc7302") +
+                                  "_w" + std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace scn::model

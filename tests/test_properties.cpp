@@ -1,0 +1,162 @@
+// Cross-cutting property tests: physical invariants the whole simulator must
+// satisfy regardless of platform or workload — conservation of transactions,
+// Little's law, latency monotonicity in load, and capacity ceilings.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "measure/experiment.hpp"
+#include "topo/params.hpp"
+#include "traffic/flow_group.hpp"
+
+namespace scn {
+namespace {
+
+using measure::Experiment;
+using sim::from_us;
+
+struct RunResult {
+  double gbps = 0.0;
+  double avg_ns = 0.0;
+  std::uint64_t completions = 0;
+  std::uint64_t channel_messages = 0;
+};
+
+RunResult run_flow(const topo::PlatformParams& params, fabric::Op op, std::uint32_t window,
+                   double rate, std::uint64_t seed) {
+  Experiment e(params);
+  traffic::StreamFlow::Config cfg;
+  cfg.op = op;
+  cfg.paths = e.platform.dram_paths_all(0, 0);
+  cfg.pools = e.platform.pools_for(0, 0, op);
+  cfg.window = window;
+  cfg.target_rate = rate;
+  cfg.record_latency = true;
+  cfg.stats_after = from_us(10.0);
+  cfg.stop_at = from_us(40.0);
+  cfg.seed = seed;
+  traffic::StreamFlow flow(e.simulator, cfg);
+  flow.start();
+  e.simulator.run_until(from_us(50.0));
+  RunResult r;
+  r.gbps = flow.achieved_gbps();
+  r.avg_ns = flow.latency_histogram().mean() / 1000.0;
+  r.completions = flow.completions();
+  r.channel_messages = e.platform.gmi_down(0).messages_total();
+  return r;
+}
+
+class BothPlatforms : public ::testing::TestWithParam<bool> {
+ protected:
+  [[nodiscard]] static topo::PlatformParams params() {
+    return GetParam() ? topo::epyc9634() : topo::epyc7302();
+  }
+};
+
+TEST_P(BothPlatforms, ConservationEveryRequestReturns) {
+  // All window tokens come back: after the drain, a second burst behaves
+  // identically, which can only happen if nothing leaked.
+  Experiment e(params());
+  auto& pool = *e.platform.ccx_pool(0, 0);
+  traffic::StreamFlow::Config cfg;
+  cfg.paths = e.platform.dram_paths_all(0, 0);
+  cfg.pools = e.platform.compute_pools(0, 0);
+  cfg.window = 24;
+  cfg.stop_at = from_us(15.0);
+  traffic::StreamFlow flow(e.simulator, cfg);
+  flow.start();
+  e.simulator.run();  // drain completely
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.waiting(), 0u);
+}
+
+TEST_P(BothPlatforms, LittlesLawHoldsForClosedWindow) {
+  // Closed system: throughput * RTT == window (within discretization).
+  const auto p = params();
+  const auto r = run_flow(p, fabric::Op::kRead, 16, 0.0, 3);
+  const double little_window = r.gbps * r.avg_ns / 64.0;
+  EXPECT_NEAR(little_window, 16.0, 1.3);
+}
+
+TEST_P(BothPlatforms, LatencyMonotoneInOfferedLoad) {
+  const auto p = params();
+  double last_avg = 0.0;
+  for (double rate : {2.0, 6.0, 10.0, 14.0}) {
+    const auto r = run_flow(p, fabric::Op::kRead, 64, rate, 4);
+    EXPECT_GE(r.avg_ns, last_avg - 2.5) << "rate " << rate;  // small jitter slack
+    last_avg = r.avg_ns;
+  }
+}
+
+TEST_P(BothPlatforms, ThroughputNeverExceedsPathCapacity) {
+  const auto p = params();
+  // Even with an absurd window, one CCX's throughput respects the IF/GMI min.
+  const auto r = run_flow(p, fabric::Op::kRead, 512, 0.0, 5);
+  const double cap = std::min(p.ccx_down_bw, p.gmi_down_bw);
+  EXPECT_LE(r.gbps, cap * 1.01);
+}
+
+TEST_P(BothPlatforms, RateLimitedFlowUnaffectedByWindowSize) {
+  const auto p = params();
+  const auto small = run_flow(p, fabric::Op::kRead, 24, 3.0, 6);
+  const auto large = run_flow(p, fabric::Op::kRead, 96, 3.0, 6);
+  EXPECT_NEAR(small.gbps, large.gbps, 0.2);
+}
+
+TEST_P(BothPlatforms, SeedChangesJitterNotMeans) {
+  const auto p = params();
+  const auto a = run_flow(p, fabric::Op::kRead, 24, 0.0, 7);
+  const auto b = run_flow(p, fabric::Op::kRead, 24, 0.0, 8);
+  EXPECT_NEAR(a.gbps, b.gbps, a.gbps * 0.03);
+  EXPECT_NEAR(a.avg_ns, b.avg_ns, a.avg_ns * 0.03);
+}
+
+TEST_P(BothPlatforms, SameSeedBitIdentical) {
+  const auto p = params();
+  const auto a = run_flow(p, fabric::Op::kRead, 24, 0.0, 9);
+  const auto b = run_flow(p, fabric::Op::kRead, 24, 0.0, 9);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_EQ(a.channel_messages, b.channel_messages);
+  EXPECT_DOUBLE_EQ(a.gbps, b.gbps);
+}
+
+TEST_P(BothPlatforms, WritesNeverOutrunReadsPerCore) {
+  // Table 3's universal ordering: NT-write bandwidth << read bandwidth.
+  const auto p = params();
+  const auto rd = run_flow(p, fabric::Op::kRead, p.core_read_window, 0.0, 10);
+  const auto wr = run_flow(p, fabric::Op::kWrite, p.core_write_window,
+                           p.core_write_issue_bw, 10);
+  EXPECT_GT(rd.gbps, wr.gbps * 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, BothPlatforms, ::testing::Values(false, true),
+                         [](const auto& info) { return info.param ? "epyc9634" : "epyc7302"; });
+
+TEST(Properties, MoreCoresNeverLessBandwidth) {
+  // Aggregate throughput is monotone in participating cores.
+  const auto p = topo::epyc9634();
+  double last = 0.0;
+  for (int cores : {1, 2, 4, 7}) {
+    Experiment e(p);
+    traffic::FlowGroup group("mono");
+    for (int c = 0; c < cores; ++c) {
+      traffic::StreamFlow::Config cfg;
+      cfg.paths = e.platform.dram_paths_all(0, 0);
+      cfg.pools = e.platform.pools_for(0, 0, fabric::Op::kRead);
+      cfg.window = p.core_read_window;
+      cfg.stats_after = from_us(10.0);
+      cfg.stop_at = from_us(40.0);
+      cfg.seed = 20 + static_cast<std::uint64_t>(c);
+      group.add(e.simulator, std::move(cfg));
+    }
+    group.start_all();
+    e.simulator.run_until(from_us(50.0));
+    EXPECT_GE(group.aggregate_gbps(), last * 0.99) << cores << " cores";
+    last = group.aggregate_gbps();
+  }
+}
+
+}  // namespace
+}  // namespace scn

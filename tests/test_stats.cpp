@@ -1,0 +1,286 @@
+// Unit tests: histogram, summary, time series, sketches, fairness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "stats/countmin.hpp"
+#include "stats/fairness.hpp"
+#include "stats/histogram.hpp"
+#include "stats/spacesaving.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+namespace scn::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  Histogram h;
+  for (int v = 0; v < 128; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 128u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 127);
+  EXPECT_EQ(h.quantile(0.5), 63);  // the ceil(0.5*128) = 64th smallest sample is 63
+  EXPECT_EQ(h.p999(), 127);
+}
+
+TEST(Histogram, MeanAndStddev) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_NEAR(h.stddev(), std::sqrt(200.0 / 3.0), 1e-9);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, RecordNWeights) {
+  Histogram h;
+  h.record_n(100, 1000);
+  h.record_n(200, 1);
+  EXPECT_EQ(h.count(), 1001u);
+  EXPECT_LE(h.quantile(0.5), 101);
+  EXPECT_EQ(h.max(), 200);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.record(10);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_DOUBLE_EQ(a.mean(), 505.0);
+}
+
+TEST(Histogram, MergeEmptyIsNoop) {
+  Histogram a;
+  Histogram b;
+  a.record(42);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.max(), 42);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h;
+  sim::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.record(static_cast<std::int64_t>(rng.below(1000000)));
+  std::int64_t last = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const auto v = h.quantile(q);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  EXPECT_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, SummaryStringHasFields) {
+  Histogram h;
+  h.record(1500);
+  const auto s = h.summary_string(0.001, "us");
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+// Property: relative quantile error bounded by ~1.6% across magnitudes.
+class HistogramAccuracy : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(HistogramAccuracy, SingleValueQuantileWithinBound) {
+  const std::int64_t v = GetParam();
+  Histogram h;
+  h.record_n(v, 100);
+  const auto q = h.quantile(0.5);
+  EXPECT_GE(q, v);  // bucket upper bound never underestimates
+  EXPECT_LE(static_cast<double>(q - v), std::max<double>(1.0, v * 0.017));
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracy,
+                         ::testing::Values(1, 127, 128, 129, 1000, 123456, 1234567, 87654321,
+                                           1234567890123LL));
+
+TEST(Summary, WelfordMatchesNaive) {
+  Summary s;
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  double mean = 0.0;
+  for (double x : xs) {
+    s.record(x);
+    mean += x;
+  }
+  mean /= xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Summary a;
+  Summary b;
+  Summary all;
+  sim::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 100);
+    (i % 2 == 0 ? a : b).record(x);
+    all.record(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(TimeSeries, BucketsByInterval) {
+  TimeSeries ts(sim::from_us(1.0));
+  ts.record(sim::from_ns(100), 64.0);
+  ts.record(sim::from_ns(900), 64.0);
+  ts.record(sim::from_us(1.5), 64.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_total(0), 128.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_total(1), 64.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_total(2), 0.0);
+  EXPECT_DOUBLE_EQ(ts.total(), 192.0);
+}
+
+TEST(TimeSeries, RatePerNs) {
+  TimeSeries ts(sim::from_us(1.0));
+  // 1000 bytes in a 1 us bucket = 1 byte/ns.
+  ts.record(sim::from_ns(10), 1000.0);
+  EXPECT_NEAR(ts.bucket_rate_per_ns(0), 1.0, 1e-12);
+}
+
+TEST(TimeSeries, OutOfRangeBucketIsZero) {
+  TimeSeries ts(100);
+  EXPECT_DOUBLE_EQ(ts.bucket_total(99), 0.0);
+  ts.record(-5, 1.0);  // clamps to bucket 0
+  EXPECT_DOUBLE_EQ(ts.bucket_total(0), 1.0);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch sk(256, 4);
+  sim::Rng rng(7);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.below(500);
+    const std::uint64_t amount = 1 + rng.below(100);
+    sk.add(key, amount);
+    truth[key] += amount;
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sk.estimate(key), count);
+  }
+}
+
+TEST(CountMin, ErrorWithinEpsilonBound) {
+  auto sk = CountMinSketch::for_error(0.005, 0.001);
+  sim::Rng rng(9);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.below(2000);
+    sk.add(key);
+    ++truth[key];
+  }
+  const double bound = 0.005 * static_cast<double>(sk.total());
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (static_cast<double>(sk.estimate(key) - count) > bound) ++violations;
+  }
+  // With delta=0.001 per query, a handful of violations over 2000 keys would
+  // already be unlikely; allow 2 for slack.
+  EXPECT_LE(violations, 2);
+}
+
+TEST(CountMin, ResetZeroes) {
+  CountMinSketch sk(64, 2);
+  sk.add(1, 100);
+  sk.reset();
+  EXPECT_EQ(sk.estimate(1), 0u);
+  EXPECT_EQ(sk.total(), 0u);
+}
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving ss(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int k = 0; k <= i; ++k) ss.add(static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(ss.estimate(4), 5u);
+  EXPECT_EQ(ss.estimate(0), 1u);
+  auto top = ss.top();
+  EXPECT_EQ(top.front().key, 4u);
+  EXPECT_EQ(top.front().error, 0u);
+}
+
+TEST(SpaceSaving, FindsHeavyHittersInSkewedStream) {
+  SpaceSaving ss(8);
+  sim::Rng rng(11);
+  // Two heavy keys drown in light noise.
+  for (int i = 0; i < 30000; ++i) {
+    if (i % 3 == 0) {
+      ss.add(1000001);
+    } else if (i % 3 == 1) {
+      ss.add(1000002);
+    } else {
+      ss.add(rng.below(5000));
+    }
+  }
+  auto top = ss.top();
+  const std::uint64_t first = top[0].key;
+  const std::uint64_t second = top[1].key;
+  EXPECT_TRUE((first == 1000001 && second == 1000002) ||
+              (first == 1000002 && second == 1000001));
+}
+
+TEST(SpaceSaving, OverestimateBoundedByError) {
+  SpaceSaving ss(4);
+  for (int i = 0; i < 100; ++i) ss.add(static_cast<std::uint64_t>(i % 20));
+  for (const auto& c : ss.top()) {
+    EXPECT_GE(c.count, c.error);  // count includes at most `error` slack
+  }
+}
+
+TEST(Fairness, JainIndexBasics) {
+  const std::vector<double> equal{10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(jain_index(equal), 1.0);
+  const std::vector<double> skewed{30.0, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(skewed), 1.0 / 3.0, 1e-12);
+  const std::vector<double> case4{0.4, 0.6};
+  EXPECT_NEAR(jain_index(case4), 1.0 / 1.04, 1e-9);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(jain_index(empty), 1.0);
+}
+
+}  // namespace
+}  // namespace scn::stats

@@ -1,0 +1,213 @@
+// Unit tests: platform parameters (Table 1), floorplan positions, path
+// construction, token hierarchies, device-tree export.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "measure/experiment.hpp"
+#include "topo/device_tree.hpp"
+#include "topo/params.hpp"
+#include "topo/platform.hpp"
+
+namespace scn::topo {
+namespace {
+
+using measure::Experiment;
+
+TEST(Params, Epyc7302MatchesTable1) {
+  const auto p = epyc7302();
+  EXPECT_EQ(p.microarchitecture, "Zen 2");
+  EXPECT_EQ(p.total_cores(), 16);
+  EXPECT_EQ(p.ccd_count * p.ccx_per_ccd, 8);  // 8 CCX
+  EXPECT_EQ(p.ccd_count, 4);
+  EXPECT_EQ(p.l1_kb, 32);
+  EXPECT_EQ(p.l2_kb, 512);
+  EXPECT_EQ(p.l3_mb_per_ccx * p.ccd_count * p.ccx_per_ccd, 128);  // 128 MB L3 per CPU
+  EXPECT_EQ(p.pcie, "Gen4/128");
+  EXPECT_FALSE(p.has_cxl());
+}
+
+TEST(Params, Epyc9634MatchesTable1) {
+  const auto p = epyc9634();
+  EXPECT_EQ(p.microarchitecture, "Zen 4");
+  EXPECT_EQ(p.total_cores(), 84);
+  EXPECT_EQ(p.ccd_count, 12);
+  EXPECT_EQ(p.ccx_per_ccd, 1);
+  EXPECT_EQ(p.l1_kb, 64);
+  EXPECT_EQ(p.l2_kb, 1024);
+  EXPECT_EQ(p.l3_mb_per_ccx * p.ccd_count, 384);
+  EXPECT_EQ(p.pcie, "Gen5/128");
+  EXPECT_TRUE(p.has_cxl());
+}
+
+TEST(Params, CacheLatenciesMatchTable2) {
+  EXPECT_EQ(epyc7302().l1_lat, sim::from_ns(1.24));
+  EXPECT_EQ(epyc7302().l2_lat, sim::from_ns(5.66));
+  EXPECT_EQ(epyc7302().l3_lat, sim::from_ns(34.3));
+  EXPECT_EQ(epyc9634().l1_lat, sim::from_ns(1.19));
+  EXPECT_EQ(epyc9634().l2_lat, sim::from_ns(7.51));
+  EXPECT_EQ(epyc9634().l3_lat, sim::from_ns(40.8));
+}
+
+class PlatformBoth : public ::testing::TestWithParam<bool> {
+ protected:
+  [[nodiscard]] static PlatformParams params(bool is9634) {
+    return is9634 ? epyc9634() : epyc7302();
+  }
+};
+
+TEST_P(PlatformBoth, EveryCcdSeesAllPositionClasses) {
+  Experiment e(params(GetParam()));
+  auto& plat = e.platform;
+  for (int c = 0; c < plat.ccd_count(); ++c) {
+    std::set<DimmPosition> seen;
+    for (int u = 0; u < plat.umc_count(); ++u) seen.insert(plat.position_of(c, u));
+    EXPECT_EQ(seen.size(), 4u) << "ccd " << c;
+  }
+}
+
+TEST_P(PlatformBoth, PositionClassesAreBalanced) {
+  Experiment e(params(GetParam()));
+  auto& plat = e.platform;
+  std::array<int, 4> counts{};
+  for (int u = 0; u < plat.umc_count(); ++u) {
+    ++counts[static_cast<std::size_t>(plat.position_of(0, u))];
+  }
+  // Round-robin quadrant assignment: equal number of UMCs per class.
+  for (int c : counts) EXPECT_EQ(c, plat.umc_count() / 4);
+}
+
+TEST_P(PlatformBoth, DramPathReusesSharedChannels) {
+  Experiment e(params(GetParam()));
+  auto& a = e.platform.dram_path(0, 0, 0);
+  auto& b = e.platform.dram_path(0, 0, 1);
+  // Same CCX port and GMI channel objects, different UMC endpoints.
+  EXPECT_EQ(a.outbound[1].channel, b.outbound[1].channel);
+  EXPECT_EQ(a.outbound[2].channel, b.outbound[2].channel);
+  EXPECT_NE(a.endpoint.read_service, b.endpoint.read_service);
+}
+
+TEST_P(PlatformBoth, PathCacheReturnsSameObject) {
+  Experiment e(params(GetParam()));
+  auto& a = e.platform.dram_path(1, 0, 2);
+  auto& b = e.platform.dram_path(1, 0, 2);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_P(PlatformBoth, FartherPositionsHaveLongerZeroLoadRtt) {
+  Experiment e(params(GetParam()));
+  auto& plat = e.platform;
+  // Position extras are non-decreasing Near -> Vertical -> Horizontal (the
+  // 9634's diagonal is allowed to be shorter than horizontal, per Table 2).
+  sim::Tick near = 0;
+  sim::Tick vertical = 0;
+  sim::Tick horizontal = 0;
+  for (int u = 0; u < plat.umc_count(); ++u) {
+    const auto pos = plat.position_of(0, u);
+    const auto rtt = plat.dram_path(0, 0, u).zero_load_rtt();
+    if (pos == DimmPosition::kNear) near = rtt;
+    if (pos == DimmPosition::kVertical) vertical = rtt;
+    if (pos == DimmPosition::kHorizontal) horizontal = rtt;
+  }
+  EXPECT_LT(near, vertical);
+  EXPECT_LT(vertical, horizontal);
+}
+
+TEST_P(PlatformBoth, ReadPoolsChainWritesBypass) {
+  Experiment e(params(GetParam()));
+  auto reads = e.platform.pools_for(0, 0, fabric::Op::kRead);
+  auto writes = e.platform.pools_for(0, 0, fabric::Op::kWrite);
+  EXPECT_FALSE(reads.empty());
+  EXPECT_TRUE(writes.empty());
+}
+
+TEST_P(PlatformBoth, AllChannelsHaveUniqueNames) {
+  Experiment e(params(GetParam()));
+  std::set<std::string> names;
+  for (auto* ch : e.platform.all_channels()) {
+    EXPECT_TRUE(names.insert(ch->name()).second) << "duplicate " << ch->name();
+  }
+  EXPECT_GT(names.size(), 20u);
+}
+
+TEST_P(PlatformBoth, DeviceTreeDescribesStructure) {
+  Experiment e(params(GetParam()));
+  const auto dts = device_tree(e.platform);
+  EXPECT_NE(dts.find("compatible = \"scn,chiplet-net\""), std::string::npos);
+  EXPECT_NE(dts.find("ccd@0"), std::string::npos);
+  EXPECT_NE(dts.find("iod@0"), std::string::npos);
+  EXPECT_NE(dts.find("umc@0"), std::string::npos);
+  EXPECT_NE(dts.find("gmi-port"), std::string::npos);
+  const bool has_cxl = e.platform.has_cxl();
+  EXPECT_EQ(dts.find("cxl-mem@0") != std::string::npos, has_cxl);
+}
+
+TEST_P(PlatformBoth, InventoryMentionsCoreCount) {
+  Experiment e(params(GetParam()));
+  const auto inv = inventory(e.platform);
+  EXPECT_NE(inv.find(std::to_string(e.platform.params().total_cores()) + " cores"),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, PlatformBoth, ::testing::Values(false, true),
+                         [](const auto& info) { return info.param ? "epyc9634" : "epyc7302"; });
+
+TEST(Platform, CxlPathOnlyOn9634) {
+  Experiment e(epyc9634());
+  auto& path = e.platform.cxl_path(0, 0);
+  EXPECT_FALSE(path.endpoint.posted_writes);  // CXL.mem writes are non-posted
+  EXPECT_EQ(path.endpoint.read_service, e.platform.cxl_read());
+  // Zero-load CXL RTT ~ 243 ns (Table 2); the fixed-latency part excludes
+  // ~10-14 ns of per-hop serialization, hence the lower center.
+  EXPECT_NEAR(sim::to_ns(path.zero_load_rtt()), 231.0, 10.0);
+}
+
+TEST(Platform, PeerPathUsesDestinationLlc) {
+  Experiment e(epyc7302());
+  auto& path = e.platform.peer_path(0, 0, 2);
+  EXPECT_EQ(path.endpoint.read_service, &e.platform.peer_out(2));
+  EXPECT_EQ(path.endpoint.write_service, &e.platform.peer_in(2));
+}
+
+TEST(Platform, DramPathsAllCoversEveryUmc) {
+  Experiment e(epyc9634());
+  auto paths = e.platform.dram_paths_all(3, 0);
+  EXPECT_EQ(paths.size(), static_cast<std::size_t>(e.platform.umc_count()));
+  std::set<const fabric::Channel*> endpoints;
+  for (auto* p : paths) endpoints.insert(p->endpoint.read_service);
+  EXPECT_EQ(endpoints.size(), paths.size());
+}
+
+TEST(Platform, DramPathsAtFiltersByPosition) {
+  Experiment e(epyc7302());
+  auto near = e.platform.dram_paths_at(0, 0, DimmPosition::kNear);
+  EXPECT_EQ(near.size(), 2u);  // 8 UMCs / 4 classes
+  for (auto* p : near) {
+    EXPECT_LT(sim::to_ns(p->zero_load_rtt()), 126.0);
+  }
+}
+
+TEST(Platform, NoiseScheduledOnlyWithInterval) {
+  auto params = epyc7302();
+  params.noise_interval = 0;
+  sim::Simulator s;
+  Platform plat(s, params);
+  EXPECT_FALSE(s.has_pending());
+  auto params2 = epyc7302();
+  sim::Simulator s2;
+  Platform plat2(s2, params2);
+  EXPECT_TRUE(s2.has_pending());
+}
+
+TEST(Platform, ZeroLoadRttMatchesTable2Near) {
+  // The fixed-latency RTT sits ~8-13 ns (the store-and-forward serialization
+  // budget) below the Table 2 end-to-end values of 124 / 141 ns.
+  Experiment e7(epyc7302());
+  EXPECT_NEAR(sim::to_ns(e7.platform.dram_path(0, 0, 0).zero_load_rtt()), 113.0, 8.0);
+  Experiment e9(epyc9634());
+  EXPECT_NEAR(sim::to_ns(e9.platform.dram_path(0, 0, 0).zero_load_rtt()), 133.0, 8.0);
+}
+
+}  // namespace
+}  // namespace scn::topo

@@ -1,0 +1,280 @@
+// Unit tests: pointer-chase probe and stream-flow generator semantics.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "fabric/channel.hpp"
+#include "fabric/path.hpp"
+#include "sim/simulator.hpp"
+#include "stats/timeseries.hpp"
+#include "traffic/flow_group.hpp"
+#include "traffic/pointer_chase.hpp"
+#include "traffic/stream_flow.hpp"
+
+namespace scn::traffic {
+namespace {
+
+using fabric::Channel;
+using fabric::Op;
+using fabric::Path;
+using sim::from_ns;
+using sim::from_us;
+
+/// A minimal two-hop path: 40 ns out, endpoint service, 10 ns back.
+struct MiniFabric {
+  MiniFabric(double svc_bw = 32.0)
+      : svc("svc", svc_bw, 0) {
+    path.name = "mini";
+    path.outbound = {{nullptr, from_ns(40.0)}};
+    path.endpoint = {&svc, &svc, from_ns(50.0), 0.0, 0, true};
+    path.inbound = {{nullptr, from_ns(10.0)}};
+  }
+  Channel svc;
+  Path path;
+};
+
+TEST(PointerChase, CollectsRequestedSamples) {
+  sim::Simulator s;
+  MiniFabric f;
+  PointerChase::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.samples = 500;
+  PointerChase chase(s, cfg);
+  bool finished = false;
+  chase.start([&] { finished = true; });
+  s.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(chase.latencies().count(), 500u);
+}
+
+TEST(PointerChase, LatencyMatchesZeroLoad) {
+  sim::Simulator s;
+  MiniFabric f;
+  PointerChase::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.samples = 100;
+  PointerChase chase(s, cfg);
+  chase.start();
+  s.run();
+  // 100 ns fixed + 64B/32 serialization = 102 ns, single outstanding => no queueing.
+  EXPECT_NEAR(chase.mean_ns(), 102.0, 0.5);
+  EXPECT_EQ(chase.latencies().min(), chase.latencies().max());
+}
+
+TEST(PointerChase, RoundRobinsOverPaths) {
+  sim::Simulator s;
+  MiniFabric f1;
+  MiniFabric f2;
+  PointerChase::Config cfg;
+  cfg.paths = {&f1.path, &f2.path};
+  cfg.samples = 10;
+  PointerChase chase(s, cfg);
+  chase.start();
+  s.run();
+  EXPECT_EQ(f1.svc.messages_total(), 5u);
+  EXPECT_EQ(f2.svc.messages_total(), 5u);
+}
+
+TEST(StreamFlow, WindowBoundsThroughput) {
+  sim::Simulator s;
+  MiniFabric f(1000.0);  // effectively no link bound
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 8;
+  cfg.stats_after = from_us(2.0);
+  cfg.stop_at = from_us(12.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run_until(from_us(15.0));
+  // Little's law: 8 * 64 B / ~100 ns RTT ~= 5.1 GB/s.
+  EXPECT_NEAR(flow.achieved_gbps(), 8 * 64.0 / 100.3, 0.2);
+}
+
+TEST(StreamFlow, CapacityBoundsThroughput) {
+  sim::Simulator s;
+  MiniFabric f(2.0);  // 2 bytes/ns endpoint
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 64;  // window bound would be ~40 GB/s
+  cfg.stats_after = from_us(2.0);
+  cfg.stop_at = from_us(12.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run_until(from_us(15.0));
+  EXPECT_NEAR(flow.achieved_gbps(), 2.0, 0.1);
+}
+
+TEST(StreamFlow, RateLimitHolds) {
+  sim::Simulator s;
+  MiniFabric f(1000.0);
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 32;
+  cfg.target_rate = 1.0;  // 1 GB/s requested
+  cfg.stats_after = from_us(2.0);
+  cfg.stop_at = from_us(22.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run_until(from_us(25.0));
+  EXPECT_NEAR(flow.achieved_gbps(), 1.0, 0.05);
+}
+
+TEST(StreamFlow, BackpressureMakesAchievedBelowRequested) {
+  sim::Simulator s;
+  MiniFabric f(2.0);
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 4;
+  cfg.target_rate = 10.0;  // far above the 2 GB/s bottleneck
+  cfg.stats_after = from_us(2.0);
+  cfg.stop_at = from_us(12.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run_until(from_us(15.0));
+  EXPECT_LT(flow.achieved_gbps(), 2.2);
+}
+
+TEST(StreamFlow, StopAtEndsIssuing) {
+  sim::Simulator s;
+  MiniFabric f;
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 4;
+  cfg.stop_at = from_us(1.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  const auto end = s.run();
+  EXPECT_LT(sim::to_us(end), 2.0);  // drains shortly after stop
+}
+
+TEST(StreamFlow, RateScheduleApplies) {
+  sim::Simulator s;
+  MiniFabric f(1000.0);
+  stats::TimeSeries ts(from_us(5.0));
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 32;
+  cfg.target_rate = 4.0;
+  cfg.rate_schedule = {{from_us(5.0), 1.0}, {from_us(10.0), 4.0}};
+  cfg.stop_at = from_us(15.0);
+  StreamFlow flow(s, cfg);
+  flow.set_timeseries(&ts);
+  flow.start();
+  s.run_until(from_us(16.0));
+  EXPECT_NEAR(ts.bucket_rate_per_ns(0), 4.0, 0.3);
+  EXPECT_NEAR(ts.bucket_rate_per_ns(1), 1.0, 0.2);
+  EXPECT_NEAR(ts.bucket_rate_per_ns(2), 4.0, 0.3);
+}
+
+TEST(StreamFlow, LatencyHistogramRecordsWhenEnabled) {
+  sim::Simulator s;
+  MiniFabric f;
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 1;
+  cfg.record_latency = true;
+  cfg.stop_at = from_us(5.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run_until(from_us(6.0));
+  EXPECT_GT(flow.latency_histogram().count(), 0u);
+  EXPECT_NEAR(flow.latency_histogram().mean() / 1000.0, 102.0, 1.0);
+}
+
+TEST(StreamFlow, AdaptiveWindowShrinksUnderCongestion) {
+  sim::Simulator s;
+  MiniFabric f(1.0);  // heavily congested endpoint
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 64;
+  fabric::AdaptiveWindowPolicy policy;
+  policy.min_window = 2;
+  policy.max_window = 64;
+  policy.adjust_period = from_us(5.0);
+  policy.decrease_factor = 0.5;
+  cfg.adaptive = policy;
+  cfg.stop_at = from_us(60.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run_until(from_us(65.0));
+  EXPECT_LT(flow.current_window(), 64u);
+}
+
+TEST(StreamFlow, AdaptiveWindowGrowsWhenIdlePathIsFast) {
+  sim::Simulator s;
+  MiniFabric f(1000.0);
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 4;
+  fabric::AdaptiveWindowPolicy policy;
+  policy.min_window = 2;
+  policy.max_window = 32;
+  policy.adjust_period = from_us(2.0);
+  cfg.adaptive = policy;
+  cfg.stop_at = from_us(60.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run_until(from_us(65.0));
+  EXPECT_EQ(flow.current_window(), 32u);
+}
+
+TEST(StreamFlow, PoolsAreAcquiredAndReleased) {
+  sim::Simulator s;
+  MiniFabric f;
+  fabric::TokenPool pool("pool", 2);
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.pools = {&pool};
+  cfg.window = 8;
+  cfg.stop_at = from_us(3.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run();
+  EXPECT_EQ(pool.outstanding(), 0u);  // everything returned after drain
+  EXPECT_GT(pool.acquires(), 10u);
+  EXPECT_GT(pool.max_wait(), 0);  // window 8 > pool 2 => waiting happened
+}
+
+TEST(FlowGroup, AggregatesThroughput) {
+  sim::Simulator s;
+  MiniFabric f(1000.0);
+  FlowGroup group("g");
+  for (int i = 0; i < 3; ++i) {
+    StreamFlow::Config cfg;
+    cfg.name = "f" + std::to_string(i);
+    cfg.paths = {&f.path};
+    cfg.window = 4;
+    cfg.target_rate = 1.0;
+    cfg.stats_after = from_us(2.0);
+    cfg.stop_at = from_us(12.0);
+    cfg.seed = 100 + static_cast<std::uint64_t>(i);
+    group.add(s, std::move(cfg));
+  }
+  group.start_all();
+  s.run_until(from_us(15.0));
+  EXPECT_EQ(group.size(), 3u);
+  EXPECT_NEAR(group.aggregate_gbps(), 3.0, 0.15);
+}
+
+TEST(FlowGroup, MergedLatencyCombines) {
+  sim::Simulator s;
+  MiniFabric f;
+  FlowGroup group("g");
+  for (int i = 0; i < 2; ++i) {
+    StreamFlow::Config cfg;
+    cfg.paths = {&f.path};
+    cfg.window = 1;
+    cfg.record_latency = true;
+    cfg.stop_at = from_us(3.0);
+    group.add(s, std::move(cfg));
+  }
+  group.start_all();
+  s.run();
+  const auto merged = group.merged_latency();
+  EXPECT_EQ(merged.count(),
+            group.flow(0).latency_histogram().count() + group.flow(1).latency_histogram().count());
+}
+
+}  // namespace
+}  // namespace scn::traffic

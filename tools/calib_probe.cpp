@@ -1,0 +1,138 @@
+// Developer calibration probe: prints the model's Table 2 / Table 3 numbers
+// next to the paper's, for parameter tuning. Not part of the test suite —
+// the benches and tests/test_calibration.cpp are the shipping checks.
+#include <cstdio>
+
+#include "measure/bandwidth.hpp"
+#include "measure/harvest.hpp"
+#include "measure/interference.hpp"
+#include "measure/latency.hpp"
+#include "measure/loadsweep.hpp"
+#include "measure/partition.hpp"
+#include "topo/params.hpp"
+
+using namespace scn;
+
+namespace {
+
+void latencies(const topo::PlatformParams& p) {
+  std::printf("== %s latency ==\n", p.name.c_str());
+  const char* names[] = {"near", "vertical", "horizontal", "diagonal"};
+  const double paper7302[] = {124, 131, 141, 145};
+  const double paper9634[] = {141, 145, 150, 149};
+  const bool is7302 = p.ccd_count == 4;
+  for (int i = 0; i < 4; ++i) {
+    auto r = measure::dram_position_latency(p, static_cast<topo::DimmPosition>(i), 4000);
+    std::printf("  %-10s avg=%7.1f ns  p999=%7.1f  (paper %5.1f)\n", names[i], r.avg_ns,
+                r.p999_ns, is7302 ? paper7302[i] : paper9634[i]);
+  }
+  if (p.has_cxl()) {
+    auto r = measure::cxl_latency(p, 4000);
+    std::printf("  %-10s avg=%7.1f ns  p999=%7.1f  (paper 243)\n", "cxl", r.avg_ns, r.p999_ns);
+  }
+  auto q = measure::pool_queue_delays(p);
+  std::printf("  poolQ ccx=%.1f ns ccd=%.1f ns (paper %s)\n", q.max_ccx_wait_ns, q.max_ccd_wait_ns,
+              is7302 ? "30/20" : "20/-");
+}
+
+void bandwidths(const topo::PlatformParams& p) {
+  std::printf("== %s bandwidth ==\n", p.name.c_str());
+  const char* scopes[] = {"core", "CCX", "CCD", "CPU"};
+  for (int s = 0; s < 4; ++s) {
+    auto rd = measure::max_bandwidth(p, static_cast<measure::Scope>(s), fabric::Op::kRead,
+                                     measure::Target::kDram);
+    auto wr = measure::max_bandwidth(p, static_cast<measure::Scope>(s), fabric::Op::kWrite,
+                                     measure::Target::kDram);
+    std::printf("  dram %-5s read=%7.1f write=%7.1f  (avg lat r=%6.1f w=%6.1f ns)\n", scopes[s],
+                rd.gbps, wr.gbps, rd.avg_ns, wr.avg_ns);
+  }
+  if (p.has_cxl()) {
+    for (int s = 0; s < 4; ++s) {
+      auto rd = measure::max_bandwidth(p, static_cast<measure::Scope>(s), fabric::Op::kRead,
+                                       measure::Target::kCxl);
+      auto wr = measure::max_bandwidth(p, static_cast<measure::Scope>(s), fabric::Op::kWrite,
+                                       measure::Target::kCxl);
+      std::printf("  cxl  %-5s read=%7.1f write=%7.1f  (avg lat r=%6.1f w=%6.1f ns)\n", scopes[s],
+                  rd.gbps, wr.gbps, rd.avg_ns, wr.avg_ns);
+    }
+  }
+  auto ur = measure::single_umc_bandwidth(p, fabric::Op::kRead);
+  auto uw = measure::single_umc_bandwidth(p, fabric::Op::kWrite);
+  std::printf("  single-UMC read=%.1f write=%.1f\n", ur.gbps, uw.gbps);
+}
+
+void sweep(const topo::PlatformParams& p, measure::SweepLink link, fabric::Op op) {
+  auto pts = measure::latency_vs_load(p, link, op, 6);
+  std::printf("  fig3 %-12s %-5s:", measure::to_string(link), fabric::to_string(op));
+  for (const auto& pt : pts) {
+    std::printf(" [%5.1fGB/s %6.1f/%7.1f]", pt.achieved_gbps, pt.avg_ns, pt.p999_ns);
+  }
+  std::printf("\n");
+}
+
+void partition(const topo::PlatformParams& p, measure::SweepLink link) {
+  std::printf("  fig4 %-12s:", measure::to_string(link));
+  for (int c = 0; c < 4; ++c) {
+    auto r = measure::partition_case(p, link, static_cast<measure::PartitionCase>(c));
+    std::printf(" c%d[%4.1f+%4.1f->%5.1f+%5.1f]", c + 1, r.requested_gbps[0], r.requested_gbps[1],
+                r.achieved_gbps[0], r.achieved_gbps[1]);
+  }
+  std::printf("\n");
+}
+
+void interference(const topo::PlatformParams& p, measure::SweepLink link) {
+  const char* ops[] = {"R", "W"};
+  for (int fg = 0; fg < 2; ++fg) {
+    for (int bg = 0; bg < 2; ++bg) {
+      auto r = measure::interference_sweep(p, link, static_cast<fabric::Op>(fg),
+                                           static_cast<fabric::Op>(bg), 6);
+      std::printf("  fig6 %-12s %s-%s solo=%5.1f thr=%5.1f last[fg=%5.1f bg=%5.1f]\n",
+                  measure::to_string(link), ops[fg], ops[bg], r.fg_solo_gbps,
+                  r.interference_threshold_gbps, r.points.back().fg_achieved_gbps,
+                  r.points.back().bg_achieved_gbps);
+    }
+  }
+}
+
+void harvest(const topo::PlatformParams& p, measure::SweepLink link) {
+  auto t = measure::harvest_trace(p, link);
+  std::printf("  fig5 %-12s harvest=%.0f scaled-ms; trace(400ms steps):", measure::to_string(link),
+              harvest_time_ms(t) * 1000.0 / 1000.0 * 1000.0);
+  for (std::size_t b = 0; b < t.flow0_gbps.size(); b += 20) {
+    std::printf(" %4.1f/%4.1f", t.flow0_gbps[b], t.flow1_gbps[b]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = argc > 1;
+  for (const auto& p : {topo::epyc7302(), topo::epyc9634()}) {
+    latencies(p);
+    bandwidths(p);
+    if (!full) continue;
+    std::printf("== %s figures ==\n", p.name.c_str());
+    const bool is9634 = p.has_cxl();
+    sweep(p, measure::SweepLink::kIfIntraCc, fabric::Op::kRead);
+    sweep(p, measure::SweepLink::kGmi, fabric::Op::kRead);
+    sweep(p, measure::SweepLink::kGmi, fabric::Op::kWrite);
+    if (!is9634) sweep(p, measure::SweepLink::kIfInterCc, fabric::Op::kRead);
+    if (is9634) {
+      sweep(p, measure::SweepLink::kPlink, fabric::Op::kRead);
+      sweep(p, measure::SweepLink::kPlink, fabric::Op::kWrite);
+    }
+    partition(p, measure::SweepLink::kIfIntraCc);
+    partition(p, measure::SweepLink::kGmi);
+    if (is9634) partition(p, measure::SweepLink::kPlink);
+    interference(p, measure::SweepLink::kIfIntraCc);
+    if (is9634) {
+      interference(p, measure::SweepLink::kIfInterCc);
+      interference(p, measure::SweepLink::kGmi);
+      interference(p, measure::SweepLink::kPlink);
+    }
+    harvest(p, measure::SweepLink::kIfIntraCc);
+    if (is9634) harvest(p, measure::SweepLink::kPlink);
+  }
+  return 0;
+}
