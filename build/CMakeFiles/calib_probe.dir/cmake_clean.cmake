@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_probe.dir/tools/calib_probe.cpp.o"
+  "CMakeFiles/calib_probe.dir/tools/calib_probe.cpp.o.d"
+  "calib_probe"
+  "calib_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_noc.dir/bench_ablation_noc.cpp.o"
+  "CMakeFiles/bench_ablation_noc.dir/bench_ablation_noc.cpp.o.d"
+  "bench_ablation_noc"
+  "bench_ablation_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

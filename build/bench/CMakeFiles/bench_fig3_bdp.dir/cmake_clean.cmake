@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bdp.dir/bench_fig3_bdp.cpp.o"
+  "CMakeFiles/bench_fig3_bdp.dir/bench_fig3_bdp.cpp.o.d"
+  "bench_fig3_bdp"
+  "bench_fig3_bdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_harvest.dir/bench_fig5_harvest.cpp.o"
+  "CMakeFiles/bench_fig5_harvest.dir/bench_fig5_harvest.cpp.o.d"
+  "bench_fig5_harvest"
+  "bench_fig5_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipletperf.dir/chipletperf.cpp.o"
+  "CMakeFiles/chipletperf.dir/chipletperf.cpp.o.d"
+  "chipletperf"
+  "chipletperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipletperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

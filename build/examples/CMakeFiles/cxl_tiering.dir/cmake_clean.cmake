@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_tiering.dir/cxl_tiering.cpp.o"
+  "CMakeFiles/cxl_tiering.dir/cxl_tiering.cpp.o.d"
+  "cxl_tiering"
+  "cxl_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_map.dir/latency_map.cpp.o"
+  "CMakeFiles/latency_map.dir/latency_map.cpp.o.d"
+  "latency_map"
+  "latency_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

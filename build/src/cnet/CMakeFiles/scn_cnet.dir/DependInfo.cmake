@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnet/telemetry.cpp" "src/cnet/CMakeFiles/scn_cnet.dir/telemetry.cpp.o" "gcc" "src/cnet/CMakeFiles/scn_cnet.dir/telemetry.cpp.o.d"
+  "/root/repo/src/cnet/tomography.cpp" "src/cnet/CMakeFiles/scn_cnet.dir/tomography.cpp.o" "gcc" "src/cnet/CMakeFiles/scn_cnet.dir/tomography.cpp.o.d"
+  "/root/repo/src/cnet/traffic_manager.cpp" "src/cnet/CMakeFiles/scn_cnet.dir/traffic_manager.cpp.o" "gcc" "src/cnet/CMakeFiles/scn_cnet.dir/traffic_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/scn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/scn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/scn_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

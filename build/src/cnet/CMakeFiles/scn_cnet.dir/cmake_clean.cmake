@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scn_cnet.dir/telemetry.cpp.o"
+  "CMakeFiles/scn_cnet.dir/telemetry.cpp.o.d"
+  "CMakeFiles/scn_cnet.dir/tomography.cpp.o"
+  "CMakeFiles/scn_cnet.dir/tomography.cpp.o.d"
+  "CMakeFiles/scn_cnet.dir/traffic_manager.cpp.o"
+  "CMakeFiles/scn_cnet.dir/traffic_manager.cpp.o.d"
+  "libscn_cnet.a"
+  "libscn_cnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scn_cnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

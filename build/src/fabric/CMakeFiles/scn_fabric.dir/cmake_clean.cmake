@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scn_fabric.dir/runner.cpp.o"
+  "CMakeFiles/scn_fabric.dir/runner.cpp.o.d"
+  "libscn_fabric.a"
+  "libscn_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scn_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/bandwidth.cpp" "src/measure/CMakeFiles/scn_measure.dir/bandwidth.cpp.o" "gcc" "src/measure/CMakeFiles/scn_measure.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/measure/harvest.cpp" "src/measure/CMakeFiles/scn_measure.dir/harvest.cpp.o" "gcc" "src/measure/CMakeFiles/scn_measure.dir/harvest.cpp.o.d"
+  "/root/repo/src/measure/interference.cpp" "src/measure/CMakeFiles/scn_measure.dir/interference.cpp.o" "gcc" "src/measure/CMakeFiles/scn_measure.dir/interference.cpp.o.d"
+  "/root/repo/src/measure/latency.cpp" "src/measure/CMakeFiles/scn_measure.dir/latency.cpp.o" "gcc" "src/measure/CMakeFiles/scn_measure.dir/latency.cpp.o.d"
+  "/root/repo/src/measure/loadsweep.cpp" "src/measure/CMakeFiles/scn_measure.dir/loadsweep.cpp.o" "gcc" "src/measure/CMakeFiles/scn_measure.dir/loadsweep.cpp.o.d"
+  "/root/repo/src/measure/partition.cpp" "src/measure/CMakeFiles/scn_measure.dir/partition.cpp.o" "gcc" "src/measure/CMakeFiles/scn_measure.dir/partition.cpp.o.d"
+  "/root/repo/src/measure/scenario.cpp" "src/measure/CMakeFiles/scn_measure.dir/scenario.cpp.o" "gcc" "src/measure/CMakeFiles/scn_measure.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/scn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/scn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/scn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

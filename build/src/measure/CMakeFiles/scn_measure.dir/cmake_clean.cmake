@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scn_measure.dir/bandwidth.cpp.o"
+  "CMakeFiles/scn_measure.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/scn_measure.dir/harvest.cpp.o"
+  "CMakeFiles/scn_measure.dir/harvest.cpp.o.d"
+  "CMakeFiles/scn_measure.dir/interference.cpp.o"
+  "CMakeFiles/scn_measure.dir/interference.cpp.o.d"
+  "CMakeFiles/scn_measure.dir/latency.cpp.o"
+  "CMakeFiles/scn_measure.dir/latency.cpp.o.d"
+  "CMakeFiles/scn_measure.dir/loadsweep.cpp.o"
+  "CMakeFiles/scn_measure.dir/loadsweep.cpp.o.d"
+  "CMakeFiles/scn_measure.dir/partition.cpp.o"
+  "CMakeFiles/scn_measure.dir/partition.cpp.o.d"
+  "CMakeFiles/scn_measure.dir/scenario.cpp.o"
+  "CMakeFiles/scn_measure.dir/scenario.cpp.o.d"
+  "libscn_measure.a"
+  "libscn_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scn_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scn_mem.dir/dram.cpp.o"
+  "CMakeFiles/scn_mem.dir/dram.cpp.o.d"
+  "libscn_mem.a"
+  "libscn_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scn_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scn_model.dir/analytic.cpp.o"
+  "CMakeFiles/scn_model.dir/analytic.cpp.o.d"
+  "libscn_model.a"
+  "libscn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scn_noc.dir/bufferless.cpp.o"
+  "CMakeFiles/scn_noc.dir/bufferless.cpp.o.d"
+  "CMakeFiles/scn_noc.dir/network.cpp.o"
+  "CMakeFiles/scn_noc.dir/network.cpp.o.d"
+  "libscn_noc.a"
+  "libscn_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scn_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

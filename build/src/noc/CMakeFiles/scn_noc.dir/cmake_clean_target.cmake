@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscn_noc.a"
+)

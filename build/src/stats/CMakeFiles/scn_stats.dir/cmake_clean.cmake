@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scn_stats.dir/histogram.cpp.o"
+  "CMakeFiles/scn_stats.dir/histogram.cpp.o.d"
+  "libscn_stats.a"
+  "libscn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/device_tree.cpp" "src/topo/CMakeFiles/scn_topo.dir/device_tree.cpp.o" "gcc" "src/topo/CMakeFiles/scn_topo.dir/device_tree.cpp.o.d"
+  "/root/repo/src/topo/params.cpp" "src/topo/CMakeFiles/scn_topo.dir/params.cpp.o" "gcc" "src/topo/CMakeFiles/scn_topo.dir/params.cpp.o.d"
+  "/root/repo/src/topo/platform.cpp" "src/topo/CMakeFiles/scn_topo.dir/platform.cpp.o" "gcc" "src/topo/CMakeFiles/scn_topo.dir/platform.cpp.o.d"
+  "/root/repo/src/topo/system.cpp" "src/topo/CMakeFiles/scn_topo.dir/system.cpp.o" "gcc" "src/topo/CMakeFiles/scn_topo.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/scn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

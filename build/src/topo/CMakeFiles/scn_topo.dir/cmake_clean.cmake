@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scn_topo.dir/device_tree.cpp.o"
+  "CMakeFiles/scn_topo.dir/device_tree.cpp.o.d"
+  "CMakeFiles/scn_topo.dir/params.cpp.o"
+  "CMakeFiles/scn_topo.dir/params.cpp.o.d"
+  "CMakeFiles/scn_topo.dir/platform.cpp.o"
+  "CMakeFiles/scn_topo.dir/platform.cpp.o.d"
+  "CMakeFiles/scn_topo.dir/system.cpp.o"
+  "CMakeFiles/scn_topo.dir/system.cpp.o.d"
+  "libscn_topo.a"
+  "libscn_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scn_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

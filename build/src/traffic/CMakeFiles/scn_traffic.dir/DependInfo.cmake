@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/pointer_chase.cpp" "src/traffic/CMakeFiles/scn_traffic.dir/pointer_chase.cpp.o" "gcc" "src/traffic/CMakeFiles/scn_traffic.dir/pointer_chase.cpp.o.d"
+  "/root/repo/src/traffic/stream_flow.cpp" "src/traffic/CMakeFiles/scn_traffic.dir/stream_flow.cpp.o" "gcc" "src/traffic/CMakeFiles/scn_traffic.dir/stream_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/scn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scn_traffic.dir/pointer_chase.cpp.o"
+  "CMakeFiles/scn_traffic.dir/pointer_chase.cpp.o.d"
+  "CMakeFiles/scn_traffic.dir/stream_flow.cpp.o"
+  "CMakeFiles/scn_traffic.dir/stream_flow.cpp.o.d"
+  "libscn_traffic.a"
+  "libscn_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scn_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cnet.dir/test_cnet.cpp.o"
+  "CMakeFiles/test_cnet.dir/test_cnet.cpp.o.d"
+  "test_cnet"
+  "test_cnet.pdb"
+  "test_cnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnet/CMakeFiles/scn_cnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/scn_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/scn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/scn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/scn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_dram.dir/test_mem_dram.cpp.o"
+  "CMakeFiles/test_mem_dram.dir/test_mem_dram.cpp.o.d"
+  "test_mem_dram"
+  "test_mem_dram.pdb"
+  "test_mem_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
