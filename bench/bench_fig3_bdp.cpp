@@ -11,11 +11,11 @@ using namespace scn;
 using fabric::Op;
 using measure::SweepLink;
 
-void panel(const char* tag, const topo::PlatformParams& params, SweepLink link, Op op,
+void panel(const char* tag, const topo::PlatformParams& params, SweepLink link, Op op, int jobs,
            const char* paper_note) {
   bench::subheading(std::string(tag) + "  " + params.name + "  " + to_string(link) + "  " +
                     to_string(op));
-  const auto pts = measure::latency_vs_load(params, link, op, 7);
+  const auto pts = measure::latency_vs_load(params, link, op, 7, jobs);
   std::printf("  %12s %12s %12s %12s\n", "offered GB/s", "achieved", "avg ns", "p999 ns");
   for (const auto& pt : pts) {
     std::printf("  %12.1f %12.1f %12.1f %12.1f\n", pt.requested_gbps, pt.achieved_gbps, pt.avg_ns,
@@ -26,28 +26,31 @@ void panel(const char* tag, const topo::PlatformParams& params, SweepLink link, 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::heading("Figure 3: latency vs load (avg / P999)");
   const auto p7 = topo::epyc7302();
   const auto p9 = topo::epyc9634();
 
-  panel("(a)", p7, SweepLink::kIfIntraCc, Op::kRead,
+  exec::Stopwatch watch;
+  panel("(a)", p7, SweepLink::kIfIntraCc, Op::kRead, jobs,
         "paper: flat 144.5 avg / 490 p999 regardless of load (tight CCX/CCD pools)");
-  panel("(b)", p9, SweepLink::kIfIntraCc, Op::kRead,
+  panel("(b)", p9, SweepLink::kIfIntraCc, Op::kRead, jobs,
         "paper: ~2x latency increase when approaching max bandwidth");
-  panel("(c)", p7, SweepLink::kIfInterCc, Op::kRead,
+  panel("(c)", p7, SweepLink::kIfInterCc, Op::kRead, jobs,
         "paper: flat 142.5 avg / 500 p999 regardless of load");
-  panel("(d.read)", p7, SweepLink::kGmi, Op::kRead,
+  panel("(d.read)", p7, SweepLink::kGmi, Op::kRead, jobs,
         "paper: avg 123.7 -> 172.5, p999 470 -> 800");
-  panel("(d.write)", p7, SweepLink::kGmi, Op::kWrite,
+  panel("(d.write)", p7, SweepLink::kGmi, Op::kWrite, jobs,
         "paper: avg 123.9 -> 153.5, p999 480 -> 630");
-  panel("(e.read)", p9, SweepLink::kGmi, Op::kRead,
+  panel("(e.read)", p9, SweepLink::kGmi, Op::kRead, jobs,
         "paper: avg 143.7 -> 249.5, p999 380 -> 810");
-  panel("(e.write)", p9, SweepLink::kGmi, Op::kWrite,
+  panel("(e.write)", p9, SweepLink::kGmi, Op::kWrite, jobs,
         "paper: avg 144.1 -> 695.8, p999 350 -> 1750 (deep WC queues)");
-  panel("(f.read)", p9, SweepLink::kPlink, Op::kRead,
+  panel("(f.read)", p9, SweepLink::kPlink, Op::kRead, jobs,
         "paper: ~1.7x avg / ~2.1x tail read-latency increase at saturation");
-  panel("(f.write)", p9, SweepLink::kPlink, Op::kWrite,
+  panel("(f.write)", p9, SweepLink::kPlink, Op::kWrite, jobs,
         "paper: ~1.4x avg / ~1.6x tail write-latency increase at saturation");
+  bench::report_wallclock("fig3 load sweeps", jobs, watch.elapsed_ms());
   return 0;
 }

@@ -11,28 +11,34 @@ using namespace scn;
 using measure::PartitionCase;
 using measure::SweepLink;
 
-void link_panel(const topo::PlatformParams& params, SweepLink link) {
+void link_panel(const topo::PlatformParams& params, SweepLink link, int jobs) {
   bench::subheading(params.name + "  " + to_string(link));
-  for (int c = 0; c < 4; ++c) {
-    const auto pc = static_cast<PartitionCase>(c);
-    const auto r = measure::partition_case(params, link, pc);
+  const std::vector<PartitionCase> cases{
+      PartitionCase::kUnderSubscribed, PartitionCase::kOneSmall, PartitionCase::kEqualHigh,
+      PartitionCase::kUnequalHigh};
+  const auto results = measure::partition_cases(params, link, cases, fabric::Op::kRead, jobs);
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const auto& r = results[c];
     const std::vector<double> achieved{r.achieved_gbps[0], r.achieved_gbps[1]};
-    std::printf("  %-24s req [%5.1f %5.1f]  got [%5.1f %5.1f] GB/s  jain %.3f\n", to_string(pc),
-                r.requested_gbps[0], r.requested_gbps[1], r.achieved_gbps[0], r.achieved_gbps[1],
-                stats::jain_index(achieved));
+    std::printf("  %-24s req [%5.1f %5.1f]  got [%5.1f %5.1f] GB/s  jain %.3f\n",
+                to_string(cases[c]), r.requested_gbps[0], r.requested_gbps[1], r.achieved_gbps[0],
+                r.achieved_gbps[1], stats::jain_index(achieved));
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::heading("Figure 4: bandwidth partitioning of two competing flows");
   bench::note("req 0.0 == unthrottled; case 4 demands are pushed in-flight (aggressive sender)");
-  link_panel(topo::epyc7302(), SweepLink::kIfIntraCc);
-  link_panel(topo::epyc7302(), SweepLink::kGmi);
-  link_panel(topo::epyc9634(), SweepLink::kIfIntraCc);
-  link_panel(topo::epyc9634(), SweepLink::kGmi);
-  link_panel(topo::epyc9634(), SweepLink::kPlink);
+  exec::Stopwatch watch;
+  link_panel(topo::epyc7302(), SweepLink::kIfIntraCc, jobs);
+  link_panel(topo::epyc7302(), SweepLink::kGmi, jobs);
+  link_panel(topo::epyc9634(), SweepLink::kIfIntraCc, jobs);
+  link_panel(topo::epyc9634(), SweepLink::kGmi, jobs);
+  link_panel(topo::epyc9634(), SweepLink::kPlink, jobs);
+  bench::report_wallclock("fig4 partition cases", jobs, watch.elapsed_ms());
   bench::note("paper: under-subscription -> both get demand; over-subscription -> the");
   bench::note("higher-demand (more in-flight) sender takes more than its equal share;");
   bench::note("equal demands -> equilibrium split");

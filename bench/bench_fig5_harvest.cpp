@@ -2,6 +2,7 @@
 // demands — can flow 1 harvest the bandwidth flow 0 releases, and how fast?
 // Timescale is 1000x scaled (1 paper-second == 1 simulated ms; DESIGN.md).
 #include <algorithm>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "measure/harvest.hpp"
@@ -12,9 +13,9 @@ namespace {
 using namespace scn;
 using measure::SweepLink;
 
-void panel(const topo::PlatformParams& params, SweepLink link, const char* paper_note) {
+void panel(const topo::PlatformParams& params, SweepLink link, const measure::HarvestTrace& trace,
+           const char* paper_note) {
   bench::subheading(params.name + "  " + to_string(link));
-  const auto trace = measure::harvest_trace(params, link);
 
   // Downsample to 60 columns for the sparkline (6 s -> 100 ms per column).
   std::vector<double> f0;
@@ -48,11 +49,21 @@ void panel(const topo::PlatformParams& params, SweepLink link, const char* paper
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::heading("Figure 5: bandwidth harvesting under fluctuating demand");
-  panel(topo::epyc9634(), SweepLink::kIfIntraCc, "~100 ms on the 9634 IF");
-  panel(topo::epyc9634(), SweepLink::kPlink, "~500 ms on the 9634 P-Link");
-  panel(topo::epyc7302(), SweepLink::kIfIntraCc,
+  // All three panel traces are independent Experiments: run them through the
+  // sweep engine, then print in panel order.
+  const std::vector<measure::HarvestCase> cases{
+      {topo::epyc9634(), SweepLink::kIfIntraCc},
+      {topo::epyc9634(), SweepLink::kPlink},
+      {topo::epyc7302(), SweepLink::kIfIntraCc}};
+  exec::Stopwatch watch;
+  const auto traces = measure::harvest_traces(cases, jobs);
+  bench::report_wallclock("fig5 harvest traces", jobs, watch.elapsed_ms());
+  panel(cases[0].params, cases[0].link, traces[0], "~100 ms on the 9634 IF");
+  panel(cases[1].params, cases[1].link, traces[1], "~500 ms on the 9634 P-Link");
+  panel(cases[2].params, cases[2].link, traces[2],
         "drastic variation at the 7302 IF (intra-CC queuing module suspected)");
   return 0;
 }

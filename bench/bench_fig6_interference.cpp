@@ -11,8 +11,8 @@ using namespace scn;
 using fabric::Op;
 using measure::SweepLink;
 
-void combo(const topo::PlatformParams& params, SweepLink link, Op fg, Op bg) {
-  const auto r = measure::interference_sweep(params, link, fg, bg, 7);
+void combo(const topo::PlatformParams& params, SweepLink link, Op fg, Op bg, int jobs) {
+  const auto r = measure::interference_sweep(params, link, fg, bg, 7, jobs);
   std::printf("  X=%-5s Y=%-5s  X solo %6.1f GB/s | ", to_string(fg), to_string(bg),
               r.fg_solo_gbps);
   for (const auto& pt : r.points) {
@@ -25,28 +25,32 @@ void combo(const topo::PlatformParams& params, SweepLink link, Op fg, Op bg) {
   }
 }
 
-void link_panel(const topo::PlatformParams& params, SweepLink link, const char* paper_note) {
+void link_panel(const topo::PlatformParams& params, SweepLink link, int jobs,
+                const char* paper_note) {
   bench::subheading(params.name + "  " + to_string(link) + "   (columns: X@Y as Y load grows)");
   for (Op fg : {Op::kRead, Op::kWrite}) {
-    for (Op bg : {Op::kRead, Op::kWrite}) combo(params, link, fg, bg);
+    for (Op bg : {Op::kRead, Op::kWrite}) combo(params, link, fg, bg, jobs);
   }
   bench::note(paper_note);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
+  exec::Stopwatch watch;
   bench::heading("Figure 6: read/write interference (X-Y) on the EPYC 9634");
   const auto p9 = topo::epyc9634();
-  link_panel(p9, SweepLink::kIfIntraCc,
+  link_panel(p9, SweepLink::kIfIntraCc, jobs,
              "paper: writes/reads affected when bg reads approach 32.8 / 27.7 GB/s; bg "
              "writes induce little interference");
-  link_panel(p9, SweepLink::kIfInterCc,
+  link_panel(p9, SweepLink::kIfInterCc, jobs,
              "paper: writes rarely affected; reads degrade when aggregated > 55.7 GB/s "
              "(the I/O die provisions more than one routing path)");
-  link_panel(p9, SweepLink::kGmi,
+  link_panel(p9, SweepLink::kGmi, jobs,
              "paper: interference at aggregated read(write) 31.8 (29.1) GB/s");
-  link_panel(p9, SweepLink::kPlink,
+  link_panel(p9, SweepLink::kPlink, jobs,
              "paper: interference at aggregated read(write) 62.8 (44.0) GB/s");
+  bench::report_wallclock("fig6 interference sweeps", jobs, watch.elapsed_ms());
   return 0;
 }

@@ -1,6 +1,9 @@
 // Table 3: maximum achieved bandwidth from a core / CCX / CCD / CPU to the
 // DIMMs and the CXL device (AVX-512 read + non-temporal write analogue),
-// plus the per-UMC service limits quoted in §3.3.
+// plus the per-UMC service limits quoted in §3.3. Every cell is an
+// independent Experiment, so the whole table fans out over --jobs workers.
+#include <vector>
+
 #include "bench/bench_util.hpp"
 #include "measure/bandwidth.hpp"
 #include "topo/params.hpp"
@@ -18,50 +21,53 @@ struct Cell {
   double paper_write;
 };
 
-void dram_table(const topo::PlatformParams& params, const Cell* cells, int n) {
-  bench::subheading(params.name + " -> DIMM (read/write)");
-  for (int i = 0; i < n; ++i) {
-    const auto rd = measure::max_bandwidth(params, cells[i].scope, Op::kRead, Target::kDram);
-    const auto wr = measure::max_bandwidth(params, cells[i].scope, Op::kWrite, Target::kDram);
+/// Probe read+write for each cell in one parallel batch, then print in order.
+void scope_table(const topo::PlatformParams& params, Target target,
+                 const std::vector<Cell>& cells, int jobs) {
+  std::vector<measure::BandwidthCase> batch;
+  for (const auto& c : cells) {
+    batch.push_back({params, c.scope, Op::kRead, target});
+    batch.push_back({params, c.scope, Op::kWrite, target});
+  }
+  const auto results = measure::max_bandwidth_batch(batch, jobs);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
     bench::row(std::string("from ") + to_string(cells[i].scope) + " read", cells[i].paper_read,
-               rd.gbps, "GB/s");
+               results[2 * i].gbps, "GB/s");
     bench::row(std::string("from ") + to_string(cells[i].scope) + " write", cells[i].paper_write,
-               wr.gbps, "GB/s");
+               results[2 * i + 1].gbps, "GB/s");
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
+  exec::Stopwatch watch;
   bench::heading("Table 3: maximum achieved bandwidth (GB/s)");
 
-  const Cell cells7302[] = {{Scope::kCore, 14.9, 3.6},
-                            {Scope::kCcx, 25.1, 7.1},
-                            {Scope::kCcd, 32.5, 14.3},
-                            {Scope::kCpu, 106.7, 55.1}};
-  dram_table(topo::epyc7302(), cells7302, 4);
+  const std::vector<Cell> cells7302 = {{Scope::kCore, 14.9, 3.6},
+                                       {Scope::kCcx, 25.1, 7.1},
+                                       {Scope::kCcd, 32.5, 14.3},
+                                       {Scope::kCpu, 106.7, 55.1}};
+  bench::subheading("EPYC 7302 -> DIMM (read/write)");
+  scope_table(topo::epyc7302(), Target::kDram, cells7302, jobs);
 
-  const Cell cells9634[] = {{Scope::kCore, 14.6, 3.3},
-                            {Scope::kCcx, 35.2, 23.8},
-                            {Scope::kCcd, 33.2, 23.6},
-                            {Scope::kCpu, 366.2, 270.6}};
-  dram_table(topo::epyc9634(), cells9634, 4);
+  const std::vector<Cell> cells9634 = {{Scope::kCore, 14.6, 3.3},
+                                       {Scope::kCcx, 35.2, 23.8},
+                                       {Scope::kCcd, 33.2, 23.6},
+                                       {Scope::kCpu, 366.2, 270.6}};
+  bench::subheading("EPYC 9634 -> DIMM (read/write)");
+  scope_table(topo::epyc9634(), Target::kDram, cells9634, jobs);
   bench::note("9634 CCX and CCD rows are one physical unit (1 CCX/CCD); the paper's two");
   bench::note("rows differ by measurement noise, the simulator reports them identical");
 
   const auto p9 = topo::epyc9634();
   bench::subheading("EPYC 9634 -> CXL (read/write)");
-  const Cell cxl_cells[] = {{Scope::kCore, 5.4, 2.8},
-                            {Scope::kCcx, 23.6, 15.8},
-                            {Scope::kCcd, 25.0, 15.0},
-                            {Scope::kCpu, 88.1, 87.7}};
-  for (const auto& c : cxl_cells) {
-    const auto rd = measure::max_bandwidth(p9, c.scope, Op::kRead, Target::kCxl);
-    const auto wr = measure::max_bandwidth(p9, c.scope, Op::kWrite, Target::kCxl);
-    bench::row(std::string("from ") + to_string(c.scope) + " read", c.paper_read, rd.gbps, "GB/s");
-    bench::row(std::string("from ") + to_string(c.scope) + " write", c.paper_write, wr.gbps,
-               "GB/s");
-  }
+  const std::vector<Cell> cxl_cells = {{Scope::kCore, 5.4, 2.8},
+                                       {Scope::kCcx, 23.6, 15.8},
+                                       {Scope::kCcd, 25.0, 15.0},
+                                       {Scope::kCpu, 88.1, 87.7}};
+  scope_table(p9, Target::kCxl, cxl_cells, jobs);
   bench::note("EPYC 7302 -> CXL: N/A (Table 1: no CXL module)");
 
   bench::subheading("per-UMC service limits (section 3.3)");
@@ -71,5 +77,6 @@ int main() {
              measure::single_umc_bandwidth(topo::epyc7302(), Op::kWrite).gbps, "GB/s");
   bench::row("9634 UMC read", 34.9, measure::single_umc_bandwidth(p9, Op::kRead).gbps, "GB/s");
   bench::row("9634 UMC write", 28.3, measure::single_umc_bandwidth(p9, Op::kWrite).gbps, "GB/s");
+  bench::report_wallclock("table3 bandwidth probes", jobs, watch.elapsed_ms());
   return 0;
 }

@@ -5,10 +5,37 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "exec/sweep.hpp"
+
 namespace scn::bench {
+
+/// Parse `--jobs N` / `--jobs=N` from argv and resolve it through
+/// exec::resolve_jobs (so `SCN_JOBS` and hardware concurrency apply when the
+/// flag is absent). Every sweep bench accepts this flag; results are
+/// bit-identical for any value, only wall-clock changes.
+inline int parse_jobs(int argc, char** argv) {
+  int requested = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      requested = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      requested = std::atoi(argv[i] + 7);
+    }
+  }
+  return exec::resolve_jobs(requested);
+}
+
+/// Per-sweep wall-clock report: printed after each figure/table so speedup
+/// between `--jobs 1` and `--jobs N` runs can be read off directly. Keep it
+/// on stderr so stdout stays byte-identical across jobs counts.
+inline void report_wallclock(const char* what, int jobs, double elapsed_ms) {
+  std::fprintf(stderr, "# %s: jobs=%d wall=%.0f ms\n", what, jobs, elapsed_ms);
+}
 
 inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -5,56 +5,98 @@
 // numbers a tiering policy trades off (paper §3.2-3.3: CXL costs 243 ns vs
 // 141 ns and 5.4 vs 14.6 GB/s per core).
 //
-//   $ ./cxl_tiering
+// The split points are independent Experiments, so they fan out over the
+// scn::exec sweep engine; output is identical for any --jobs value.
+//
+//   $ ./cxl_tiering [--jobs N]     (SCN_JOBS also honoured)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <vector>
 
+#include "exec/sweep.hpp"
 #include "measure/experiment.hpp"
 #include "topo/params.hpp"
 #include "traffic/flow_group.hpp"
 
-int main() {
+namespace {
+
+struct SplitResult {
+  int dram_cores = 0;
+  int cxl_cores = 0;
+  double dram_gbps = 0.0;
+  double cxl_gbps = 0.0;
+};
+
+SplitResult run_split(const scn::topo::PlatformParams& params, double cxl_fraction) {
   using namespace scn;
+  measure::Experiment e(params);
+  auto& platform = e.platform;
+  traffic::FlowGroup dram_group("dram");
+  traffic::FlowGroup cxl_group("cxl");
+  const int cores = platform.cores_per_ccx();
+  const int cxl_cores = static_cast<int>(cxl_fraction * cores + 0.5);
+  for (int core = 0; core < cores; ++core) {
+    const bool to_cxl = core < cxl_cores;
+    traffic::StreamFlow::Config cfg;
+    cfg.name = std::string(to_cxl ? "cxl" : "dram") + std::to_string(core);
+    cfg.op = fabric::Op::kRead;
+    if (to_cxl) {
+      cfg.paths = {&platform.cxl_path(0, 0)};
+      cfg.window = params.cxl_core_read_window;
+    } else {
+      cfg.paths = platform.dram_paths_all(0, 0);
+      cfg.window = params.core_read_window;
+    }
+    cfg.pools = platform.pools_for(0, 0, fabric::Op::kRead);
+    cfg.stats_after = sim::from_us(15.0);
+    cfg.stop_at = sim::from_us(75.0);
+    cfg.seed = 7 + static_cast<std::uint64_t>(core);
+    (to_cxl ? cxl_group : dram_group).add(e.simulator, std::move(cfg));
+  }
+  dram_group.start_all();
+  cxl_group.start_all();
+  e.simulator.run_until(sim::from_us(90.0));
+
+  SplitResult r;
+  r.dram_cores = cores - cxl_cores;
+  r.cxl_cores = cxl_cores;
+  r.dram_gbps = dram_group.aggregate_gbps();
+  r.cxl_gbps = cxl_group.aggregate_gbps();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scn;
+  int requested_jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      requested_jobs = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      requested_jobs = std::atoi(argv[i] + 7);
+    }
+  }
+
   const auto params = topo::epyc9634();
   std::printf("CXL tiering sweep on %s: one compute chiplet, 7 cores streaming\n\n",
               params.name.c_str());
   std::printf("  %-18s %12s %12s %12s\n", "dram:cxl split", "total GB/s", "dram GB/s",
               "cxl GB/s");
 
-  for (const double cxl_fraction : {0.0, 0.125, 0.25, 0.5, 0.75, 1.0}) {
-    measure::Experiment e(params);
-    auto& platform = e.platform;
-    traffic::FlowGroup dram_group("dram");
-    traffic::FlowGroup cxl_group("cxl");
-    const int cores = platform.cores_per_ccx();
-    const int cxl_cores = static_cast<int>(cxl_fraction * cores + 0.5);
-    for (int core = 0; core < cores; ++core) {
-      const bool to_cxl = core < cxl_cores;
-      traffic::StreamFlow::Config cfg;
-      cfg.name = std::string(to_cxl ? "cxl" : "dram") + std::to_string(core);
-      cfg.op = fabric::Op::kRead;
-      if (to_cxl) {
-        cfg.paths = {&platform.cxl_path(0, 0)};
-        cfg.window = params.cxl_core_read_window;
-      } else {
-        cfg.paths = platform.dram_paths_all(0, 0);
-        cfg.window = params.core_read_window;
-      }
-      cfg.pools = platform.pools_for(0, 0, fabric::Op::kRead);
-      cfg.stats_after = sim::from_us(15.0);
-      cfg.stop_at = sim::from_us(75.0);
-      cfg.seed = 7 + static_cast<std::uint64_t>(core);
-      (to_cxl ? cxl_group : dram_group).add(e.simulator, std::move(cfg));
-    }
-    dram_group.start_all();
-    cxl_group.start_all();
-    e.simulator.run_until(sim::from_us(90.0));
+  const std::vector<double> fractions{0.0, 0.125, 0.25, 0.5, 0.75, 1.0};
+  exec::ParallelSweep sweep(requested_jobs);
+  const auto results = sweep.map(static_cast<int>(fractions.size()), [&](int i) {
+    return run_split(params, fractions[static_cast<std::size_t>(i)]);
+  });
 
+  for (const auto& r : results) {
     char label[32];
-    std::snprintf(label, sizeof(label), "%d:%d cores", cores - cxl_cores, cxl_cores);
-    std::printf("  %-18s %12.1f %12.1f %12.1f\n", label,
-                dram_group.aggregate_gbps() + cxl_group.aggregate_gbps(),
-                dram_group.aggregate_gbps(), cxl_group.aggregate_gbps());
+    std::snprintf(label, sizeof(label), "%d:%d cores", r.dram_cores, r.cxl_cores);
+    std::printf("  %-18s %12.1f %12.1f %12.1f\n", label, r.dram_gbps + r.cxl_gbps, r.dram_gbps,
+                r.cxl_gbps);
   }
   std::printf(
       "\ntiering more than ~2 of 7 cores' streams to CXL costs aggregate bandwidth:\n"

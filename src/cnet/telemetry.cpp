@@ -13,6 +13,7 @@ LinkStats snapshot(fabric::Channel* ch, sim::Tick now) {
   s.capacity_gbps = ch->capacity_bytes_per_ns();
   s.delivered_gbps = now > 0 ? ch->bytes_total() / sim::to_ns(now) : 0.0;
   s.utilization = ch->utilization(now);
+  s.stall_ns = sim::to_ns(ch->stall_ticks());
   s.messages = ch->messages_total();
   const auto& q = ch->queue_delay_histogram();
   s.avg_queue_ns = q.mean() / 1000.0;
@@ -78,6 +79,7 @@ std::string telemetry_json(topo::Platform& platform) {
     first = false;
     os << "{\"name\":\"" << s.name << "\",\"capacity_gbps\":" << s.capacity_gbps
        << ",\"delivered_gbps\":" << s.delivered_gbps << ",\"utilization\":" << s.utilization
+       << ",\"stall_ns\":" << s.stall_ns
        << ",\"messages\":" << s.messages << ",\"avg_queue_ns\":" << s.avg_queue_ns
        << ",\"p999_queue_ns\":" << s.p999_queue_ns << "}";
   }

@@ -15,7 +15,8 @@ struct LinkStats {
   std::string name;
   double capacity_gbps = 0.0;
   double delivered_gbps = 0.0;   ///< bytes observed / elapsed time
-  double utilization = 0.0;      ///< busy fraction of [0, now]
+  double utilization = 0.0;      ///< occupied fraction of [0, now], <= 1
+  double stall_ns = 0.0;         ///< downtime injected via Channel::stall
   std::uint64_t messages = 0;
   double avg_queue_ns = 0.0;
   double p999_queue_ns = 0.0;

@@ -1,0 +1,55 @@
+// Fixed-size worker thread pool for the parallel experiment sweep engine.
+//
+// The simulation core (sim::Simulator and everything built on it) is
+// single-threaded by design; parallelism lives strictly *above* it. Each
+// submitted task must be self-contained — it builds, runs, and tears down its
+// own Simulator/Experiment — so workers never share mutable simulation state.
+// The pool itself is a plain task queue: submit() enqueues, wait_idle()
+// blocks until every queued task has finished.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scn::exec {
+
+/// Resolve a worker-count request: `requested` if positive, else the
+/// `SCN_JOBS` environment variable if it parses to a positive integer, else
+/// std::thread::hardware_concurrency() (minimum 1).
+[[nodiscard]] int resolve_jobs(int requested = 0) noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw; capture errors by reference and
+  /// surface them after wait_idle() (ParallelSweep does this for sweeps).
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no worker is executing a task.
+  void wait_idle();
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_cv_;  ///< signals workers: task available / stop
+  std::condition_variable idle_cv_;  ///< signals wait_idle: queue drained
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace scn::exec

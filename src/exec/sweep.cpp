@@ -1,0 +1,23 @@
+#include "exec/sweep.hpp"
+
+#include <cstdint>
+
+namespace scn::exec {
+namespace {
+
+// splitmix64 finalizer (Vigna): full-avalanche mixing so adjacent point
+// indices produce uncorrelated seeds.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t point_seed(std::uint64_t base, std::uint64_t point) noexcept {
+  return mix64(mix64(base) ^ mix64(point + 0x51ed2701ULL));
+}
+
+}  // namespace scn::exec

@@ -64,11 +64,12 @@ class Channel {
 
   /// Block the channel for `duration` (a DRAM refresh, a link replay, ...).
   /// Everything admitted afterwards queues behind the stall, which is what
-  /// blows up tail latency under load.
+  /// blows up tail latency under load. Stall downtime is accounted in
+  /// stall_ticks(), not busy_ticks(): the link is occupied but not serving.
   void stall(sim::Tick now, sim::Tick duration) noexcept {
     const sim::Tick start = next_free_ > now ? next_free_ : now;
     next_free_ = start + duration;
-    busy_ticks_ += duration;
+    stall_ticks_ += duration;
   }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -79,20 +80,30 @@ class Channel {
   [[nodiscard]] double bytes_total() const noexcept { return bytes_total_; }
   [[nodiscard]] std::uint64_t messages_total() const noexcept { return messages_total_; }
   [[nodiscard]] sim::Tick busy_ticks() const noexcept { return busy_ticks_; }
+  [[nodiscard]] sim::Tick stall_ticks() const noexcept { return stall_ticks_; }
   [[nodiscard]] sim::Tick max_queue_delay() const noexcept { return max_queue_delay_; }
   [[nodiscard]] const stats::Histogram& queue_delay_histogram() const noexcept {
     return queue_delay_hist_;
   }
 
-  /// Average utilization over [0, now].
+  /// Average utilization over [0, now]. busy_ticks_/stall_ticks_ are credited
+  /// at admission for occupancy that may extend past `now`; the occupied
+  /// backlog is one contiguous tail [now, next_free_), so subtracting it
+  /// clamps the accounting to time that has actually elapsed and keeps the
+  /// result <= 1 even when queried mid-saturation.
   [[nodiscard]] double utilization(sim::Tick now) const noexcept {
-    return now > 0 ? static_cast<double>(busy_ticks_) / static_cast<double>(now) : 0.0;
+    if (now <= 0) return 0.0;
+    const sim::Tick occupied = busy_ticks_ + stall_ticks_;
+    const sim::Tick pending = next_free_ > now ? next_free_ - now : 0;
+    const sim::Tick elapsed = occupied > pending ? occupied - pending : 0;
+    return static_cast<double>(elapsed) / static_cast<double>(now);
   }
 
   void reset_telemetry() noexcept {
     bytes_total_ = 0.0;
     messages_total_ = 0;
     busy_ticks_ = 0;
+    stall_ticks_ = 0;
     max_queue_delay_ = 0;
     queue_delay_hist_.reset();
   }
@@ -106,6 +117,7 @@ class Channel {
   double bytes_total_ = 0.0;
   std::uint64_t messages_total_ = 0;
   sim::Tick busy_ticks_ = 0;
+  sim::Tick stall_ticks_ = 0;
   sim::Tick max_queue_delay_ = 0;
   stats::Histogram queue_delay_hist_;
 };

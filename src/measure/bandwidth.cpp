@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/sweep.hpp"
 #include "measure/experiment.hpp"
 #include "traffic/flow_group.hpp"
 
@@ -109,6 +110,15 @@ BandwidthResult single_umc_bandwidth(const topo::PlatformParams& params, fabric:
   r.gbps = group.aggregate_gbps();
   r.flows = id;
   return r;
+}
+
+std::vector<BandwidthResult> max_bandwidth_batch(const std::vector<BandwidthCase>& cases,
+                                                 int jobs) {
+  exec::ParallelSweep sweep(jobs);
+  return sweep.map(static_cast<int>(cases.size()), [&](int i) {
+    const auto& c = cases[static_cast<std::size_t>(i)];
+    return max_bandwidth(c.params, c.scope, c.op, c.target);
+  });
 }
 
 }  // namespace scn::measure

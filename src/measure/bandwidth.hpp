@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "fabric/types.hpp"
 #include "topo/params.hpp"
@@ -38,5 +39,19 @@ struct BandwidthResult {
 /// 21.1/19.0 and 34.9/28.3 GB/s observation).
 [[nodiscard]] BandwidthResult single_umc_bandwidth(const topo::PlatformParams& params,
                                                    fabric::Op op);
+
+/// One cell of a bandwidth table.
+struct BandwidthCase {
+  topo::PlatformParams params;
+  Scope scope = Scope::kCore;
+  fabric::Op op = fabric::Op::kRead;
+  Target target = Target::kDram;
+};
+
+/// Run several max_bandwidth probes as independent Experiments fanned out
+/// over `jobs` worker threads (exec::resolve_jobs semantics); results are
+/// returned in case order and bit-identical for any jobs count.
+[[nodiscard]] std::vector<BandwidthResult> max_bandwidth_batch(
+    const std::vector<BandwidthCase>& cases, int jobs = 0);
 
 }  // namespace scn::measure

@@ -4,6 +4,7 @@
 #include <array>
 #include <memory>
 
+#include "exec/sweep.hpp"
 #include "measure/experiment.hpp"
 #include "measure/scenario.hpp"
 #include "traffic/stream_flow.hpp"
@@ -120,6 +121,14 @@ HarvestTrace harvest_trace(const topo::PlatformParams& params, SweepLink link) {
     trace.flow1_gbps.push_back(series[1].bucket_rate_per_ns(preroll + b));
   }
   return trace;
+}
+
+std::vector<HarvestTrace> harvest_traces(const std::vector<HarvestCase>& cases, int jobs) {
+  exec::ParallelSweep sweep(jobs);
+  return sweep.map(static_cast<int>(cases.size()), [&](int i) {
+    const auto& c = cases[static_cast<std::size_t>(i)];
+    return harvest_trace(c.params, c.link);
+  });
 }
 
 double harvest_time_ms(const HarvestTrace& trace) {

@@ -27,6 +27,18 @@ struct HarvestTrace {
 /// Run the fluctuating-demand trace on `link` (kIfIntraCc or kPlink).
 [[nodiscard]] HarvestTrace harvest_trace(const topo::PlatformParams& params, SweepLink link);
 
+/// One (platform, link) panel of the harvest figure.
+struct HarvestCase {
+  topo::PlatformParams params;
+  SweepLink link = SweepLink::kIfIntraCc;
+};
+
+/// Run several harvest traces as independent Experiments fanned out over
+/// `jobs` worker threads (exec::resolve_jobs semantics); results are returned
+/// in case order and bit-identical for any jobs count.
+[[nodiscard]] std::vector<HarvestTrace> harvest_traces(const std::vector<HarvestCase>& cases,
+                                                       int jobs = 0);
+
 /// Time (scaled ms) flow 1 needed after a throttle onset to reach 90% of the
 /// bandwidth it eventually harvested; measured from the first throttle
 /// window of `trace`. Returns 0 when no harvesting happened.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "exec/sweep.hpp"
 #include "measure/experiment.hpp"
 #include "measure/scenario.hpp"
 #include "traffic/flow_group.hpp"
@@ -52,14 +53,21 @@ std::pair<double, double> run_point(const topo::PlatformParams& params, SweepLin
 }  // namespace
 
 InterferenceResult interference_sweep(const topo::PlatformParams& params, SweepLink link,
-                                      fabric::Op fg, fabric::Op bg, int points) {
+                                      fabric::Op fg, fabric::Op bg, int points, int jobs) {
   InterferenceResult result;
   result.fg = fg;
   result.bg = bg;
-  result.fg_solo_gbps = run_point(params, link, fg, bg, 0.0, /*bg_active=*/false).first;
 
+  // Point 0 is the solo baseline; points 1..points sweep the background rate.
+  // All points are independent Experiments, so they fan out together.
   const double per_core_max = per_core_max_gbps(params, link, bg);
-  for (int i = 1; i <= points; ++i) {
+  exec::ParallelSweep sweep(jobs);
+  const auto raw = sweep.map(points + 1, [&](int i) -> InterferencePoint {
+    if (i == 0) {
+      InterferencePoint solo;
+      solo.fg_achieved_gbps = run_point(params, link, fg, bg, 0.0, /*bg_active=*/false).first;
+      return solo;
+    }
     const bool unthrottled = i == points;
     const double rate =
         unthrottled ? 0.0 : per_core_max * static_cast<double>(i) / static_cast<double>(points);
@@ -68,9 +76,17 @@ InterferenceResult interference_sweep(const topo::PlatformParams& params, SweepL
     pt.bg_requested_gbps = rate;
     pt.bg_achieved_gbps = bg_gbps;
     pt.fg_achieved_gbps = fg_gbps;
-    result.points.push_back(pt);
-    if (result.interference_threshold_gbps == 0.0 && fg_gbps < 0.95 * result.fg_solo_gbps) {
-      result.interference_threshold_gbps = fg_gbps + bg_gbps;
+    return pt;
+  });
+
+  result.fg_solo_gbps = raw.front().fg_achieved_gbps;
+  result.points.assign(raw.begin() + 1, raw.end());
+  // The threshold scan is order-dependent, so it runs over the collected
+  // points (in sweep order) rather than inside the workers.
+  for (const auto& pt : result.points) {
+    if (result.interference_threshold_gbps == 0.0 &&
+        pt.fg_achieved_gbps < 0.95 * result.fg_solo_gbps) {
+      result.interference_threshold_gbps = pt.fg_achieved_gbps + pt.bg_achieved_gbps;
     }
   }
   return result;

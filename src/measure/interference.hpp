@@ -27,9 +27,12 @@ struct InterferenceResult {
   double interference_threshold_gbps = 0.0;
 };
 
-/// Sweep Y's load over `points` levels (last level unthrottled).
+/// Sweep Y's load over `points` levels (last level unthrottled). The solo
+/// baseline and every level run as independent Experiments fanned out over
+/// `jobs` worker threads (exec::resolve_jobs semantics); results are
+/// bit-identical for any jobs count.
 [[nodiscard]] InterferenceResult interference_sweep(const topo::PlatformParams& params,
                                                     SweepLink link, fabric::Op fg, fabric::Op bg,
-                                                    int points = 8);
+                                                    int points = 8, int jobs = 0);
 
 }  // namespace scn::measure

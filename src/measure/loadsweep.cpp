@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "exec/sweep.hpp"
 #include "measure/experiment.hpp"
 #include "measure/scenario.hpp"
 #include "traffic/flow_group.hpp"
@@ -14,53 +15,62 @@ namespace {
 constexpr double kWarmupUs = 40.0;
 constexpr double kWindowUs = 80.0;
 
-}  // namespace
-
-std::vector<LoadPoint> latency_vs_load(const topo::PlatformParams& params, SweepLink link,
-                                       fabric::Op op, int points) {
-  std::vector<LoadPoint> out;
+/// One point of the sweep, fully self-contained (own Experiment): safe to run
+/// on any ParallelSweep worker. `i` is 1-based; the last point removes the
+/// rate throttle entirely (the paper's "approaching max bandwidth").
+LoadPoint run_load_point(const topo::PlatformParams& params, SweepLink link, fabric::Op op,
+                         int i, int points) {
   const double per_core_max = per_core_max_gbps(params, link, op);
   const double issue_cap = scenario_issue_cap(params, link, op);
 
-  for (int i = 1; i <= points; ++i) {
-    // Rate grid: fractions of the unthrottled per-core rate; the final point
-    // removes the throttle entirely (the paper's "approaching max bandwidth").
-    const bool unthrottled = i == points;
-    double rate = per_core_max * static_cast<double>(i) / static_cast<double>(points);
-    if (issue_cap > 0.0) rate = std::min(rate, issue_cap);
+  // Rate grid: fractions of the unthrottled per-core rate.
+  const bool unthrottled = i == points;
+  double rate = per_core_max * static_cast<double>(i) / static_cast<double>(points);
+  if (issue_cap > 0.0) rate = std::min(rate, issue_cap);
 
-    Experiment e(params);
-    auto sites = scenario_sites(e.platform, link);
-    traffic::FlowGroup group("sweep");
-    int id = 0;
-    double requested = 0.0;
-    for (auto& site : sites) {
-      traffic::StreamFlow::Config cfg;
-      cfg.name = "s" + std::to_string(id);
-      cfg.op = op;
-      cfg.paths = site.paths;
-      cfg.pools = e.platform.pools_for(site.ccd, site.ccx, op);
-      cfg.window = scenario_window(params, link, op);
-      cfg.target_rate = unthrottled ? issue_cap : rate;
-      cfg.stats_after = sim::from_us(kWarmupUs);
-      cfg.stop_at = sim::from_us(kWarmupUs + kWindowUs);
-      cfg.record_latency = true;
-      cfg.seed = 3000 + static_cast<std::uint64_t>(id++);
-      group.add(e.simulator, std::move(cfg));
-      requested += unthrottled ? per_core_max : rate;
-    }
-    group.start_all();
-    e.simulator.run_until(sim::from_us(kWarmupUs + kWindowUs + 15.0));
-
-    LoadPoint pt;
-    pt.requested_gbps = requested;
-    pt.achieved_gbps = group.aggregate_gbps();
-    const auto lat = group.merged_latency();
-    pt.avg_ns = lat.mean() / 1000.0;
-    pt.p999_ns = static_cast<double>(lat.p999()) / 1000.0;
-    out.push_back(pt);
+  Experiment e(params);
+  auto sites = scenario_sites(e.platform, link);
+  traffic::FlowGroup group("sweep");
+  int id = 0;
+  double requested = 0.0;
+  for (auto& site : sites) {
+    traffic::StreamFlow::Config cfg;
+    cfg.name = "s" + std::to_string(id);
+    cfg.op = op;
+    cfg.paths = site.paths;
+    cfg.pools = e.platform.pools_for(site.ccd, site.ccx, op);
+    cfg.window = scenario_window(params, link, op);
+    cfg.target_rate = unthrottled ? issue_cap : rate;
+    cfg.stats_after = sim::from_us(kWarmupUs);
+    cfg.stop_at = sim::from_us(kWarmupUs + kWindowUs);
+    cfg.record_latency = true;
+    cfg.seed = 3000 + static_cast<std::uint64_t>(id++);
+    group.add(e.simulator, std::move(cfg));
+    // Offered load is the rate actually configured on the flow: for the
+    // unthrottled point that is the issue cap when one applies (the flow
+    // cannot request more), and only the estimated per-core maximum when the
+    // flow is genuinely unthrottled.
+    requested += unthrottled ? (issue_cap > 0.0 ? issue_cap : per_core_max) : rate;
   }
-  return out;
+  group.start_all();
+  e.simulator.run_until(sim::from_us(kWarmupUs + kWindowUs + 15.0));
+
+  LoadPoint pt;
+  pt.requested_gbps = requested;
+  pt.achieved_gbps = group.aggregate_gbps();
+  const auto lat = group.merged_latency();
+  pt.avg_ns = lat.mean() / 1000.0;
+  pt.p999_ns = static_cast<double>(lat.p999()) / 1000.0;
+  return pt;
+}
+
+}  // namespace
+
+std::vector<LoadPoint> latency_vs_load(const topo::PlatformParams& params, SweepLink link,
+                                       fabric::Op op, int points, int jobs) {
+  exec::ParallelSweep sweep(jobs);
+  return sweep.map(points,
+                   [&](int idx) { return run_load_point(params, link, op, idx + 1, points); });
 }
 
 }  // namespace scn::measure

@@ -37,8 +37,11 @@ struct LoadPoint {
 
 /// Run `points` load levels from light load to unthrottled and return one
 /// LoadPoint per level. The last point is always the unthrottled maximum.
+/// Points are independent Experiments fanned out over `jobs` worker threads
+/// (exec::resolve_jobs semantics: <= 0 means SCN_JOBS / hardware
+/// concurrency); results are bit-identical for any jobs count.
 [[nodiscard]] std::vector<LoadPoint> latency_vs_load(const topo::PlatformParams& params,
                                                      SweepLink link, fabric::Op op,
-                                                     int points = 8);
+                                                     int points = 8, int jobs = 0);
 
 }  // namespace scn::measure

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "exec/sweep.hpp"
 #include "measure/experiment.hpp"
 #include "measure/scenario.hpp"
 #include "traffic/flow_group.hpp"
@@ -84,6 +85,15 @@ PartitionResult partition_case(const topo::PlatformParams& params, SweepLink lin
 
   result.achieved_gbps = {groups[0].aggregate_gbps(), groups[1].aggregate_gbps()};
   return result;
+}
+
+std::vector<PartitionResult> partition_cases(const topo::PlatformParams& params, SweepLink link,
+                                             const std::vector<PartitionCase>& cases,
+                                             fabric::Op op, int jobs) {
+  exec::ParallelSweep sweep(jobs);
+  return sweep.map(static_cast<int>(cases.size()), [&](int i) {
+    return partition_case(params, link, cases[static_cast<std::size_t>(i)], op);
+  });
 }
 
 }  // namespace scn::measure

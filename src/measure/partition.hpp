@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "fabric/types.hpp"
 #include "measure/loadsweep.hpp"
@@ -38,5 +39,14 @@ struct PartitionResult {
 [[nodiscard]] PartitionResult partition_case(const topo::PlatformParams& params, SweepLink link,
                                              PartitionCase pcase,
                                              fabric::Op op = fabric::Op::kRead);
+
+/// Run several demand cases as independent Experiments fanned out over `jobs`
+/// worker threads (exec::resolve_jobs semantics); results are returned in
+/// case order and bit-identical for any jobs count.
+[[nodiscard]] std::vector<PartitionResult> partition_cases(const topo::PlatformParams& params,
+                                                           SweepLink link,
+                                                           const std::vector<PartitionCase>& cases,
+                                                           fabric::Op op = fabric::Op::kRead,
+                                                           int jobs = 0);
 
 }  // namespace scn::measure

@@ -43,22 +43,24 @@ void Histogram::record_n(std::int64_t value, std::uint64_t count) noexcept {
     min_ = std::min<std::int64_t>(min_, static_cast<std::int64_t>(v));
     max_ = std::max<std::int64_t>(max_, static_cast<std::int64_t>(v));
   }
+  // Chan et al. batch update: fold `count` copies of v (batch mean v, batch
+  // M2 0) into the running centered moments.
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(count);
   count_ += count;
   const double dv = static_cast<double>(v);
-  sum_ += dv * static_cast<double>(count);
-  sum_sq_ += dv * dv * static_cast<double>(count);
+  const double delta = dv - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += delta * delta * n1 * n2 / (n1 + n2);
 }
 
 std::int64_t Histogram::min() const noexcept { return count_ == 0 ? 0 : min_; }
 
-double Histogram::mean() const noexcept {
-  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
-}
+double Histogram::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
 
 double Histogram::stddev() const noexcept {
   if (count_ < 2) return 0.0;
-  const double m = mean();
-  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  const double var = m2_ / static_cast<double>(count_);
   return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
@@ -88,16 +90,19 @@ void Histogram::merge(const Histogram& other) noexcept {
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
   }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
   count_ += other.count_;
-  sum_ += other.sum_;
-  sum_sq_ += other.sum_sq_;
 }
 
 void Histogram::reset() noexcept {
   std::fill(buckets_.begin(), buckets_.end(), 0ULL);
   count_ = 0;
   min_ = max_ = 0;
-  sum_ = sum_sq_ = 0.0;
+  mean_ = m2_ = 0.0;
 }
 
 std::string Histogram::summary_string(double unit_scale, const std::string& unit) const {

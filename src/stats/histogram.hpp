@@ -58,8 +58,11 @@ class Histogram {
   std::uint64_t count_ = 0;
   std::int64_t min_ = 0;
   std::int64_t max_ = 0;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  // Centered (Welford/Chan) moment accumulation: the naive E[x^2] - E[x]^2
+  // formula catastrophically cancels for tick-magnitude samples (~1e9), where
+  // the squared terms eat all of a double's mantissa.
+  double mean_ = 0.0;
+  double m2_ = 0.0;
 };
 
 }  // namespace scn::stats

@@ -1,0 +1,265 @@
+// scn::exec: thread pool + ParallelSweep driver, the determinism guarantee
+// (parallel sweeps are bit-identical to serial), and regression tests for the
+// telemetry accounting fixes that rode along (channel utilization clamping,
+// loadsweep offered-load reporting, Welford histogram moments).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "exec/sweep.hpp"
+#include "fabric/channel.hpp"
+#include "measure/experiment.hpp"
+#include "measure/loadsweep.hpp"
+#include "measure/partition.hpp"
+#include "measure/scenario.hpp"
+#include "stats/histogram.hpp"
+#include "topo/params.hpp"
+
+namespace scn {
+namespace {
+
+using sim::from_ns;
+
+// ---- thread pool --------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask) {
+  exec::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAfterWaitIdle) {
+  exec::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  for (int i = 0; i < 10; ++i) pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 11);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  exec::ThreadPool pool(3);
+  pool.wait_idle();  // must not hang
+  EXPECT_EQ(pool.size(), 3);
+}
+
+TEST(ResolveJobs, ExplicitRequestWins) {
+  ::setenv("SCN_JOBS", "7", 1);
+  EXPECT_EQ(exec::resolve_jobs(3), 3);
+  ::unsetenv("SCN_JOBS");
+}
+
+TEST(ResolveJobs, ReadsEnvironment) {
+  ::setenv("SCN_JOBS", "5", 1);
+  EXPECT_EQ(exec::resolve_jobs(0), 5);
+  ::setenv("SCN_JOBS", "not-a-number", 1);
+  EXPECT_GE(exec::resolve_jobs(0), 1);  // invalid env falls back
+  ::setenv("SCN_JOBS", "-2", 1);
+  EXPECT_GE(exec::resolve_jobs(0), 1);
+  ::unsetenv("SCN_JOBS");
+  EXPECT_GE(exec::resolve_jobs(0), 1);
+}
+
+TEST(PointSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(exec::point_seed(42, 7), exec::point_seed(42, 7));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t p = 0; p < 64; ++p) seeds.insert(exec::point_seed(1234, p));
+  EXPECT_EQ(seeds.size(), 64u);  // no collisions among neighbouring points
+  EXPECT_NE(exec::point_seed(1, 0), exec::point_seed(2, 0));
+}
+
+// ---- ParallelSweep ------------------------------------------------------------
+
+TEST(ParallelSweep, ResultsInPointOrder) {
+  exec::ParallelSweep sweep(4);
+  const auto out = sweep.map(33, [](int i) { return i * i; });
+  ASSERT_EQ(out.size(), 33u);
+  for (int i = 0; i < 33; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ParallelSweep, SerialFallbackMatches) {
+  exec::ParallelSweep serial(1);
+  exec::ParallelSweep parallel(8);
+  const auto a = serial.map(10, [](int i) { return 3 * i + 1; });
+  const auto b = parallel.map(10, [](int i) { return 3 * i + 1; });
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelSweep, EmptyAndSingle) {
+  exec::ParallelSweep sweep(4);
+  EXPECT_TRUE(sweep.map(0, [](int) { return 0; }).empty());
+  const auto one = sweep.map(1, [](int i) { return i + 41; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41);
+}
+
+TEST(ParallelSweep, PropagatesExceptions) {
+  exec::ParallelSweep sweep(4);
+  EXPECT_THROW(sweep.map(8,
+                         [](int i) -> int {
+                           if (i == 5) throw std::runtime_error("point failed");
+                           return i;
+                         }),
+               std::runtime_error);
+}
+
+// ---- determinism: parallel sweeps == serial sweeps ---------------------------
+
+TEST(ParallelSweep, LoadSweepBitIdenticalToSerial) {
+  const auto params = topo::epyc7302();
+  const auto serial =
+      measure::latency_vs_load(params, measure::SweepLink::kIfIntraCc, fabric::Op::kRead, 4,
+                               /*jobs=*/1);
+  const auto parallel =
+      measure::latency_vs_load(params, measure::SweepLink::kIfIntraCc, fabric::Op::kRead, 4,
+                               /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Bitwise equality: the points run the same seeded Experiments, so every
+    // double must match exactly, not just approximately.
+    EXPECT_EQ(serial[i].requested_gbps, parallel[i].requested_gbps) << "point " << i;
+    EXPECT_EQ(serial[i].achieved_gbps, parallel[i].achieved_gbps) << "point " << i;
+    EXPECT_EQ(serial[i].avg_ns, parallel[i].avg_ns) << "point " << i;
+    EXPECT_EQ(serial[i].p999_ns, parallel[i].p999_ns) << "point " << i;
+  }
+}
+
+TEST(ParallelSweep, PartitionCasesBitIdenticalToSerial) {
+  const std::vector<measure::PartitionCase> cases{
+      measure::PartitionCase::kUnderSubscribed, measure::PartitionCase::kOneSmall,
+      measure::PartitionCase::kEqualHigh, measure::PartitionCase::kUnequalHigh};
+  const auto params = topo::epyc9634();
+  const auto serial = measure::partition_cases(params, measure::SweepLink::kIfIntraCc, cases,
+                                               fabric::Op::kRead, /*jobs=*/1);
+  const auto parallel = measure::partition_cases(params, measure::SweepLink::kIfIntraCc, cases,
+                                                 fabric::Op::kRead, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].achieved_gbps[0], parallel[i].achieved_gbps[0]) << "case " << i;
+    EXPECT_EQ(serial[i].achieved_gbps[1], parallel[i].achieved_gbps[1]) << "case " << i;
+    EXPECT_EQ(serial[i].requested_gbps[0], parallel[i].requested_gbps[0]) << "case " << i;
+    EXPECT_EQ(serial[i].requested_gbps[1], parallel[i].requested_gbps[1]) << "case " << i;
+  }
+}
+
+// ---- regression: channel utilization accounting ------------------------------
+
+TEST(ChannelTelemetry, UtilizationNeverExceedsOneUnderSaturation) {
+  // A giant message is credited to busy_ticks_ at admission, but the link is
+  // still serializing long after `now`; utilization must clamp to elapsed
+  // time (the pre-fix accounting reported 100x here).
+  fabric::Channel ch("c", 1.0, 0);  // 1 byte/ns
+  ch.admit(0, 1000.0);              // 1000 ns of serialization
+  EXPECT_DOUBLE_EQ(ch.utilization(from_ns(10.0)), 1.0);
+  EXPECT_DOUBLE_EQ(ch.utilization(from_ns(1000.0)), 1.0);
+  EXPECT_NEAR(ch.utilization(from_ns(2000.0)), 0.5, 1e-12);
+}
+
+TEST(ChannelTelemetry, UtilizationCountsOnlyElapsedBusyTime) {
+  fabric::Channel ch("c", 64.0, 0);
+  ch.admit(0, 128.0);                // busy [0, 2ns)
+  ch.admit(from_ns(6.0), 128.0);     // busy [6ns, 8ns)
+  // At t=7ns: 2ns of the first message + 1ns of the second have elapsed.
+  EXPECT_NEAR(ch.utilization(from_ns(7.0)), 3.0 / 7.0, 1e-12);
+  EXPECT_NEAR(ch.utilization(from_ns(8.0)), 4.0 / 8.0, 1e-12);
+}
+
+TEST(ChannelTelemetry, StallTrackedSeparatelyFromBusy) {
+  fabric::Channel ch("c", 64.0, 0);
+  ch.stall(0, from_ns(50.0));
+  EXPECT_EQ(ch.busy_ticks(), 0);
+  EXPECT_EQ(ch.stall_ticks(), from_ns(50.0));
+  // The stalled link is occupied (not serving), and the accounting still
+  // clamps to elapsed time.
+  EXPECT_DOUBLE_EQ(ch.utilization(from_ns(25.0)), 1.0);
+  ch.admit(from_ns(10.0), 64.0);  // queues behind the stall
+  EXPECT_EQ(ch.busy_ticks(), from_ns(1.0));
+  EXPECT_EQ(ch.stall_ticks(), from_ns(50.0));
+  EXPECT_LE(ch.utilization(from_ns(30.0)), 1.0);
+  ch.reset_telemetry();
+  EXPECT_EQ(ch.stall_ticks(), 0);
+}
+
+// ---- regression: offered load reflects the configured rate -------------------
+
+TEST(LoadSweep, RequestedRateMatchesConfiguredRate) {
+  // 9634 GMI writes have a per-core issue cap; the unthrottled point's flows
+  // are configured at that cap, so the reported offered load must be
+  // sites * cap — not sites * per_core_max estimate.
+  const auto params = topo::epyc9634();
+  const double cap =
+      measure::scenario_issue_cap(params, measure::SweepLink::kGmi, fabric::Op::kWrite);
+  ASSERT_GT(cap, 0.0);
+  measure::Experiment e(params);
+  const auto sites = measure::scenario_sites(e.platform, measure::SweepLink::kGmi);
+  ASSERT_FALSE(sites.empty());
+
+  const auto pts =
+      measure::latency_vs_load(params, measure::SweepLink::kGmi, fabric::Op::kWrite, 3);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts.back().requested_gbps, cap * static_cast<double>(sites.size()));
+  // Offered load never exceeds what the flows were actually configured to
+  // issue, and the grid is non-decreasing.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i].requested_gbps, cap * static_cast<double>(sites.size()) + 1e-9);
+    if (i > 0) EXPECT_GE(pts[i].requested_gbps, pts[i - 1].requested_gbps);
+  }
+}
+
+// ---- regression: stddev on large-magnitude samples ---------------------------
+
+TEST(HistogramMoments, StddevStableAtTickMagnitude) {
+  // Two samples 2 apart at ~1e9 (nanosecond ticks): population stddev is
+  // exactly 1. The naive E[x^2]-E[x]^2 formula cancels catastrophically at
+  // this magnitude (absolute error of the squared sums is ~hundreds).
+  stats::Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.record(1'000'000'000);
+    h.record(1'000'000'002);
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), 1'000'000'001.0);
+  EXPECT_NEAR(h.stddev(), 1.0, 1e-6);
+}
+
+TEST(HistogramMoments, MergeMatchesSingleAccumulation) {
+  stats::Histogram all;
+  stats::Histogram left;
+  stats::Histogram right;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t a = 2'000'000'000 + i;
+    const std::int64_t b = 2'000'000'000 - i;
+    all.record(a);
+    all.record(b);
+    left.record(a);
+    right.record(b);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-6);
+  EXPECT_NEAR(left.stddev(), all.stddev(), 1e-6);
+}
+
+TEST(HistogramMoments, RecordNMatchesRepeatedRecord) {
+  stats::Histogram weighted;
+  stats::Histogram repeated;
+  weighted.record_n(3'000'000'000, 1000);
+  weighted.record_n(3'000'000'010, 1000);
+  for (int i = 0; i < 1000; ++i) {
+    repeated.record(3'000'000'000);
+    repeated.record(3'000'000'010);
+  }
+  EXPECT_NEAR(weighted.mean(), repeated.mean(), 1e-6);
+  EXPECT_NEAR(weighted.stddev(), repeated.stddev(), 1e-6);
+  EXPECT_NEAR(weighted.stddev(), 5.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace scn
