@@ -12,10 +12,10 @@ using fabric::Op;
 using measure::SweepLink;
 
 void panel(const char* tag, const topo::PlatformParams& params, SweepLink link, Op op, int jobs,
-           const char* paper_note) {
+           const char* paper_note, int points = 7) {
   bench::subheading(std::string(tag) + "  " + params.name + "  " + to_string(link) + "  " +
                     to_string(op));
-  const auto pts = measure::latency_vs_load(params, link, op, 7, jobs);
+  const auto pts = measure::latency_vs_load(params, link, op, points, jobs);
   std::printf("  %12s %12s %12s %12s\n", "offered GB/s", "achieved", "avg ns", "p999 ns");
   for (const auto& pt : pts) {
     std::printf("  %12.1f %12.1f %12.1f %12.1f\n", pt.requested_gbps, pt.achieved_gbps, pt.avg_ns,
@@ -28,11 +28,22 @@ void panel(const char* tag, const topo::PlatformParams& params, SweepLink link, 
 
 int main(int argc, char** argv) {
   const int jobs = bench::parse_jobs(argc, argv);
+  const bool quick = bench::parse_flag(argc, argv, "--quick");
   bench::heading("Figure 3: latency vs load (avg / P999)");
   const auto p7 = topo::epyc7302();
   const auto p9 = topo::epyc9634();
 
   exec::Stopwatch watch;
+  if (quick) {
+    // Reduced golden-test configuration: one panel per link class, fewer
+    // load points. Exercises the same flow/pool/channel machinery as the
+    // full figure while staying cheap enough for sanitizer CI runs.
+    panel("(a)", p7, SweepLink::kIfIntraCc, Op::kRead, jobs,
+          "paper: flat 144.5 avg / 490 p999 regardless of load (tight CCX/CCD pools)", 3);
+    panel("(d.read)", p7, SweepLink::kGmi, Op::kRead, jobs, "paper: avg 123.7 -> 172.5", 3);
+    bench::report_wallclock("fig3 quick sweeps", jobs, watch.elapsed_ms());
+    return 0;
+  }
   panel("(a)", p7, SweepLink::kIfIntraCc, Op::kRead, jobs,
         "paper: flat 144.5 avg / 490 p999 regardless of load (tight CCX/CCD pools)");
   panel("(b)", p9, SweepLink::kIfIntraCc, Op::kRead, jobs,

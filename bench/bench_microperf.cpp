@@ -1,10 +1,36 @@
-// google-benchmark microbenchmarks of the library's hot primitives: event
-// queue, channel admission, token pools, histogram recording, RNG, sketches,
-// and NoC cycle stepping. These guard the simulator's own performance (the
-// experiment suite simulates hundreds of microseconds of a 84-core socket).
+// Microbenchmarks of the library's hot primitives (google-benchmark), plus a
+// tracked events/sec + transactions/sec throughput harness that emits
+// machine-readable JSON so the simulator core's performance trajectory is
+// recorded PR over PR.
+//
+// Usage:
+//   bench_microperf [gbench flags]        # the google-benchmark suite
+//   bench_microperf --json out.json       # tracked harness only, writes JSON
+//   bench_microperf --json out.json --repeat 7
+//
+// The tracked harness measures four hot paths end to end:
+//   event_loop     self-rescheduling event chains through Simulator (the
+//                  shape of every flow's issue loop)
+//   queue_churn    EventQueue push/pop of randomly-timed events
+//   transactions   full fabric round-trips via run_transaction on a
+//                  channel-constrained Path with a reissue window
+//   token_chain    acquire_chain/release_chain grant cycles
+// Each metric is the best rate over --repeat runs (min wall time), which is
+// robust against scheduler noise on shared machines.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "fabric/channel.hpp"
+#include "fabric/path.hpp"
+#include "fabric/runner.hpp"
+#include "fabric/token_chain.hpp"
 #include "fabric/token_pool.hpp"
 #include "noc/network.hpp"
 #include "noc/traffic.hpp"
@@ -17,6 +43,10 @@
 namespace {
 
 using namespace scn;
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite
+// ---------------------------------------------------------------------------
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   sim::EventQueue q;
@@ -124,6 +154,242 @@ void BM_NocCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_NocCycle);
 
+// ---------------------------------------------------------------------------
+// tracked throughput harness (--json)
+// ---------------------------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Self-rescheduling chains, the shape of every generator's issue loop and of
+/// the runner's per-leg continuations. The callback captures a pointer plus
+/// two words of state (24 bytes) — the same closure size class as
+/// fabric::walk_leg's `[w, outbound, idx]` — which is exactly what the event
+/// queue must handle without touching the allocator.
+struct EventLoopHarness {
+  static constexpr int kChains = 16;
+
+  struct Chain {
+    sim::Simulator* simulator;
+    std::uint64_t remaining;
+    std::uint64_t gap;
+
+    void step(std::uint64_t leg, std::uint64_t salt) {
+      if (remaining == 0) return;
+      --remaining;
+      simulator->schedule(static_cast<sim::Tick>(gap + (salt & 3)),
+                          [this, leg, salt] { step(leg + 1, salt ^ (leg << 1)); });
+    }
+  };
+
+  /// Returns (events, wall seconds, final sim time as checksum).
+  static void run(std::uint64_t events, double* secs, sim::Tick* checksum) {
+    sim::Simulator s;
+    std::vector<Chain> chains(kChains);
+    const std::uint64_t per_chain = events / kChains;
+    for (int i = 0; i < kChains; ++i) {
+      chains[static_cast<std::size_t>(i)] =
+          Chain{&s, per_chain, static_cast<std::uint64_t>(7 + 3 * i)};
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < chains.size(); ++i) chains[i].step(0, i * 0x9e3779b9u);
+    s.run();
+    *secs = seconds_since(t0);
+    *checksum = s.now();
+  }
+};
+
+/// Raw pending-set churn: batches of randomly-timed events pushed and drained.
+struct QueueChurnHarness {
+  static void run(std::uint64_t items, double* secs, sim::Tick* checksum) {
+    sim::EventQueue q;
+    sim::Rng rng(42);
+    const std::uint64_t batch = 1024;
+    sim::Tick acc = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t done = 0; done < items; done += batch) {
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        q.push(static_cast<sim::Tick>(rng.below(1000000)), [] {});
+      }
+      while (!q.empty()) acc ^= q.pop().time;
+    }
+    *secs = seconds_since(t0);
+    *checksum = acc;
+  }
+};
+
+/// Full fabric round-trips: a windowed issuer over a channel-constrained path
+/// with service channels, the transaction fast path of every bandwidth bench.
+struct TransactionHarness {
+  static constexpr int kWindow = 32;
+
+  struct Issuer {
+    sim::Simulator* simulator;
+    fabric::Path* path;
+    sim::Rng* rng;
+    std::uint64_t remaining;
+    std::uint64_t completed = 0;
+    sim::Tick queue_total = 0;
+
+    void issue() {
+      if (remaining == 0) return;
+      --remaining;
+      fabric::run_transaction(*simulator, *path, fabric::Op::kRead, 64.0, rng,
+                              [this](const fabric::Completion& c) {
+                                ++completed;
+                                queue_total += c.queue_total;
+                                issue();
+                              });
+    }
+  };
+
+  static void run(std::uint64_t transactions, double* secs, sim::Tick* checksum) {
+    sim::Simulator s;
+    sim::Rng rng(7);
+    fabric::Channel req("req", 16.0, 0);
+    fabric::Channel resp("resp", 32.0, 0);
+    fabric::Channel svc_r("svc_r", 21.0, 0);
+    fabric::Channel svc_w("svc_w", 19.0, 0);
+    fabric::Path path;
+    path.name = "harness";
+    path.outbound = {{nullptr, sim::from_ns(40.0)}, {&req, 0}};
+    path.endpoint = {&svc_r, &svc_w, sim::from_ns(50.0), 0.0, 0, true, {}};
+    path.inbound = {{&resp, 0}, {nullptr, sim::from_ns(10.0)}};
+
+    Issuer issuer{&s, &path, &rng, transactions};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kWindow; ++i) issuer.issue();
+    s.run();
+    *secs = seconds_since(t0);
+    *checksum = s.now() ^ static_cast<sim::Tick>(issuer.queue_total);
+  }
+};
+
+/// Hierarchical token grant cycles through the compute chiplet's control
+/// chain (core -> CCX -> CCD), the per-transaction admission fast path.
+struct TokenChainHarness {
+  struct Loop {
+    sim::Simulator* simulator;
+    std::vector<fabric::TokenPool*> pools;
+    std::uint64_t remaining;
+
+    void step() {
+      if (remaining == 0) return;
+      --remaining;
+      fabric::acquire_chain(*simulator, pools, [this] {
+        fabric::release_chain(*simulator, pools);
+        simulator->schedule(1, [this] { step(); });
+      });
+    }
+  };
+
+  static void run(std::uint64_t chains, double* secs, sim::Tick* checksum) {
+    sim::Simulator s;
+    fabric::TokenPool core("core", 64);
+    fabric::TokenPool ccx("ccx", 64);
+    fabric::TokenPool ccd("ccd", 64);
+    Loop loop{&s, {&core, &ccx, &ccd}, chains};
+    const auto t0 = std::chrono::steady_clock::now();
+    loop.step();
+    s.run();
+    *secs = seconds_since(t0);
+    *checksum = s.now() ^ static_cast<sim::Tick>(core.acquires());
+  }
+};
+
+struct Metric {
+  const char* key;
+  std::uint64_t units;     ///< events / items / transactions / chains per run
+  double best_per_sec = 0.0;
+  sim::Tick checksum = 0;
+};
+
+template <typename Harness>
+void measure(Metric& m, int repeats) {
+  for (int r = 0; r < repeats; ++r) {
+    double secs = 0.0;
+    sim::Tick checksum = 0;
+    Harness::run(m.units, &secs, &checksum);
+    if (r == 0) {
+      m.checksum = checksum;
+    } else if (m.checksum != checksum) {
+      std::fprintf(stderr, "microperf: %s checksum drifted across repeats\n", m.key);
+    }
+    const double rate = secs > 0.0 ? static_cast<double>(m.units) / secs : 0.0;
+    if (rate > m.best_per_sec) m.best_per_sec = rate;
+  }
+}
+
+int run_tracked_harness(const std::string& json_path, int repeats) {
+  Metric event_loop{"event_loop_events_per_sec", 4u << 20, 0.0, 0};
+  Metric queue_churn{"queue_churn_items_per_sec", 2u << 20, 0.0, 0};
+  Metric transactions{"transactions_per_sec", 300000, 0.0, 0};
+  Metric token_chain{"token_chain_grants_per_sec", 200000, 0.0, 0};
+
+  measure<EventLoopHarness>(event_loop, repeats);
+  measure<QueueChurnHarness>(queue_churn, repeats);
+  measure<TransactionHarness>(transactions, repeats);
+  measure<TokenChainHarness>(token_chain, repeats);
+
+  const Metric* all[] = {&event_loop, &queue_churn, &transactions, &token_chain};
+  std::printf("%-28s %14s %12s\n", "metric", "per_sec", "units/run");
+  for (const Metric* m : all) {
+    std::printf("%-28s %14.0f %12" PRIu64 "\n", m->key, m->best_per_sec, m->units);
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "microperf: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"microperf\",\n  \"schema\": 1,\n");
+  std::fprintf(f, "  \"repeats\": %d,\n  \"metrics\": {\n", repeats);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::fprintf(f, "    \"%s\": %.1f%s\n", all[i]->key, all[i]->best_per_sec,
+                 i + 1 < 4 ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"units\": {\n");
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::fprintf(f, "    \"%s\": %" PRIu64 "%s\n", all[i]->key, all[i]->units,
+                 i + 1 < 4 ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"checksums\": {\n");
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::fprintf(f, "    \"%s\": %" PRId64 "%s\n", all[i]->key,
+                 static_cast<std::int64_t>(all[i]->checksum), i + 1 < 4 ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  int repeats = 5;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    return run_tracked_harness(json_path, repeats > 0 ? repeats : 1);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

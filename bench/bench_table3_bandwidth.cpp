@@ -42,8 +42,25 @@ void scope_table(const topo::PlatformParams& params, Target target,
 
 int main(int argc, char** argv) {
   const int jobs = bench::parse_jobs(argc, argv);
+  const bool quick = bench::parse_flag(argc, argv, "--quick");
   exec::Stopwatch watch;
   bench::heading("Table 3: maximum achieved bandwidth (GB/s)");
+
+  if (quick) {
+    // Reduced golden-test configuration: the EPYC 7302 core/CCX cells plus
+    // the per-UMC service limits. Covers single-flow and multi-flow
+    // bandwidth probes without the expensive CCD/whole-CPU scopes.
+    const std::vector<Cell> quick_cells = {{Scope::kCore, 14.9, 3.6}, {Scope::kCcx, 25.1, 7.1}};
+    bench::subheading("EPYC 7302 -> DIMM (read/write)");
+    scope_table(topo::epyc7302(), Target::kDram, quick_cells, jobs);
+    bench::subheading("per-UMC service limits (section 3.3)");
+    bench::row("7302 UMC read", 21.1,
+               measure::single_umc_bandwidth(topo::epyc7302(), Op::kRead).gbps, "GB/s");
+    bench::row("7302 UMC write", 19.0,
+               measure::single_umc_bandwidth(topo::epyc7302(), Op::kWrite).gbps, "GB/s");
+    bench::report_wallclock("table3 quick probes", jobs, watch.elapsed_ms());
+    return 0;
+  }
 
   const std::vector<Cell> cells7302 = {{Scope::kCore, 14.9, 3.6},
                                        {Scope::kCcx, 25.1, 7.1},

@@ -30,6 +30,16 @@ inline int parse_jobs(int argc, char** argv) {
   return exec::resolve_jobs(requested);
 }
 
+/// True when `flag` (e.g. "--quick") appears in argv. Benches use `--quick`
+/// for a reduced-size run whose stdout is golden-tested for bit-identity
+/// across refactors of the simulator core (tests/golden/).
+inline bool parse_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
 /// Per-sweep wall-clock report: printed after each figure/table so speedup
 /// between `--jobs 1` and `--jobs N` runs can be read off directly. Keep it
 /// on stderr so stdout stays byte-identical across jobs counts.

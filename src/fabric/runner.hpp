@@ -1,11 +1,9 @@
 // Executes transactions along a Path on the discrete-event simulator.
 #pragma once
 
-#include <functional>
-#include <memory>
-
 #include "fabric/path.hpp"
 #include "fabric/types.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,8 +18,11 @@ struct Completion {
   double payload_bytes = 0.0;
 };
 
-using CompletionFn = std::function<void(const Completion&)>;
-using ReleaseFn = std::function<void()>;
+/// Move-only, SBO-backed callbacks: constructing them never allocates for the
+/// capture sizes the traffic generators use, which keeps the per-transaction
+/// fast path off the heap entirely.
+using CompletionFn = sim::InlineFunction<void(const Completion&)>;
+using ReleaseFn = sim::InlineFunction<void()>;
 
 /// Issue one transaction of `payload_bytes` along `path`. For reads the
 /// command header travels outbound and the payload returns inbound; for

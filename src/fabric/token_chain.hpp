@@ -4,39 +4,116 @@
 // traffic-control hierarchy before entering the fabric (paper §3.2). Pools
 // are acquired in order (innermost first) and released together when the
 // transaction completes.
+//
+// The grant state lives in a thread-local SlabPool slab, not a shared_ptr:
+// the old implementation allocated a State block plus a self-referential
+// shared_ptr<std::function> per chain (two heap allocations and a latent
+// reference cycle if a grant were dropped while the step closure still held
+// itself). Each pending chain is now one pooled ChainState owned by exactly
+// one ChainGuard, which travels inside the current grant closure; if the
+// simulation is torn down while the chain is still waiting in a TokenPool,
+// destroying the queued closure destroys the guard and returns the state to
+// the pool — nothing leaks and no cycle can form.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstddef>
-#include <functional>
-#include <memory>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "fabric/token_pool.hpp"
+#include "sim/inline_function.hpp"
+#include "sim/slab_pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace scn::fabric {
 
-/// Acquire every pool in `pools` (in order), then invoke `on_all_granted`.
-/// Pools may be empty; null entries are skipped.
-inline void acquire_chain(sim::Simulator& simulator, std::vector<TokenPool*> pools,
-                          std::function<void()> on_all_granted) {
-  struct State {
-    sim::Simulator* simulator;
-    std::vector<TokenPool*> pools;
-    std::function<void()> done;
-  };
-  auto st = std::make_shared<State>(State{&simulator, std::move(pools), std::move(on_all_granted)});
-  auto step = std::make_shared<std::function<void(std::size_t)>>();
-  *step = [st, step](std::size_t idx) {
-    while (idx < st->pools.size() && st->pools[idx] == nullptr) ++idx;
-    if (idx >= st->pools.size()) {
-      st->done();
-      return;
+namespace detail {
+
+/// Deepest supported traffic-control hierarchy. The paper's is 3 levels
+/// (core window / CCX / CCD); 8 leaves headroom for stacked-fabric topologies
+/// without giving the chain state a heap tail.
+inline constexpr std::size_t kMaxChainDepth = 8;
+
+struct ChainState {
+  sim::Simulator* simulator;
+  std::array<TokenPool*, kMaxChainDepth> pools;
+  std::size_t count;
+  std::size_t idx;
+  sim::InlineFunction<void()> done;
+};
+
+inline sim::SlabPool<ChainState>& chain_pool() {
+  static thread_local sim::SlabPool<ChainState> pool(32);
+  return pool;
+}
+
+/// Sole owner of a pending chain's pooled state. Move-only; returns the slot
+/// to the slab whether the chain completes or its grant closure is destroyed
+/// unfired (simulation teardown with transactions still queued on a pool).
+class ChainGuard {
+ public:
+  explicit ChainGuard(ChainState* st) noexcept : st_(st) {}
+  ChainGuard(ChainGuard&& other) noexcept : st_(std::exchange(other.st_, nullptr)) {}
+  ChainGuard& operator=(ChainGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      st_ = std::exchange(other.st_, nullptr);
     }
-    TokenPool* pool = st->pools[idx];
-    pool->acquire(*st->simulator, [st, step, idx] { (*step)(idx + 1); });
-  };
-  (*step)(0);
+    return *this;
+  }
+  ChainGuard(const ChainGuard&) = delete;
+  ChainGuard& operator=(const ChainGuard&) = delete;
+  ~ChainGuard() { reset(); }
+
+  [[nodiscard]] ChainState* get() const noexcept { return st_; }
+
+  void reset() noexcept {
+    if (st_ != nullptr) chain_pool().destroy(std::exchange(st_, nullptr));
+  }
+
+ private:
+  ChainState* st_;
+};
+
+inline void chain_step(ChainGuard guard) {
+  ChainState* st = guard.get();
+  while (st->idx < st->count && st->pools[st->idx] == nullptr) ++st->idx;
+  if (st->idx >= st->count) {
+    // Free the slot before running the continuation: the continuation may
+    // start new chains (and so reuse it) or tear the issuer down.
+    auto done = std::move(st->done);
+    guard.reset();
+    done();
+    return;
+  }
+  TokenPool* pool = st->pools[st->idx++];
+  sim::Simulator& simulator = *st->simulator;
+  pool->acquire(simulator, [g = std::move(guard)]() mutable { chain_step(std::move(g)); });
+}
+
+}  // namespace detail
+
+/// Acquire every pool in `pools` (in order), then invoke `on_all_granted`.
+/// Pools may be empty; null entries are skipped. The pool list is copied into
+/// the chain's pooled state, so the caller's container may be a temporary.
+inline void acquire_chain(sim::Simulator& simulator, const std::vector<TokenPool*>& pools,
+                          sim::InlineFunction<void()> on_all_granted) {
+  if (pools.size() > detail::kMaxChainDepth) {
+    std::fprintf(stderr, "acquire_chain: %zu pools exceeds kMaxChainDepth=%zu\n", pools.size(),
+                 detail::kMaxChainDepth);
+    std::abort();
+  }
+  detail::ChainState* st = detail::chain_pool().create();
+  st->simulator = &simulator;
+  st->count = pools.size();
+  st->idx = 0;
+  for (std::size_t i = 0; i < pools.size(); ++i) st->pools[i] = pools[i];
+  st->done = std::move(on_all_granted);
+  detail::chain_step(detail::ChainGuard(st));
 }
 
 /// Release every (non-null) pool in `pools`.

@@ -13,10 +13,10 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <utility>
 
+#include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
 #include "stats/histogram.hpp"
 
@@ -24,7 +24,9 @@ namespace scn::fabric {
 
 class TokenPool {
  public:
-  using GrantFn = std::function<void()>;
+  /// Move-only with inline capture storage: grants carry pool handles and
+  /// small capture lists, and must never cost an allocation per acquire.
+  using GrantFn = sim::InlineFunction<void()>;
 
   TokenPool(std::string name, std::uint32_t capacity)
       : name_(std::move(name)), capacity_(capacity) {}

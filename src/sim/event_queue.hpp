@@ -2,28 +2,47 @@
 //
 // A 4-ary implicit heap keyed on (time, sequence). The sequence number makes
 // ordering of same-tick events deterministic (FIFO in scheduling order),
-// which is essential for bit-exact reproducibility of experiments.
+// which is essential for bit-exact reproducibility of experiments. Because
+// (time, seq) is a total order, the pop sequence is independent of the heap's
+// internal layout — which is what lets the internals below be optimized
+// freely without perturbing simulation results.
+//
+// Hot-path structure: the callable is an InlineFunction (no allocation for
+// captures up to 64 bytes) parked in a SlabPool slot, while the heap itself
+// orders trivially-copyable 24-byte nodes {time, seq, slot*}. Sifting
+// therefore never runs move constructors or indirect relocation calls, and
+// on the engine's dispatch path (push + run_front) the capture is written
+// exactly once — constructed directly in its slot, invoked in place, then
+// destroyed; it is never relocated at all.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.hpp"
+#include "sim/slab_pool.hpp"
 #include "sim/time.hpp"
 
 namespace scn::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFunction<void()>;
 
 class EventQueue {
  public:
+  /// A popped event: the callable has been moved out of the queue and is
+  /// owned by the caller.
   struct Entry {
     Tick time;
     std::uint64_t seq;
     EventFn fn;
   };
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue() { clear(); }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
@@ -31,59 +50,109 @@ class EventQueue {
   /// Time of the earliest pending event. Precondition: !empty().
   [[nodiscard]] Tick next_time() const noexcept { return heap_.front().time; }
 
-  void push(Tick time, EventFn fn) {
-    heap_.push_back(Entry{time, next_seq_++, std::move(fn)});
-    sift_up(heap_.size() - 1);
+  /// Schedule a callable. Templated so the capture is constructed directly
+  /// inside its pool slot — there is no intermediate EventFn to relocate.
+  template <typename F>
+  void push(Tick time, F&& fn) {
+    EventFn* slot = slots_.create(std::forward<F>(fn));
+    const std::uint64_t seq = next_seq_++;
+    // Open a hole at the back and bubble ancestors down into it; nodes are
+    // PODs, so each level is three word copies.
+    std::size_t i = heap_.size();
+    heap_.emplace_back();
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(time, seq, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = Node{time, seq, slot};
   }
 
   /// Remove and return the earliest event. Precondition: !empty().
   Entry pop() {
-    Entry top = std::move(heap_.front());
-    if (heap_.size() > 1) {
-      heap_.front() = std::move(heap_.back());
-      heap_.pop_back();
-      sift_down(0);
-    } else {
-      heap_.pop_back();
-    }
-    return top;
+    const Node top = heap_.front();
+    Entry out{top.time, top.seq, std::move(*top.fn)};
+    slots_.destroy(top.fn);
+    remove_front();
+    return out;
   }
 
-  void clear() noexcept { heap_.clear(); }
+  /// Pop the earliest event and invoke it in place — the callable never
+  /// leaves its slot. Precondition: !empty(). The heap is restructured
+  /// before the call, so events may freely push new events; the slot itself
+  /// stays live until the callable returns. This is the engine's dispatch
+  /// path; pop() remains for callers that need to own the entry.
+  void run_front() {
+    const Node top = heap_.front();
+    remove_front();
+    // Reclaim via RAII so an event that throws still recycles its slot.
+    struct SlotReclaim {
+      SlabPool<EventFn>* pool;
+      EventFn* fn;
+      ~SlotReclaim() { pool->destroy(fn); }
+    } reclaim{&slots_, top.fn};
+    (*top.fn)();
+  }
+
+  /// Drop all pending events (their callables are destroyed, releasing any
+  /// captured per-transaction state back to its pools).
+  void clear() noexcept {
+    for (const Node& node : heap_) slots_.destroy(node.fn);
+    heap_.clear();
+  }
+
+  /// Pre-size the heap storage (e.g. from a generator that knows its window).
+  void reserve(std::size_t n) { heap_.reserve(n); }
 
  private:
   static constexpr std::size_t kArity = 4;
 
-  static bool before(const Entry& a, const Entry& b) noexcept {
+  /// Detach the root node: sift the displaced last node down through a hole
+  /// at the root. Does not touch the root's slot — callers own it.
+  void remove_front() {
+    const std::size_t n = heap_.size() - 1;
+    if (n > 0) {
+      const Node last = heap_[n];
+      heap_.pop_back();
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first_child = i * kArity + 1;
+        if (first_child >= n) break;
+        std::size_t best = first_child;
+        const std::size_t last_child = first_child + kArity < n ? first_child + kArity : n;
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+          if (before(heap_[c], heap_[best])) best = c;
+        }
+        if (!before(heap_[best], last.time, last.seq)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  /// Internal heap node; trivially copyable by design — keep it that way.
+  struct Node {
+    Tick time;
+    std::uint64_t seq;
+    EventFn* fn;
+  };
+
+  static bool before(const Node& a, const Node& b) noexcept {
     return a.time < b.time || (a.time == b.time && a.seq < b.seq);
   }
-
-  void sift_up(std::size_t i) noexcept {
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / kArity;
-      if (!before(heap_[i], heap_[parent])) break;
-      std::swap(heap_[i], heap_[parent]);
-      i = parent;
-    }
+  static bool before(Tick time, std::uint64_t seq, const Node& b) noexcept {
+    return time < b.time || (time == b.time && seq < b.seq);
+  }
+  static bool before(const Node& a, Tick time, std::uint64_t seq) noexcept {
+    return a.time < time || (a.time == time && a.seq < seq);
   }
 
-  void sift_down(std::size_t i) noexcept {
-    const std::size_t n = heap_.size();
-    for (;;) {
-      const std::size_t first_child = i * kArity + 1;
-      if (first_child >= n) break;
-      std::size_t best = first_child;
-      const std::size_t last_child = std::min(first_child + kArity, n);
-      for (std::size_t c = first_child + 1; c < last_child; ++c) {
-        if (before(heap_[c], heap_[best])) best = c;
-      }
-      if (!before(heap_[best], heap_[i])) break;
-      std::swap(heap_[i], heap_[best]);
-      i = best;
-    }
-  }
-
-  std::vector<Entry> heap_;
+  SlabPool<EventFn> slots_{256};  // declared before heap_: nodes reference slots
+  std::vector<Node> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,158 @@
+// Small-buffer-optimized, move-only callable: the event-loop replacement for
+// std::function.
+//
+// Every scheduled event used to cost a std::function construction, and any
+// capture list larger than the libstdc++ SBO (16 bytes — i.e. nearly every
+// real closure in this codebase: the runner's per-leg continuations carry
+// 24-32 bytes) went through the heap. InlineFunction stores captures up to
+// kInlineBytes (64, a cacheline) directly inside the object, falls back to a
+// single heap cell for oversized captures, and is move-only so it can carry
+// move-only state (pool handles, unique_ptr) that std::function rejects.
+//
+// Invocation through a 3-entry vtable (invoke / relocate / destroy) keeps the
+// object trivially relocatable between heap slots of the event queue: moving
+// an InlineFunction move-constructs the capture into the destination and
+// destroys the source (for heap-stored captures it just moves the pointer).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace scn::sim {
+
+template <typename Signature>
+class InlineFunction;  // primary template; only R(Args...) is defined
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
+ public:
+  /// Captures up to this size (and alignof <= alignof(max_align_t)) live
+  /// inside the object; larger ones go through one heap allocation.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (stores_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      vtable_ = &InlineModel<D>::vtable;
+    } else {
+      D* cell = new D(std::forward<F>(fn));
+      std::memcpy(static_cast<void*>(storage_), &cell, sizeof(cell));
+      vtable_ = &HeapModel<D>::vtable;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// Invoke the held callable. Precondition: !empty (mirrors the engine's
+  /// contract that scheduled events are always callable).
+  R operator()(Args... args) {
+    assert(vtable_ != nullptr && "invoking an empty InlineFunction");
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when captures of type F are stored inline (no heap). Exposed so
+  /// tests can assert the size classes of the hot-path closures.
+  template <typename F>
+  [[nodiscard]] static constexpr bool stores_inline() noexcept {
+    return sizeof(F) <= kInlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src) noexcept;  ///< move-construct dst, destroy src
+    void (*destroy)(void*) noexcept;
+    /// Fast-path flags: when relocation (resp. destruction) is a plain
+    /// memcpy (resp. no-op), steal()/reset() skip the indirect call — this is
+    /// the common case for capture lists of pointers and integers, and for
+    /// heap-stored captures whose storage just holds the owning pointer.
+    bool trivial_relocate;
+    bool trivial_destroy;
+  };
+
+  template <typename F>
+  struct InlineModel {
+    static F* self(void* p) noexcept { return std::launder(reinterpret_cast<F*>(p)); }
+    static R invoke(void* p, Args&&... args) {
+      return (*self(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      F* s = self(src);
+      ::new (dst) F(std::move(*s));
+      s->~F();
+    }
+    static void destroy(void* p) noexcept { self(p)->~F(); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy,
+                                   std::is_trivially_copyable_v<F>,
+                                   std::is_trivially_destructible_v<F>};
+  };
+
+  template <typename F>
+  struct HeapModel {
+    static F* self(void* p) noexcept {
+      F* cell;
+      std::memcpy(&cell, p, sizeof(cell));
+      return cell;
+    }
+    static R invoke(void* p, Args&&... args) {
+      return (*self(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      std::memcpy(dst, src, sizeof(F*));  // ownership moves with the pointer
+    }
+    static void destroy(void* p) noexcept { delete self(p); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy,
+                                   /*trivial_relocate=*/true, /*trivial_destroy=*/false};
+  };
+
+  void steal(InlineFunction& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      vtable_ = other.vtable_;
+      if (vtable_->trivial_relocate) {
+        std::memcpy(storage_, other.storage_, kInlineBytes);
+      } else {
+        vtable_->relocate(storage_, other.storage_);
+      }
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace scn::sim

@@ -20,16 +20,26 @@ class Simulator {
   /// Current simulation time.
   [[nodiscard]] Tick now() const noexcept { return now_; }
 
-  /// Schedule `fn` to run `delay` ticks from now (delay >= 0).
-  void schedule(Tick delay, EventFn fn) {
+  /// Schedule `fn` to run `delay` ticks from now. A negative delay is a
+  /// caller bug (asserts in debug builds); release builds clamp it to "now"
+  /// rather than silently corrupting the heap's time order — step() asserts
+  /// `entry.time >= now_`, so an unclamped past event would also break the
+  /// monotonic-clock invariant every component depends on.
+  /// Templated so the capture is constructed directly in its queue slot
+  /// (no intermediate EventFn); any callable convertible to EventFn works.
+  template <typename F>
+  void schedule(Tick delay, F&& fn) {
     assert(delay >= 0 && "events cannot be scheduled in the past");
-    queue_.push(now_ + delay, std::move(fn));
+    if (delay < 0) delay = 0;
+    queue_.push(now_ + delay, std::forward<F>(fn));
   }
 
-  /// Schedule `fn` at an absolute time (>= now()).
-  void schedule_at(Tick when, EventFn fn) {
+  /// Schedule `fn` at an absolute time (>= now(); clamped like schedule()).
+  template <typename F>
+  void schedule_at(Tick when, F&& fn) {
     assert(when >= now_ && "events cannot be scheduled in the past");
-    queue_.push(when, std::move(fn));
+    if (when < now_) when = now_;
+    queue_.push(when, std::forward<F>(fn));
   }
 
   [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
@@ -53,11 +63,11 @@ class Simulator {
   /// Execute exactly one event if available. Returns false when drained.
   bool step() {
     if (queue_.empty()) return false;
-    auto entry = queue_.pop();
-    assert(entry.time >= now_);
-    now_ = entry.time;
+    const Tick t = queue_.next_time();
+    assert(t >= now_);
+    now_ = t;
     ++executed_;
-    entry.fn();
+    queue_.run_front();  // invokes the callable in place, no relocation
     return true;
   }
 

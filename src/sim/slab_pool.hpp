@@ -1,0 +1,100 @@
+// Free-list slab arena for per-transaction state.
+//
+// The fabric runner used to pay one std::make_shared per transaction (plus
+// atomic refcount traffic) for its Walk state, and the token chain two more
+// allocations per grant sequence. SlabPool hands out fixed-size slots from
+// geometrically-growing slabs and recycles destroyed objects through an
+// intrusive free list, so the steady-state cost of create/destroy is a
+// pointer pop/push — no allocator, no atomics (pools are used thread-locally:
+// one per sweep worker).
+//
+// Lifetime contract: every create() must be matched by destroy() before the
+// pool dies; the pool releases slab memory on destruction but does NOT run
+// destructors of still-live objects (callers own object lifetime — see
+// WalkRef / ChainGuard for the RAII handles the fabric layer uses).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace scn::sim {
+
+template <typename T>
+class SlabPool {
+ public:
+  static constexpr std::size_t kDefaultSlabSlots = 64;
+  static constexpr std::size_t kMaxSlabSlots = 4096;
+
+  explicit SlabPool(std::size_t first_slab_slots = kDefaultSlabSlots) noexcept
+      : next_slab_slots_(first_slab_slots > 0 ? first_slab_slots : 1) {}
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  ~SlabPool() { assert(live_ == 0 && "objects outliving their SlabPool"); }
+
+  /// Construct a T in a recycled (or freshly carved) slot.
+  template <typename... Args>
+  [[nodiscard]] T* create(Args&&... args) {
+    if (free_ == nullptr) grow();
+    Slot* slot = free_;
+    free_ = slot->next;
+    T* obj;
+    try {
+      obj = ::new (static_cast<void*>(slot->bytes)) T(std::forward<Args>(args)...);
+    } catch (...) {
+      slot->next = free_;
+      free_ = slot;
+      throw;
+    }
+    ++live_;
+    return obj;
+  }
+
+  /// Destroy `obj` (must come from this pool) and recycle its slot.
+  void destroy(T* obj) noexcept {
+    assert(obj != nullptr && live_ > 0);
+    obj->~T();
+    Slot* slot = reinterpret_cast<Slot*>(obj);
+    slot->next = free_;
+    free_ = slot;
+    --live_;
+  }
+
+  // --- telemetry (tests, leak diagnostics) ---------------------------------
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+ private:
+  /// A slot is either a live T (bytes) or a free-list link (next). The union
+  /// puts both at offset 0, so destroy() can recover the Slot from the T*.
+  struct Slot {
+    union {
+      Slot* next;
+      alignas(alignof(T)) unsigned char bytes[sizeof(T)];
+    };
+  };
+
+  void grow() {
+    const std::size_t n = next_slab_slots_;
+    next_slab_slots_ = n * 2 < kMaxSlabSlots ? n * 2 : kMaxSlabSlots;
+    slabs_.push_back(std::make_unique<Slot[]>(n));
+    Slot* slab = slabs_.back().get();
+    for (std::size_t i = 0; i + 1 < n; ++i) slab[i].next = &slab[i + 1];
+    slab[n - 1].next = free_;
+    free_ = slab;
+    capacity_ += n;
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  Slot* free_ = nullptr;
+  std::size_t next_slab_slots_;
+  std::size_t live_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace scn::sim

@@ -113,7 +113,8 @@ void Platform::schedule_noise() {
     // Deterministic per-channel phase so stalls do not align across UMCs.
     const sim::Tick phase = (static_cast<sim::Tick>(idx) * 7919 * sim::kTicksPerNs) % interval;
     ++idx;
-    auto tick = std::make_shared<std::function<void(int)>>();
+    noise_ticks_.push_back(std::make_unique<std::function<void(int)>>());
+    std::function<void(int)>* tick = noise_ticks_.back().get();
     fabric::Channel* channel = spec.channel;
     const sim::Tick duration = spec.duration;
     sim::Simulator* simulator = simulator_;

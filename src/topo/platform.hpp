@@ -7,6 +7,7 @@
 // generators; scn::cnet reads the channels/pools back out for telemetry.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -134,6 +135,14 @@ class Platform {
   std::vector<std::unique_ptr<fabric::TokenPool>> ccx_pools_;  // [ccd * ccx_per_ccd + ccx]
   std::vector<std::unique_ptr<fabric::TokenPool>> ccd_pools_;  // [ccd]
   std::vector<std::unique_ptr<mem::DramEndpoint>> dram_detail_;  // [umc], detailed mode
+
+  /// Periodic-noise tick cells. The platform owns them and closures capture
+  /// a raw cell pointer, so a tick holding its own rescheduling closure is
+  /// not a shared_ptr cycle (which leaked every abandoned noise chain at
+  /// teardown). If the platform dies while ticks are still queued, the
+  /// pending closures hold dangling cell pointers but are only destroyed,
+  /// never invoked.
+  std::vector<std::unique_ptr<std::function<void(int)>>> noise_ticks_;
 
   std::map<std::string, std::unique_ptr<fabric::Path>> path_cache_;
 };

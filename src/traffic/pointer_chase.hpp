@@ -5,12 +5,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fabric/path.hpp"
 #include "fabric/types.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "stats/histogram.hpp"
@@ -32,7 +33,7 @@ class PointerChase {
       : simulator_(&simulator), config_(std::move(config)), rng_(config_.seed) {}
 
   /// Begin the chase; `on_done` fires after the last access completes.
-  void start(std::function<void()> on_done = nullptr) {
+  void start(sim::InlineFunction<void()> on_done = nullptr) {
     on_done_ = std::move(on_done);
     issued_ = 0;
     next();
@@ -47,7 +48,7 @@ class PointerChase {
   sim::Simulator* simulator_;
   Config config_;
   sim::Rng rng_;
-  std::function<void()> on_done_;
+  sim::InlineFunction<void()> on_done_;
   std::size_t issued_ = 0;
   std::size_t rr_ = 0;
   stats::Histogram latencies_;

@@ -1,0 +1,22 @@
+# Byte-identity harness for the reduced-size sweep outputs (tests/golden/):
+# runs BENCH in --quick mode at two worker counts and fails if stdout drifts
+# by even one byte. This is the regression net that lets the simulator core
+# be restructured freely — results must not depend on internals or on the
+# number of sweep workers.
+#
+# Invoke: cmake -DBENCH=<exe> -DGOLDEN=<file> -P golden_check.cmake
+file(READ "${GOLDEN}" want)
+foreach(jobs 1 4)
+  execute_process(COMMAND "${BENCH}" --quick --jobs ${jobs}
+                  OUTPUT_VARIABLE got
+                  ERROR_VARIABLE stderr_ignored
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --quick --jobs ${jobs} failed (exit ${rc})")
+  endif()
+  if(NOT got STREQUAL want)
+    message(FATAL_ERROR "stdout of ${BENCH} --quick --jobs ${jobs} deviates "
+                        "from ${GOLDEN}\n--- expected ---\n${want}"
+                        "--- got ---\n${got}")
+  endif()
+endforeach()

@@ -128,6 +128,32 @@ TEST(Simulator, StepExecutesOne) {
   EXPECT_EQ(s.executed_count(), 2u);
 }
 
+TEST(Simulator, NegativeDelayAssertsInDebug) {
+  Simulator s;
+  EXPECT_DEBUG_DEATH(s.schedule(-5, [] {}), "past");
+}
+
+TEST(Simulator, ScheduleAtPastAssertsInDebug) {
+  Simulator s;
+  s.schedule(10, [] {});
+  s.run();
+  EXPECT_DEBUG_DEATH(s.schedule_at(3, [] {}), "past");
+}
+
+#ifdef NDEBUG
+// Release builds must clamp instead of corrupting the heap's time order.
+TEST(Simulator, NegativeDelayClampsToNowInRelease) {
+  Simulator s;
+  s.schedule(10, [&s] {
+    s.schedule(-7, [] {});     // fires "now", i.e. at t=10
+    s.schedule_at(3, [] {});   // likewise clamped to t=10
+  });
+  const Tick end = s.run();
+  EXPECT_EQ(end, 10);
+  EXPECT_EQ(s.executed_count(), 3u);
+}
+#endif
+
 TEST(Simulator, ResetClearsEverything) {
   Simulator s;
   s.schedule(10, [] {});

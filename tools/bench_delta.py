@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare a bench_microperf JSON report against the committed baseline.
+
+Usage: bench_delta.py BASELINE_JSON CURRENT_JSON
+
+Prints a per-metric table of baseline vs current events/sec with the relative
+delta, and flags determinism-checksum drift (a checksum change means the
+simulation executed different work, not just at a different speed — that is a
+correctness signal, not a performance one).
+
+Informational only: CI shared runners have noisy clocks, so the exit code is
+nonzero only for malformed input or checksum drift, never for slow numbers.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if "metrics" not in doc:
+        raise SystemExit(f"{path}: not a bench_microperf report (no 'metrics')")
+    return doc
+
+
+def main(argv):
+    if len(argv) != 3:
+        raise SystemExit(__doc__.strip().splitlines()[2])
+    base, cur = load(argv[1]), load(argv[2])
+
+    print(f"{'metric':<36} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(set(base["metrics"]) | set(cur["metrics"])):
+        b = base["metrics"].get(name)
+        c = cur["metrics"].get(name)
+        if b is None or c is None:
+            print(f"{name:<36} {'-' if b is None else f'{b:12.0f}'}"
+                  f" {'-' if c is None else f'{c:12.0f}'}   (new/removed)")
+            continue
+        delta = (c - b) / b * 100.0 if b else 0.0
+        print(f"{name:<36} {b:12.0f} {c:12.0f} {delta:+7.1f}%")
+
+    drift = []
+    for name, want in base.get("checksums", {}).items():
+        got = cur.get("checksums", {}).get(name)
+        if got is not None and got != want:
+            drift.append(f"{name}: baseline {want} != current {got}")
+    if drift:
+        print("\nDETERMINISM CHECKSUM DRIFT (simulated work changed):")
+        for line in drift:
+            print(f"  {line}")
+        return 1
+    print("\nchecksums match: simulated work is identical to the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
