@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "bench/bench_util.hpp"
+#include "bench/options.hpp"
 #include "cnet/traffic_manager.hpp"
 #include "measure/experiment.hpp"
 #include "measure/partition.hpp"
@@ -60,10 +61,19 @@ void run(const topo::PlatformParams& params, SweepLink link) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Options opt("bench_ablation_manager",
+                     "Ablation A: sender-driven partitioning vs traffic manager");
+  opt.parse(argc, argv);
   bench::heading("Ablation A: sender-driven partitioning vs global traffic manager");
-  run(topo::epyc9634(), SweepLink::kIfIntraCc);
-  run(topo::epyc7302(), SweepLink::kGmi);
+  if (opt.has_platform()) {
+    const auto p = opt.platform_or("epyc9634");
+    run(p, SweepLink::kIfIntraCc);
+    run(p, SweepLink::kGmi);
+  } else {
+    run(topo::epyc9634(), SweepLink::kIfIntraCc);
+    run(topo::epyc7302(), SweepLink::kGmi);
+  }
   bench::note("the manager restores jain ~= 1.0 at comparable total throughput,");
   bench::note("materializing the flow abstraction the paper argues for");
   return 0;

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "bench/bench_util.hpp"
+#include "bench/options.hpp"
 #include "measure/bandwidth.hpp"
 #include "measure/experiment.hpp"
 #include "measure/latency.hpp"
@@ -64,12 +65,12 @@ void latency_rows(const topo::PlatformParams& params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Options opt("bench_ablation_model", "Ablation B: analytic model vs simulator");
+  opt.parse(argc, argv);
   bench::heading("Ablation B: analytic chiplet performance model vs simulator");
   bench::note("rows print simulator value in the 'paper' column, model in 'measured'");
-  bandwidth_rows(topo::epyc7302());
-  bandwidth_rows(topo::epyc9634());
-  latency_rows(topo::epyc7302());
-  latency_rows(topo::epyc9634());
+  for (const auto& p : opt.platforms()) bandwidth_rows(p);
+  for (const auto& p : opt.platforms()) latency_rows(p);
   return 0;
 }

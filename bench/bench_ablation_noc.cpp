@@ -3,6 +3,7 @@
 // torus, and buffered vs bufferless routers, under the uniform and
 // quadrant (GMI->local-UMC) traffic patterns of a server I/O die.
 #include "bench/bench_util.hpp"
+#include "bench/options.hpp"
 #include "noc/bufferless.hpp"
 #include "noc/network.hpp"
 #include "noc/traffic.hpp"
@@ -37,7 +38,16 @@ void sweep_bufferless(NocConfig cfg, Pattern pattern, const char* label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Options opt("bench_ablation_noc", "Ablation C: flit-level NoC routing study");
+  opt.parse(argc, argv);
+  if (opt.has_platform()) {
+    // The flit-level NoC study is parameterized by NocConfig, not by a
+    // platform spec; still resolve/validate the flag so a typo'd spec fails
+    // loudly here too.
+    std::fprintf(stderr, "bench_ablation_noc: --platform '%s' parsed OK but has no effect here\n",
+                 opt.platform_arg().c_str());
+  }
   bench::heading("Ablation C: I/O-die NoC routing disciplines (4x4, 4-flit packets)");
   NocConfig mesh;
   mesh.width = 4;

@@ -2,6 +2,7 @@
 // Fabric, GMI, and P-Link/CXL — the "inconsistent bandwidth-delay product"
 // characterization (§3.4). One panel per sub-figure.
 #include "bench/bench_util.hpp"
+#include "bench/options.hpp"
 #include "measure/loadsweep.hpp"
 #include "topo/params.hpp"
 
@@ -24,16 +25,47 @@ void panel(const char* tag, const topo::PlatformParams& params, SweepLink link, 
   bench::note(paper_note);
 }
 
+/// Generic panel set for a `--platform` override: no paper anchors exist for
+/// a custom spec, so sweep every link class the platform has.
+void custom_platform_panels(const topo::PlatformParams& p, int jobs, bool quick) {
+  const int points = quick ? 3 : 7;
+  panel("(if)", p, SweepLink::kIfIntraCc, Op::kRead, jobs, "custom platform: no paper reference",
+        points);
+  panel("(gmi.read)", p, SweepLink::kGmi, Op::kRead, jobs, "custom platform: no paper reference",
+        points);
+  if (!quick) {
+    panel("(gmi.write)", p, SweepLink::kGmi, Op::kWrite, jobs,
+          "custom platform: no paper reference", points);
+  }
+  if (p.has_cxl()) {
+    panel("(plink.read)", p, SweepLink::kPlink, Op::kRead, jobs,
+          "custom platform: no paper reference", points);
+    if (!quick) {
+      panel("(plink.write)", p, SweepLink::kPlink, Op::kWrite, jobs,
+            "custom platform: no paper reference", points);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
-  const bool quick = bench::parse_flag(argc, argv, "--quick");
+  bench::Options opt("bench_fig3_bdp", "Figure 3: latency vs offered load per link class");
+  opt.parse(argc, argv);
+  const int jobs = opt.jobs();
+  const bool quick = opt.quick();
   bench::heading("Figure 3: latency vs load (avg / P999)");
+
+  exec::Stopwatch watch;
+  if (opt.has_platform()) {
+    const auto p = opt.platform_or("epyc9634");
+    custom_platform_panels(p, jobs, quick);
+    bench::report_wallclock("fig3 load sweeps", jobs, watch.elapsed_ms());
+    return 0;
+  }
   const auto p7 = topo::epyc7302();
   const auto p9 = topo::epyc9634();
 
-  exec::Stopwatch watch;
   if (quick) {
     // Reduced golden-test configuration: one panel per link class, fewer
     // load points. Exercises the same flow/pool/channel machinery as the

@@ -1,6 +1,7 @@
 // Figure 4: bandwidth partitioning of two competing flows at a shared link —
 // sender-driven aggressive partitioning (§3.5). Four demand cases per link.
 #include "bench/bench_util.hpp"
+#include "bench/options.hpp"
 #include "measure/partition.hpp"
 #include "stats/fairness.hpp"
 #include "topo/params.hpp"
@@ -29,10 +30,21 @@ void link_panel(const topo::PlatformParams& params, SweepLink link, int jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  bench::Options opt("bench_fig4_partition", "Figure 4: bandwidth partitioning of two flows");
+  opt.parse(argc, argv);
+  const int jobs = opt.jobs();
   bench::heading("Figure 4: bandwidth partitioning of two competing flows");
   bench::note("req 0.0 == unthrottled; case 4 demands are pushed in-flight (aggressive sender)");
   exec::Stopwatch watch;
+  if (opt.has_platform()) {
+    // Generic panel set for a platform override: every link class the spec has.
+    const auto p = opt.platform_or("epyc9634");
+    link_panel(p, SweepLink::kIfIntraCc, jobs);
+    link_panel(p, SweepLink::kGmi, jobs);
+    if (p.has_cxl()) link_panel(p, SweepLink::kPlink, jobs);
+    bench::report_wallclock("fig4 partition cases", jobs, watch.elapsed_ms());
+    return 0;
+  }
   link_panel(topo::epyc7302(), SweepLink::kIfIntraCc, jobs);
   link_panel(topo::epyc7302(), SweepLink::kGmi, jobs);
   link_panel(topo::epyc9634(), SweepLink::kIfIntraCc, jobs);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "bench/options.hpp"
 #include "measure/harvest.hpp"
 #include "topo/params.hpp"
 
@@ -50,8 +51,24 @@ void panel(const topo::PlatformParams& params, SweepLink link, const measure::Ha
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  bench::Options opt("bench_fig5_harvest", "Figure 5: harvesting under fluctuating demand");
+  opt.parse(argc, argv);
+  const int jobs = opt.jobs();
   bench::heading("Figure 5: bandwidth harvesting under fluctuating demand");
+  if (opt.has_platform()) {
+    // Generic panel set for a platform override: IF always, P-Link when the
+    // spec configures a CXL module. No paper anchors for a custom spec.
+    const auto p = opt.platform_or("epyc9634");
+    std::vector<measure::HarvestCase> cases{{p, SweepLink::kIfIntraCc}};
+    if (p.has_cxl()) cases.push_back({p, SweepLink::kPlink});
+    exec::Stopwatch watch;
+    const auto traces = measure::harvest_traces(cases, jobs);
+    bench::report_wallclock("fig5 harvest traces", jobs, watch.elapsed_ms());
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      panel(cases[i].params, cases[i].link, traces[i], "custom platform: no paper reference");
+    }
+    return 0;
+  }
   // All three panel traces are independent Experiments: run them through the
   // sweep engine, then print in panel order.
   const std::vector<measure::HarvestCase> cases{

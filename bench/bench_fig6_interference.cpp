@@ -2,6 +2,7 @@
 // EPYC 9634 — frontend stream X at max rate vs swept background stream Y;
 // interference appears only once a link *direction* saturates (§3.5).
 #include "bench/bench_util.hpp"
+#include "bench/options.hpp"
 #include "measure/interference.hpp"
 #include "topo/params.hpp"
 
@@ -37,8 +38,24 @@ void link_panel(const topo::PlatformParams& params, SweepLink link, int jobs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  bench::Options opt("bench_fig6_interference", "Figure 6: read/write interference (X-Y)");
+  opt.parse(argc, argv);
+  const int jobs = opt.jobs();
   exec::Stopwatch watch;
+  if (opt.has_platform()) {
+    // Generic panel set for a platform override: every link class the spec
+    // has, measured-only notes.
+    const auto p = opt.platform_or("epyc9634");
+    bench::heading("Figure 6: read/write interference (X-Y) on " + p.name);
+    link_panel(p, SweepLink::kIfIntraCc, jobs, "custom platform: no paper reference");
+    link_panel(p, SweepLink::kIfInterCc, jobs, "custom platform: no paper reference");
+    link_panel(p, SweepLink::kGmi, jobs, "custom platform: no paper reference");
+    if (p.has_cxl()) {
+      link_panel(p, SweepLink::kPlink, jobs, "custom platform: no paper reference");
+    }
+    bench::report_wallclock("fig6 interference sweeps", jobs, watch.elapsed_ms());
+    return 0;
+  }
   bench::heading("Figure 6: read/write interference (X-Y) on the EPYC 9634");
   const auto p9 = topo::epyc9634();
   link_panel(p9, SweepLink::kIfIntraCc, jobs,

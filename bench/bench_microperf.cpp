@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "fabric/channel.hpp"
 #include "fabric/path.hpp"
 #include "fabric/runner.hpp"
@@ -370,22 +371,19 @@ int run_tracked_harness(const std::string& json_path, int repeats) {
 int main(int argc, char** argv) {
   std::string json_path;
   int repeats = 5;
-  std::vector<char*> passthrough;
-  passthrough.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
-      repeats = std::atoi(argv[++i]);
-    } else {
-      passthrough.push_back(argv[i]);
-    }
+  scn::bench::Options opt("bench_microperf", "micro-benchmarks for the simulator hot paths");
+  opt.value("--json", &json_path, "write the tracked-harness report to this path")
+      .value_int("--repeat", &repeats, "tracked-harness repetitions (default 5)")
+      .passthrough_unknown();  // everything else goes to the google-benchmark runner
+  opt.parse(argc, argv);
+  if (opt.has_platform()) {
+    std::fprintf(stderr, "bench_microperf: --platform '%s' parsed OK but has no effect here\n",
+                 opt.platform_arg().c_str());
   }
   if (!json_path.empty()) {
     return run_tracked_harness(json_path, repeats > 0 ? repeats : 1);
   }
+  auto& passthrough = opt.passthrough();
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;

@@ -1,43 +1,63 @@
-// Table 1: hardware specifications of the two evaluated processors
-// (structural parameters encoded in the topo presets; printed for reference
-// and checked against the paper's values).
+// Table 1: hardware specifications of the evaluated processors (structural
+// parameters encoded in the platform specs; printed for reference and, for
+// the two characterized boxes, checked against the paper's values). With
+// `--platform` the table prints whatever spec was loaded instead.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.hpp"
+#include "bench/options.hpp"
 #include "topo/params.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scn;
-  bench::heading("Table 1: HW specifications of the two evaluated processors");
-  const auto p7 = topo::epyc7302();
-  const auto p9 = topo::epyc9634();
-  std::printf("  %-34s %-12s %-12s\n", "Parameter", "EPYC 7302", "EPYC 9634");
-  auto line = [](const char* k, const std::string& a, const std::string& b) {
-    std::printf("  %-34s %-12s %-12s\n", k, a.c_str(), b.c_str());
+  bench::Options opt("bench_table1_specs", "Table 1: HW specifications");
+  opt.parse(argc, argv);
+  if (opt.has_platform()) {
+    bench::heading("Table 1: HW specifications");
+  } else {
+    bench::heading("Table 1: HW specifications of the two evaluated processors");
+  }
+  const auto platforms = opt.platforms();
+
+  std::printf("  %-34s", "Parameter");
+  for (const auto& p : platforms) std::printf(" %-12s", p.name.c_str());
+  std::printf("\n");
+  auto line = [&](const char* k, auto&& fmt) {
+    std::printf("  %-34s", k);
+    for (const auto& p : platforms) std::printf(" %-12s", fmt(p).c_str());
+    std::printf("\n");
   };
-  line("Microarchitecture", p7.microarchitecture, p9.microarchitecture);
-  line("L1 (per core)", std::to_string((int)p7.l1_kb) + "KB", std::to_string((int)p9.l1_kb) + "KB");
-  line("L2 (per core)", std::to_string((int)p7.l2_kb) + "KB",
-       std::to_string((int)(p9.l2_kb / 1024)) + "MB");
-  line("L3 (per CPU)",
-       std::to_string((int)(p7.l3_mb_per_ccx * p7.ccd_count * p7.ccx_per_ccd)) + "MB",
-       std::to_string((int)(p9.l3_mb_per_ccx * p9.ccd_count)) + "MB");
-  line("Core#/CCX#/CCD# (per CPU)",
-       std::to_string(p7.total_cores()) + "/" + std::to_string(p7.ccd_count * p7.ccx_per_ccd) +
-           "/" + std::to_string(p7.ccd_count),
-       std::to_string(p9.total_cores()) + "/" + std::to_string(p9.ccd_count * p9.ccx_per_ccd) +
-           "/" + std::to_string(p9.ccd_count));
-  line("Compute chiplets # (per CPU)", std::to_string(p7.ccd_count), std::to_string(p9.ccd_count));
-  line("Process technology (compute)", p7.process_compute, p9.process_compute);
-  line("I/O chiplets # (per CPU)", "1", "1");
-  line("Process technology (I/O die)", p7.process_io, p9.process_io);
-  line("PCIe Gen/Lane #", p7.pcie, p9.pcie);
-  line("Base/Turbo frequency",
-       std::to_string(p7.base_ghz).substr(0, 4) + "/" + std::to_string(p7.turbo_ghz).substr(0, 4) +
-           " GHz",
-       std::to_string(p9.base_ghz).substr(0, 4) + "/" + std::to_string(p9.turbo_ghz).substr(0, 4) +
-           " GHz");
-  line("UMC # (model)", std::to_string(p7.umc_count), std::to_string(p9.umc_count));
-  bench::note("paper: Table 1; all structural values match by construction");
+  line("Microarchitecture", [](const topo::PlatformParams& p) { return p.microarchitecture; });
+  line("L1 (per core)",
+       [](const topo::PlatformParams& p) { return std::to_string((int)p.l1_kb) + "KB"; });
+  line("L2 (per core)", [](const topo::PlatformParams& p) {
+    const int kb = (int)p.l2_kb;
+    return kb >= 1024 && kb % 1024 == 0 ? std::to_string(kb / 1024) + "MB"
+                                        : std::to_string(kb) + "KB";
+  });
+  line("L3 (per CPU)", [](const topo::PlatformParams& p) {
+    return std::to_string((int)(p.l3_mb_per_ccx * p.ccd_count * p.ccx_per_ccd)) + "MB";
+  });
+  line("Core#/CCX#/CCD# (per CPU)", [](const topo::PlatformParams& p) {
+    return std::to_string(p.total_cores()) + "/" + std::to_string(p.ccd_count * p.ccx_per_ccd) +
+           "/" + std::to_string(p.ccd_count);
+  });
+  line("Compute chiplets # (per CPU)",
+       [](const topo::PlatformParams& p) { return std::to_string(p.ccd_count); });
+  line("Process technology (compute)",
+       [](const topo::PlatformParams& p) { return p.process_compute; });
+  line("I/O chiplets # (per CPU)", [](const topo::PlatformParams&) { return std::string("1"); });
+  line("Process technology (I/O die)",
+       [](const topo::PlatformParams& p) { return p.process_io; });
+  line("PCIe Gen/Lane #", [](const topo::PlatformParams& p) { return p.pcie; });
+  line("Base/Turbo frequency", [](const topo::PlatformParams& p) {
+    return std::to_string(p.base_ghz).substr(0, 4) + "/" + std::to_string(p.turbo_ghz).substr(0, 4) +
+           " GHz";
+  });
+  line("UMC # (model)", [](const topo::PlatformParams& p) { return std::to_string(p.umc_count); });
+  if (!opt.has_platform()) {
+    bench::note("paper: Table 1; all structural values match by construction");
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "bench/options.hpp"
 #include "measure/bandwidth.hpp"
 #include "topo/params.hpp"
 
@@ -38,13 +39,52 @@ void scope_table(const topo::PlatformParams& params, Target target,
   }
 }
 
+/// Measured-only tables for a `--platform` override (no paper column exists
+/// for a custom spec): read/write per scope to DRAM, and to CXL when the
+/// spec configures a module, plus the per-UMC service limits.
+void custom_platform_tables(const topo::PlatformParams& params, int jobs, bool quick) {
+  const std::vector<Scope> scopes =
+      quick ? std::vector<Scope>{Scope::kCore, Scope::kCcx}
+            : std::vector<Scope>{Scope::kCore, Scope::kCcx, Scope::kCcd, Scope::kCpu};
+  std::vector<Target> targets{Target::kDram};
+  if (params.has_cxl()) targets.push_back(Target::kCxl);
+  for (Target target : targets) {
+    std::vector<measure::BandwidthCase> batch;
+    for (Scope scope : scopes) {
+      batch.push_back({params, scope, Op::kRead, target});
+      batch.push_back({params, scope, Op::kWrite, target});
+    }
+    bench::subheading(params.name + (target == Target::kCxl ? " -> CXL" : " -> DIMM") +
+                      " (read/write)");
+    const auto results = measure::max_bandwidth_batch(batch, jobs);
+    for (std::size_t i = 0; i < scopes.size(); ++i) {
+      bench::row(std::string("from ") + to_string(scopes[i]) + " read", results[2 * i].gbps,
+                 "GB/s");
+      bench::row(std::string("from ") + to_string(scopes[i]) + " write", results[2 * i + 1].gbps,
+                 "GB/s");
+    }
+  }
+  bench::subheading("per-UMC service limits");
+  bench::row("UMC read", measure::single_umc_bandwidth(params, Op::kRead).gbps, "GB/s");
+  bench::row("UMC write", measure::single_umc_bandwidth(params, Op::kWrite).gbps, "GB/s");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
-  const bool quick = bench::parse_flag(argc, argv, "--quick");
+  bench::Options opt("bench_table3_bandwidth",
+                     "Table 3: max achieved bandwidth per scope and target");
+  opt.parse(argc, argv);
+  const int jobs = opt.jobs();
+  const bool quick = opt.quick();
   exec::Stopwatch watch;
   bench::heading("Table 3: maximum achieved bandwidth (GB/s)");
+
+  if (opt.has_platform()) {
+    custom_platform_tables(opt.platform_or("epyc9634"), jobs, quick);
+    bench::report_wallclock("table3 bandwidth probes", jobs, watch.elapsed_ms());
+    return 0;
+  }
 
   if (quick) {
     // Reduced golden-test configuration: the EPYC 7302 core/CCX cells plus

@@ -14,31 +14,9 @@
 
 namespace scn::bench {
 
-/// Parse `--jobs N` / `--jobs=N` from argv and resolve it through
-/// exec::resolve_jobs (so `SCN_JOBS` and hardware concurrency apply when the
-/// flag is absent). Every sweep bench accepts this flag; results are
-/// bit-identical for any value, only wall-clock changes.
-inline int parse_jobs(int argc, char** argv) {
-  int requested = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      requested = std::atoi(argv[i + 1]);
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      requested = std::atoi(argv[i] + 7);
-    }
-  }
-  return exec::resolve_jobs(requested);
-}
-
-/// True when `flag` (e.g. "--quick") appears in argv. Benches use `--quick`
-/// for a reduced-size run whose stdout is golden-tested for bit-identity
-/// across refactors of the simulator core (tests/golden/).
-inline bool parse_flag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return true;
-  }
-  return false;
-}
+// Flag parsing (--jobs/--quick/--platform and per-binary flags) lives in
+// bench/options.hpp (scn::bench::Options); this header keeps only the
+// table/figure formatting helpers.
 
 /// Per-sweep wall-clock report: printed after each figure/table so speedup
 /// between `--jobs 1` and `--jobs N` runs can be read off directly. Keep it

@@ -1,0 +1,232 @@
+// Shared CLI layer for every bench and example binary.
+//
+// Replaces the ad-hoc parse_jobs/parse_flag scattered across main()s with
+// one parser that knows the three cross-cutting flags:
+//
+//   --jobs N                 sweep worker threads (SCN_JOBS also honoured)
+//   --quick                  reduced golden-test configuration
+//   --platform <name|file>   a builtin (epyc7302/epyc9634) or a .scn spec
+//
+// plus per-binary flags registered by the caller. Malformed numbers and
+// unknown flags are hard errors: usage on stderr and exit(2) — never a
+// silent fallback to a default (the old std::atoi path mapped `--jobs abc`
+// to the hardware default).
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.hpp"
+#include "spec/spec.hpp"
+#include "topo/params.hpp"
+
+namespace scn::bench {
+
+class Options {
+ public:
+  explicit Options(const char* prog, const char* tagline = "")
+      : prog_(prog), tagline_(tagline) {}
+
+  /// Register a boolean flag (`--name`).
+  Options& flag(const char* name, bool* out, const char* help) {
+    specs_.push_back({name, Spec::kBool, out, nullptr, nullptr, help});
+    return *this;
+  }
+
+  /// Register an integer flag (`--name N` or `--name=N`).
+  Options& value_int(const char* name, int* out, const char* help) {
+    specs_.push_back({name, Spec::kInt, nullptr, out, nullptr, help});
+    return *this;
+  }
+
+  /// Register a string flag (`--name V` or `--name=V`).
+  Options& value(const char* name, std::string* out, const char* help) {
+    specs_.push_back({name, Spec::kString, nullptr, nullptr, out, help});
+    return *this;
+  }
+
+  /// Accept bare (non `--`) arguments; the handler returns false to reject.
+  Options& positional(std::function<bool(const std::string&)> handler, const char* help) {
+    positional_ = std::move(handler);
+    positional_help_ = help;
+    return *this;
+  }
+
+  /// Collect unrecognized `--` flags into passthrough() instead of erroring
+  /// (bench_microperf forwards them to the google-benchmark runner).
+  Options& passthrough_unknown() {
+    passthrough_unknown_ = true;
+    return *this;
+  }
+
+  void parse(int argc, char** argv) {
+    passthrough_.clear();
+    passthrough_.push_back(argv[0]);
+    int requested_jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_usage(stdout);
+        std::exit(0);
+      }
+      if (arg == "--quick") {
+        quick_ = true;
+        continue;
+      }
+      if (consume_valued(arg, "--jobs", argc, argv, i, [&](const std::string& v) {
+            requested_jobs = parse_int(v, "--jobs");
+          })) {
+        continue;
+      }
+      if (consume_valued(arg, "--platform", argc, argv, i, [&](const std::string& v) {
+            platform_arg_ = v;
+          })) {
+        continue;
+      }
+      bool matched = false;
+      for (const auto& s : specs_) {
+        if (s.kind == Spec::kBool) {
+          if (arg == s.name) {
+            *s.b = true;
+            matched = true;
+            break;
+          }
+          continue;
+        }
+        if (consume_valued(arg, s.name, argc, argv, i, [&](const std::string& v) {
+              if (s.kind == Spec::kInt) {
+                *s.i = parse_int(v, s.name);
+              } else {
+                *s.str = v;
+              }
+            })) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+        if (passthrough_unknown_) {
+          passthrough_.push_back(argv[i]);
+          continue;
+        }
+        die("unknown flag '" + arg + "'");
+      }
+      if (positional_ && positional_(arg)) continue;
+      die("unexpected argument '" + arg + "'");
+    }
+    jobs_ = exec::resolve_jobs(requested_jobs);
+    if (!platform_arg_.empty()) {
+      try {
+        platform_ = spec::resolve(platform_arg_);
+      } catch (const spec::Error& e) {
+        die(std::string("--platform: ") + e.what());
+      }
+    }
+  }
+
+  // ---- cross-cutting flags -------------------------------------------------
+  [[nodiscard]] int jobs() const { return jobs_; }
+  [[nodiscard]] bool quick() const { return quick_; }
+  [[nodiscard]] bool has_platform() const { return platform_.has_value(); }
+  [[nodiscard]] const std::string& platform_arg() const { return platform_arg_; }
+
+  /// The `--platform` parameters; `default_name` (a builtin) when absent.
+  [[nodiscard]] topo::PlatformParams platform_or(const char* default_name) const {
+    return platform_ ? *platform_ : spec::lookup(default_name);
+  }
+
+  /// The platform set a comparison binary should run: the `--platform`
+  /// override alone, or both characterized builtins.
+  [[nodiscard]] std::vector<topo::PlatformParams> platforms() const {
+    if (platform_) return {*platform_};
+    return {spec::lookup("epyc7302"), spec::lookup("epyc9634")};
+  }
+
+  /// argv[0] plus unrecognized flags, for benchmark::Initialize-style APIs.
+  [[nodiscard]] std::vector<char*>& passthrough() { return passthrough_; }
+
+  [[noreturn]] void die(const std::string& msg) const {
+    std::fprintf(stderr, "%s: %s\n", prog_, msg.c_str());
+    print_usage(stderr);
+    std::exit(2);
+  }
+
+ private:
+  struct Spec {
+    enum Kind { kBool, kInt, kString };
+    const char* name;
+    Kind kind;
+    bool* b;
+    int* i;
+    std::string* str;
+    const char* help;
+  };
+
+  /// Handle `--name V` and `--name=V`; advances `i` for the split form.
+  template <typename Fn>
+  bool consume_valued(const std::string& arg, const char* name, int argc, char** argv, int& i,
+                      Fn&& apply) const {
+    const std::size_t n = std::strlen(name);
+    if (arg == name) {
+      if (i + 1 >= argc) die(std::string("flag '") + name + "' needs a value");
+      apply(std::string(argv[++i]));
+      return true;
+    }
+    if (arg.size() > n + 1 && arg.compare(0, n, name) == 0 && arg[n] == '=') {
+      apply(arg.substr(n + 1));
+      return true;
+    }
+    return false;
+  }
+
+  /// strtol with a full-consumption check: `abc`, `3x` and overflow are
+  /// errors, not silently 0.
+  [[nodiscard]] int parse_int(const std::string& v, const char* name) const {
+    errno = 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || errno == ERANGE || parsed < 0 || parsed > 1 << 20) {
+      die(std::string("flag '") + name + "': bad value '" + v + "'");
+    }
+    return static_cast<int>(parsed);
+  }
+
+  void print_usage(std::FILE* out) const {
+    std::fprintf(out, "usage: %s [--jobs N] [--quick] [--platform <name|file.scn>]", prog_);
+    for (const auto& s : specs_) {
+      std::fprintf(out, " [%s%s]", s.name, s.kind == Spec::kBool ? "" : " V");
+    }
+    if (positional_help_ != nullptr) std::fprintf(out, " %s", positional_help_);
+    std::fprintf(out, "\n");
+    if (tagline_ != nullptr && tagline_[0] != '\0') std::fprintf(out, "  %s\n", tagline_);
+    std::fprintf(out, "  --jobs N       sweep worker threads (0/default: SCN_JOBS or all cores)\n");
+    std::fprintf(out, "  --quick        reduced golden-test configuration\n");
+    std::fprintf(out,
+                 "  --platform P   builtin platform name (epyc7302, epyc9634) or .scn spec file\n");
+    for (const auto& s : specs_) {
+      std::fprintf(out, "  %-14s %s\n", s.name, s.help);
+    }
+  }
+
+  const char* prog_;
+  const char* tagline_;
+  std::vector<Spec> specs_;
+  std::function<bool(const std::string&)> positional_;
+  const char* positional_help_ = nullptr;
+  bool passthrough_unknown_ = false;
+
+  bool quick_ = false;
+  int jobs_ = 1;
+  std::string platform_arg_;
+  std::optional<topo::PlatformParams> platform_;
+  std::vector<char*> passthrough_;
+};
+
+}  // namespace scn::bench

@@ -7,12 +7,16 @@
 // Examples:
 //   ./chipletperf 9634 mixed 60           # human-readable report
 //   ./chipletperf 7302 cpu 40 --json      # machine-readable telemetry
+//   ./chipletperf --platform my.scn cpu   # profile a custom spec
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "cnet/flow.hpp"
 #include "cnet/profiler.hpp"
 #include "cnet/telemetry.hpp"
@@ -24,38 +28,41 @@ namespace {
 
 using namespace scn;
 
-struct Options {
-  bool is9634 = true;
-  std::string scenario = "mixed";
+struct Scenario {
+  std::string name = "mixed";
   double duration_us = 60.0;
   bool json = false;
 };
 
-Options parse(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "7302") {
-      opt.is9634 = false;
-    } else if (arg == "9634") {
-      opt.is9634 = true;
-    } else if (arg == "ccd" || arg == "cpu" || arg == "cxl" || arg == "mixed") {
-      opt.scenario = arg;
-    } else if (arg == "--json") {
-      opt.json = true;
-    } else {
-      opt.duration_us = std::atof(arg.c_str());
-      if (opt.duration_us <= 0.0) opt.duration_us = 60.0;
-    }
-  }
-  return opt;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
-  const auto params = opt.is9634 ? topo::epyc9634() : topo::epyc7302();
+  Scenario opt;
+  std::string positional_platform = "epyc9634";
+  bench::Options cli("chipletperf", "profile a workload scenario's chiplet-network flows");
+  cli.flag("--json", &opt.json, "dump machine-readable telemetry instead of the report")
+      .positional(
+          [&](const std::string& arg) {
+            if (arg == "7302" || arg == "9634") {
+              positional_platform = "epyc" + arg;
+              return true;
+            }
+            if (arg == "ccd" || arg == "cpu" || arg == "cxl" || arg == "mixed") {
+              opt.name = arg;
+              return true;
+            }
+            char* end = nullptr;
+            const double d = std::strtod(arg.c_str(), &end);
+            if (end != arg.c_str() && *end == '\0' && d > 0.0) {
+              opt.duration_us = d;
+              return true;
+            }
+            return false;
+          },
+          "[7302|9634] [ccd|cpu|cxl|mixed] [duration_us]");
+  cli.parse(argc, argv);
+  const auto params =
+      cli.has_platform() ? cli.platform_or("epyc9634") : spec::lookup(positional_platform);
   measure::Experiment e(params);
   auto& platform = e.platform;
 
@@ -101,16 +108,16 @@ int main(int argc, char** argv) {
   };
 
   std::vector<fabric::FlowId> ids;
-  if (opt.scenario == "ccd") {
+  if (opt.name == "ccd") {
     for (int c = 0; c < params.cores_per_ccx; ++c) {
       ids.push_back(add_flow(0, 0, cnet::Domain::kDram, fabric::Op::kRead, 0.0));
     }
-  } else if (opt.scenario == "cpu") {
+  } else if (opt.name == "cpu") {
     for (int d = 0; d < params.ccd_count; ++d) {
       ids.push_back(add_flow(d, 0, cnet::Domain::kDram, fabric::Op::kRead, 0.0));
     }
-  } else if (opt.scenario == "cxl" && params.has_cxl()) {
-    for (int d = 0; d < 4; ++d) {
+  } else if (opt.name == "cxl" && params.has_cxl()) {
+    for (int d = 0; d < std::min(4, params.ccd_count); ++d) {
       ids.push_back(add_flow(d, 0, cnet::Domain::kCxl, fabric::Op::kRead, 0.0));
     }
   } else {  // mixed
@@ -118,7 +125,7 @@ int main(int argc, char** argv) {
     ids.push_back(add_flow(0, 0, cnet::Domain::kDram, fabric::Op::kWrite, 0.0));
     ids.push_back(add_flow(1 % params.ccd_count, 0, cnet::Domain::kDram, fabric::Op::kRead, 6.0));
     if (params.has_cxl()) {
-      ids.push_back(add_flow(2, 0, cnet::Domain::kCxl, fabric::Op::kRead, 0.0));
+      ids.push_back(add_flow(2 % params.ccd_count, 0, cnet::Domain::kCxl, fabric::Op::kRead, 0.0));
     }
   }
 
@@ -139,7 +146,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("chipletperf: %s, scenario '%s', %.0f us simulated\n\n", params.name.c_str(),
-              opt.scenario.c_str(), opt.duration_us);
+              opt.name.c_str(), opt.duration_us);
   std::printf("flows:\n");
   for (std::size_t i = 0; i < flows.size(); ++i) {
     std::printf("  %-28s %7.2f GB/s   %s\n", flows[i]->name().c_str(),

@@ -8,13 +8,14 @@
 // The split points are independent Experiments, so they fan out over the
 // scn::exec sweep engine; output is identical for any --jobs value.
 //
-//   $ ./cxl_tiering [--jobs N]     (SCN_JOBS also honoured)
+//   $ ./cxl_tiering [--jobs N] [--platform <name|file.scn>]   (SCN_JOBS honoured)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "exec/sweep.hpp"
 #include "measure/experiment.hpp"
 #include "topo/params.hpp"
@@ -71,23 +72,20 @@ SplitResult run_split(const scn::topo::PlatformParams& params, double cxl_fracti
 
 int main(int argc, char** argv) {
   using namespace scn;
-  int requested_jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      requested_jobs = std::atoi(argv[i + 1]);
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      requested_jobs = std::atoi(argv[i] + 7);
-    }
-  }
+  bench::Options opt("cxl_tiering", "hot:cold split sweep across DDR5 and CXL");
+  opt.parse(argc, argv);
 
-  const auto params = topo::epyc9634();
-  std::printf("CXL tiering sweep on %s: one compute chiplet, 7 cores streaming\n\n",
-              params.name.c_str());
+  const auto params = opt.platform_or("epyc9634");
+  if (!params.has_cxl()) {
+    opt.die("platform '" + params.name + "' has no CXL module to tier into");
+  }
+  std::printf("CXL tiering sweep on %s: one compute chiplet, %d cores streaming\n\n",
+              params.name.c_str(), params.cores_per_ccx);
   std::printf("  %-18s %12s %12s %12s\n", "dram:cxl split", "total GB/s", "dram GB/s",
               "cxl GB/s");
 
   const std::vector<double> fractions{0.0, 0.125, 0.25, 0.5, 0.75, 1.0};
-  exec::ParallelSweep sweep(requested_jobs);
+  exec::ParallelSweep sweep(opt.jobs());
   const auto results = sweep.map(static_cast<int>(fractions.size()), [&](int i) {
     return run_split(params, fractions[static_cast<std::size_t>(i)]);
   });

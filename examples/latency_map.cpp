@@ -2,9 +2,10 @@
 // #1 — print the full (compute chiplet x memory controller) latency matrix
 // for both platforms, the data a locality-aware placer would consume.
 //
-//   $ ./latency_map
+//   $ ./latency_map [--platform <name|file.scn>]
 #include <cstdio>
 
+#include "bench/options.hpp"
 #include "measure/experiment.hpp"
 #include "topo/params.hpp"
 #include "traffic/pointer_chase.hpp"
@@ -48,9 +49,10 @@ void map_for(const topo::PlatformParams& params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scn::bench::Options opt("latency_map", "the (compute chiplet x UMC) latency matrix");
+  opt.parse(argc, argv);
   std::printf("chipletnet latency map (the Sub-NUMA structure of Implication #1)\n");
-  map_for(scn::topo::epyc7302());
-  map_for(scn::topo::epyc9634());
+  for (const auto& p : opt.platforms()) map_for(p);
   return 0;
 }

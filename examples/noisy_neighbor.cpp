@@ -3,10 +3,11 @@
 // a bandwidth-hungry tenant; we show the victim's latency blowing up under
 // sender-driven partitioning, then protect it with the traffic manager.
 //
-//   $ ./noisy_neighbor
+//   $ ./noisy_neighbor [--platform <name|file.scn>]
 #include <cstdio>
 #include <memory>
 
+#include "bench/options.hpp"
 #include "cnet/traffic_manager.hpp"
 #include "measure/experiment.hpp"
 #include "topo/params.hpp"
@@ -57,9 +58,11 @@ void report(const char* scenario, const Tenants& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scn;
-  const auto params = topo::epyc9634();
+  bench::Options opt("noisy_neighbor", "latency-sensitive vs bandwidth-hungry tenants");
+  opt.parse(argc, argv);
+  const auto params = opt.platform_or("epyc9634");
   std::printf("noisy neighbor on %s, both tenants on compute chiplet 0\n\n", params.name.c_str());
 
   {  // Baseline 1: victim alone.

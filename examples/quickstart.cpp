@@ -1,16 +1,17 @@
 // Quickstart: build a platform, look at its chiplet network, run a memory
 // stream, and read the telemetry back — the 60-second tour of the library.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--platform <name|file.scn>]
 //
 // Steps:
-//   1. Instantiate the EPYC 9634 platform model on a simulator.
+//   1. Instantiate the platform model (default: EPYC 9634) on a simulator.
 //   2. Print its device-tree description (paper direction #1).
 //   3. Measure the idle DRAM latency with a pointer-chase probe (Table 2).
 //   4. Saturate one compute chiplet with a read stream (Table 3's CCD row).
 //   5. Ask the telemetry layer which link throttled the transfer.
 #include <cstdio>
 
+#include "bench/options.hpp"
 #include "cnet/telemetry.hpp"
 #include "measure/experiment.hpp"
 #include "topo/device_tree.hpp"
@@ -18,11 +19,13 @@
 #include "traffic/flow_group.hpp"
 #include "traffic/pointer_chase.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scn;
+  bench::Options opt("quickstart", "the 60-second tour of the library");
+  opt.parse(argc, argv);
 
   // 1. One simulator + one platform = one experiment context.
-  measure::Experiment e(topo::epyc9634());
+  measure::Experiment e(opt.platform_or("epyc9634"));
   auto& platform = e.platform;
   std::printf("%s", topo::inventory(platform).c_str());
 

@@ -3,9 +3,10 @@
 // analytic model's per-route predictions. A systems developer would use this
 // view before placing threads or device queues.
 //
-//   $ ./topology_explorer
+//   $ ./topology_explorer [--platform <name|file.scn>]
 #include <cstdio>
 
+#include "bench/options.hpp"
 #include "measure/experiment.hpp"
 #include "model/analytic.hpp"
 #include "topo/device_tree.hpp"
@@ -49,8 +50,10 @@ void explore(const topo::PlatformParams& params) {
 
 }  // namespace
 
-int main() {
-  explore(topo::epyc7302());
-  explore(topo::epyc9634());
+int main(int argc, char** argv) {
+  scn::bench::Options opt("topology_explorer",
+                          "device tree, routes, and analytic predictions per platform");
+  opt.parse(argc, argv);
+  for (const auto& p : opt.platforms()) explore(p);
   return 0;
 }

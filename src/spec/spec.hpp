@@ -1,0 +1,126 @@
+// Declarative platform specs: platforms as data, not code (paper §4's
+// hardware-abstracted device tree, applied to the simulator's own inputs).
+//
+// A `.scn` file is a minimal section/key-value text format:
+//
+//   # comment (full line only)
+//   [section]
+//   key = value
+//
+// Every PlatformParams field is bound by name in one field-registry table
+// (spec::fields()) shared by parse, validate, dump and diff — the single
+// source of truth for the schema. Tick-typed fields are written in
+// nanoseconds; bandwidths in bytes/ns (== GB/s). The two characterized
+// processors are themselves spec texts embedded in this library
+// (spec::lookup), so `topo::epyc9634()` and `spec::load("epyc9634.scn")`
+// flow through the exact same parser, and dump -> parse round-trips
+// bit-identically (proven by tests/test_spec.cpp and the golden CI step).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topo/params.hpp"
+
+namespace scn::spec {
+
+/// Thrown on malformed spec text, unknown platform names, unreadable files
+/// and semantic validation failures. Messages carry file:line context where
+/// a source location exists.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// ---- schema: the field registry -------------------------------------------
+
+enum class FieldKind {
+  kString,
+  kInt,
+  kU32,
+  kDouble,
+  kBool,
+  kTickNs,        ///< sim::Tick member, spelled in nanoseconds
+  kTickNsArray4,  ///< std::array<sim::Tick, 4>, four ns values separated by spaces
+};
+
+/// One schema entry binding a [section] key to a PlatformParams member.
+/// Exactly one member pointer is non-null, matching `kind`.
+struct Field {
+  const char* section;
+  const char* key;
+  FieldKind kind;
+  bool required;    ///< hand-written specs must provide it; dump always emits it
+  const char* doc;  ///< one-line comment emitted above the key by dump()
+
+  std::string topo::PlatformParams::* s = nullptr;
+  int topo::PlatformParams::* i = nullptr;
+  std::uint32_t topo::PlatformParams::* u = nullptr;
+  double topo::PlatformParams::* d = nullptr;
+  bool topo::PlatformParams::* b = nullptr;
+  sim::Tick topo::PlatformParams::* t = nullptr;
+  std::array<sim::Tick, 4> topo::PlatformParams::* t4 = nullptr;
+};
+
+/// The full registry, in canonical (dump) order.
+[[nodiscard]] const std::vector<Field>& fields();
+
+// ---- parse / dump ---------------------------------------------------------
+
+/// Parse spec text into parameters. `source` names the origin for
+/// diagnostics ("file.scn:12: ..."). Runs validate() on the result.
+/// Throws spec::Error.
+[[nodiscard]] topo::PlatformParams parse(std::string_view text,
+                                         const std::string& source = "<spec>");
+
+/// Read and parse a `.scn` file. Throws spec::Error.
+[[nodiscard]] topo::PlatformParams load(const std::string& path);
+
+/// Serialize parameters to canonical spec text. dump -> parse is the
+/// identity on every field (bit-identical doubles and ticks).
+[[nodiscard]] std::string dump(const topo::PlatformParams& params);
+
+// ---- validation -----------------------------------------------------------
+
+/// Semantic checks turning silent misconfiguration into actionable errors:
+/// zero structure counts, source windows without channel capacities, CXL
+/// bandwidth without a P-Link, out-of-range probabilities/factors. Returns
+/// one message per problem; empty means valid.
+[[nodiscard]] std::vector<std::string> validate(const topo::PlatformParams& params);
+
+/// Throws spec::Error listing every validation failure, prefixed with
+/// `context` (a file name or "Platform ctor"). No-op when valid.
+void validate_or_throw(const topo::PlatformParams& params, const std::string& context);
+
+// ---- registry of built-in platforms ---------------------------------------
+
+/// Canonical built-in names, e.g. {"epyc7302", "epyc9634"}.
+[[nodiscard]] std::vector<std::string> builtin_names();
+
+/// True when `name` resolves to a built-in (aliases like "7302" and the
+/// marketing name "EPYC 9634" are accepted, case-insensitively).
+[[nodiscard]] bool is_builtin(const std::string& name);
+
+/// Parameters for a built-in platform. Throws spec::Error on unknown names,
+/// listing the valid ones.
+[[nodiscard]] topo::PlatformParams lookup(const std::string& name);
+
+/// The embedded spec text a built-in is defined by (the single source of
+/// the platform's numbers). Throws spec::Error on unknown names.
+[[nodiscard]] const std::string& builtin_text(const std::string& name);
+
+/// Resolve a `--platform` argument: a built-in name, else a path to a
+/// `.scn` file. Throws spec::Error.
+[[nodiscard]] topo::PlatformParams resolve(const std::string& name_or_path);
+
+// ---- diff -----------------------------------------------------------------
+
+/// Field-by-field comparison via the registry; returns one
+/// "[section] key: <a> != <b>" line per differing field. Empty means the
+/// two parameter sets are field-equal (exact, bit-level for doubles).
+[[nodiscard]] std::vector<std::string> diff(const topo::PlatformParams& a,
+                                            const topo::PlatformParams& b);
+
+}  // namespace scn::spec

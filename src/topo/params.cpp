@@ -1,177 +1,22 @@
 #include "topo/params.hpp"
 
+#include "spec/spec.hpp"
+
 namespace scn::topo {
 
-using sim::from_ns;
-using sim::from_us;
+// The platform numbers live as spec text in src/spec/builtins.cpp and flow
+// through the same schema-driven parser as any user-supplied .scn file
+// (platforms as data — see spec::lookup / spec::load). These accessors keep
+// the historical API; each parses its embedded spec once and hands out
+// copies.
 
 PlatformParams epyc7302() {
-  PlatformParams p;
-  p.name = "EPYC 7302";
-  p.microarchitecture = "Zen 2";
-  p.process_compute = "7nm";
-  p.process_io = "12nm";
-  p.pcie = "Gen4/128";
-  p.base_ghz = 3.0;
-  p.turbo_ghz = 3.3;
-  p.ccd_count = 4;
-  p.ccx_per_ccd = 2;
-  p.cores_per_ccx = 2;
-  p.umc_count = 8;
-  p.l1_kb = 32;
-  p.l2_kb = 512;
-  p.l3_mb_per_ccx = 16;  // 128 MB / 8 CCX
-
-  // Table 2 cache latencies.
-  p.l1_lat = from_ns(1.24);
-  p.l2_lat = from_ns(5.66);
-  p.l3_lat = from_ns(34.3);
-
-  // Fixed path latencies. Budgeted so that zero-load DRAM RTT (near) =
-  // core_out + gmi_prop + base_shops*shop + cs + dram + return + ~2.5 ns of
-  // pointer-chase serialization = 124 ns (Table 2).
-  p.core_out_lat = from_ns(42.0);
-  p.return_lat = from_ns(7.0);
-  p.gmi_prop = from_ns(9.0);
-  p.shop_lat = from_ns(8.0);
-  p.base_shops = 2;
-  p.cs_lat = from_ns(5.0);
-  p.iohub_lat = from_ns(15.0);
-  p.rootcplx_lat = from_ns(8.0);
-  p.plink_prop = from_ns(12.0);
-  p.dram_access = from_ns(32.5);
-  p.cxl_access = 0;  // no CXL module on this box
-  p.llc_peer_access = from_ns(60.0);
-  // Measured position deltas: 124/131/141/145 ns.
-  p.position_extra = {from_ns(0.0), from_ns(7.0), from_ns(17.0), from_ns(21.0)};
-
-  // Windows: core read 14.9 GB/s at the ~136 ns UMC-interleaved RTT -> 32
-  // lines; write 3.6 GB/s at the ~132 ns write-accept RTT -> 7 lines.
-  p.core_read_window = 32;
-  p.core_write_window = 7;
-  p.core_write_issue_bw = 0.0;  // window-limited, no separate issue cap
-  p.cxl_core_read_window = 0;
-  p.cxl_core_write_window = 0;
-  // Tight pools: bound queueing to the Table 2 maxima and keep Fig. 3-a/c
-  // latencies flat ("the 7302 provisions enough bandwidth").
-  p.ccx_pool = 56;
-  p.ccd_pool = 90;
-
-  // Capacities (Table 3): CCX read 25.1, CCD/GMI read 32.5, CPU/NoC read
-  // 106.7, write 55.1; UMC 21.1/19.0. Up-direction caps leave headroom
-  // because 7302 write throughput is source-window-limited, not link-limited.
-  p.ccx_up_bw = 16.0;
-  p.ccx_down_bw = 25.4;
-  p.gmi_up_bw = 17.0;
-  p.gmi_down_bw = 32.9;
-  p.noc_up_bw = 69.0;
-  p.noc_down_bw = 107.5;
-  p.umc_read_bw = 21.1;
-  p.umc_write_bw = 19.0;
-  p.peer_out_bw = 55.0;
-  p.peer_in_bw = 55.0;
-  p.iodev_ccd_down_bw = 0.0;
-  p.iodev_ccd_up_bw = 0.0;
-  p.plink_up_bw = 0.0;
-  p.plink_down_bw = 0.0;
-  p.cxl_read_bw = 0.0;
-  p.cxl_write_bw = 0.0;
-
-  p.hiccup_prob = 0.0015;
-  p.dram_hiccup = from_ns(330.0);
-  p.cxl_hiccup = 0;
-  p.noise_interval = from_us(30.0);
-
-  // Fig. 5: the 7302 IF module oscillates ("drastic variation"); a large
-  // multiplicative decrease with a short period reproduces the sawtooth.
-  p.if_adjust_period = from_us(10.0);
-  p.plink_adjust_period = from_us(50.0);
-  p.if_decrease_factor = 0.55;
-  p.if_congestion_ratio = 1.08;
+  static const PlatformParams p = spec::lookup("epyc7302");
   return p;
 }
 
 PlatformParams epyc9634() {
-  PlatformParams p;
-  p.name = "EPYC 9634";
-  p.microarchitecture = "Zen 4";
-  p.process_compute = "5nm";
-  p.process_io = "6nm";
-  p.pcie = "Gen5/128";
-  p.base_ghz = 2.25;
-  p.turbo_ghz = 3.7;
-  p.ccd_count = 12;
-  p.ccx_per_ccd = 1;
-  p.cores_per_ccx = 7;
-  p.umc_count = 12;
-  p.l1_kb = 64;
-  p.l2_kb = 1024;
-  p.l3_mb_per_ccx = 32;  // 384 MB / 12 CCX
-
-  p.l1_lat = from_ns(1.19);
-  p.l2_lat = from_ns(7.51);
-  p.l3_lat = from_ns(40.8);
-
-  // Zero-load DRAM RTT (near) = 141 ns; CXL RTT = 243 ns (Table 2).
-  p.core_out_lat = from_ns(48.0);
-  p.return_lat = from_ns(7.0);
-  p.gmi_prop = from_ns(9.0);
-  p.shop_lat = from_ns(4.0);
-  p.base_shops = 2;
-  p.cs_lat = from_ns(5.0);
-  p.iohub_lat = from_ns(15.0);
-  p.rootcplx_lat = from_ns(8.0);
-  p.plink_prop = from_ns(12.0);
-  p.dram_access = from_ns(55.0);
-  p.cxl_access = from_ns(122.0);
-  p.llc_peer_access = from_ns(60.0);
-  // Measured deltas: 141/145/150/149 ns (diagonal routes no farther than
-  // horizontal on this floorplan).
-  p.position_extra = {from_ns(0.0), from_ns(4.0), from_ns(9.0), from_ns(8.0)};
-
-  // Core read 14.6 GB/s @ 141 ns -> 32 lines; write 3.3 GB/s -> 7 (the write
-  // ack path is shorter, ~136 ns). CXL credits: 5.4 GB/s @ 243 ns -> 21
-  // read; 2.8 GB/s -> 11 write.
-  p.core_read_window = 34;
-  p.core_write_window = 36;
-  p.core_write_issue_bw = 3.4;  // WC-buffer drain rate (core write 3.3 GB/s)
-  p.cxl_core_read_window = 21;
-  p.cxl_core_write_window = 11;
-  // Loose pool: link queueing dominates (Fig. 3-b's ~2x latency rise); no
-  // CCD-level pool (one CCX per CCD, Table 2 row is N/A).
-  p.ccx_pool = 130;
-  p.ccd_pool = 0;
-
-  // Table 3: CCX read 35.2, GMI read 33.2, CPU 366.2/270.6; UMC 34.9/28.3;
-  // CXL: per-CCD read return ~24.3, device 88.1/87.7. Fig. 6 thresholds:
-  // CCX up 38 (write interference at bg read 32.8), GMI up 29.1.
-  p.ccx_up_bw = 38.0;
-  p.ccx_down_bw = 35.4;
-  p.gmi_up_bw = 29.1;
-  p.gmi_down_bw = 33.4;
-  p.noc_up_bw = 338.0;
-  p.noc_down_bw = 366.5;
-  p.umc_read_bw = 34.9;
-  p.umc_write_bw = 28.3;
-  p.peer_out_bw = 55.7;
-  p.peer_in_bw = 60.0;
-  p.iodev_ccd_down_bw = 24.5;
-  p.iodev_ccd_up_bw = 19.5;
-  p.plink_up_bw = 112.0;
-  p.plink_down_bw = 92.0;
-  p.cxl_read_bw = 88.1;
-  p.cxl_write_bw = 87.7;
-
-  p.hiccup_prob = 0.0015;
-  p.dram_hiccup = from_ns(230.0);
-  p.cxl_hiccup = from_ns(420.0);
-  p.noise_interval = from_us(30.0);
-
-  // Fig. 5: harvest in ~100 ms on IF and ~500 ms on the P-Link (scaled
-  // 1000x to 100 us / 500 us; see DESIGN.md).
-  p.if_adjust_period = from_us(10.0);
-  p.plink_adjust_period = from_us(60.0);
-  p.if_decrease_factor = 0.9;
+  static const PlatformParams p = spec::lookup("epyc9634");
   return p;
 }
 

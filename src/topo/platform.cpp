@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "spec/spec.hpp"
+
 namespace scn::topo {
 namespace {
 
@@ -15,6 +17,11 @@ std::string idx_name(const std::string& base, int i) { return base + "[" + std::
 
 Platform::Platform(sim::Simulator& simulator, PlatformParams params)
     : simulator_(&simulator), params_(std::move(params)) {
+  // Fail fast on programmatic misconfiguration (zero chiplet counts, windows
+  // without channel capacities, CXL without a P-Link, ...) instead of
+  // producing NaN bandwidths mid-sweep. File specs are validated again here
+  // after any caller-side mutation.
+  spec::validate_or_throw(params_, "topo::Platform(" + params_.name + ")");
   const auto& p = params_;
   const int ccx_total = p.ccd_count * p.ccx_per_ccd;
 

@@ -1,0 +1,29 @@
+# Platforms-as-data byte-identity harness: a builtin platform, its canonical
+# dump, and a reparse of that dump must all drive a bench to the exact same
+# stdout. Proves the spec layer is a faithful encoding — paper columns are
+# keyed by platform name, every number flows through parse.
+#
+# Invoke: cmake -DBENCH=<exe> -DTOOL=<platform_spec> -DPLATFORM=<builtin>
+#               -DGOLDEN=<file> -DWORKDIR=<dir> -P spec_golden_check.cmake
+file(READ "${GOLDEN}" want)
+
+set(dumped "${WORKDIR}/${PLATFORM}.dumped.scn")
+execute_process(COMMAND "${TOOL}" dump ${PLATFORM} "${dumped}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${TOOL} dump ${PLATFORM} failed (exit ${rc})")
+endif()
+
+foreach(platform_arg ${PLATFORM} "${dumped}")
+  execute_process(COMMAND "${BENCH}" --quick --platform "${platform_arg}"
+                  OUTPUT_VARIABLE got
+                  ERROR_VARIABLE stderr_ignored
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --quick --platform ${platform_arg} failed (exit ${rc})")
+  endif()
+  if(NOT got STREQUAL want)
+    message(FATAL_ERROR "stdout of ${BENCH} --quick --platform ${platform_arg} "
+                        "deviates from ${GOLDEN}\n--- expected ---\n${want}"
+                        "--- got ---\n${got}")
+  endif()
+endforeach()

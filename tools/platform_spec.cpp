@@ -1,0 +1,81 @@
+// platform_spec — the .scn spec toolbox:
+//
+//   platform_spec list                      the builtin platform names
+//   platform_spec dump <name|file> [out]    canonical spec text (stdout or out)
+//   platform_spec validate <name|file>...   parse + validate, report per input
+//
+// `dump` emits the canonical form: dump(parse(dump(x))) == dump(x), which is
+// what the round-trip golden test in CI relies on.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "spec/spec.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s list\n"
+               "       %s dump <name|file.scn> [out.scn]\n"
+               "       %s validate <name|file.scn>...\n",
+               prog, prog, prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scn;
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+
+  if (cmd == "list") {
+    if (argc != 2) return usage(argv[0]);
+    for (const auto& name : spec::builtin_names()) {
+      const auto p = spec::lookup(name);
+      std::printf("%-12s %s (%s, %d compute chiplets, %d cores)\n", name.c_str(), p.name.c_str(),
+                  p.microarchitecture.c_str(), p.ccd_count, p.total_cores());
+    }
+    return 0;
+  }
+
+  if (cmd == "dump") {
+    if (argc != 3 && argc != 4) return usage(argv[0]);
+    try {
+      const auto text = spec::dump(spec::resolve(argv[2]));
+      if (argc == 4) {
+        std::ofstream out(argv[3]);
+        if (!out) {
+          std::fprintf(stderr, "platform_spec: cannot write '%s'\n", argv[3]);
+          return 1;
+        }
+        out << text;
+      } else {
+        std::fputs(text.c_str(), stdout);
+      }
+    } catch (const spec::Error& e) {
+      std::fprintf(stderr, "platform_spec: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (cmd == "validate") {
+    if (argc < 3) return usage(argv[0]);
+    int failures = 0;
+    for (int i = 2; i < argc; ++i) {
+      try {
+        const auto p = spec::resolve(argv[i]);
+        std::printf("%s: OK (%s)\n", argv[i], p.name.c_str());
+      } catch (const spec::Error& e) {
+        std::printf("%s: FAIL\n  %s\n", argv[i], e.what());
+        ++failures;
+      }
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+  return usage(argv[0]);
+}
