@@ -18,7 +18,7 @@ using measure::Experiment;
 using measure::PartitionCase;
 using measure::SweepLink;
 
-void run(const topo::PlatformParams& params, SweepLink link) {
+void run(const topo::PlatformParams& params, SweepLink link, std::uint64_t seed) {
   bench::subheading(params.name + "  " + to_string(link) + "  (Fig.4 case-4 demands)");
   const auto baseline = measure::partition_case(params, link, PartitionCase::kUnequalHigh);
   const std::vector<double> base{baseline.achieved_gbps[0], baseline.achieved_gbps[1]};
@@ -28,24 +28,24 @@ void run(const topo::PlatformParams& params, SweepLink link) {
   // Managed: two flow aggregates with declared demands; max-min allocation.
   Experiment e(params);
   const double cap = baseline.capacity_gbps;
-  auto mk = [&](std::uint64_t seed) {
+  auto mk = [&](int idx) {
     traffic::StreamFlow::Config cfg;
-    cfg.name = "m" + std::to_string(seed);
+    cfg.name = "m" + std::to_string(idx + 1);
     // Spread the two flow aggregates over the chiplet's CCX ports so the
     // shared segment under management (the GMI) is the only coupling.
-    const int ccx = (static_cast<int>(seed) - 1) % params.ccx_per_ccd;
-    cfg.paths = link == SweepLink::kPlink ? std::vector<fabric::Path*>{&e.platform.cxl_path(
-                                                static_cast<int>(seed) - 1, 0)}
-                                          : e.platform.dram_paths_all(0, ccx);
+    const int ccx = idx % params.ccx_per_ccd;
+    cfg.paths = link == SweepLink::kPlink
+                    ? std::vector<fabric::Path*>{&e.platform.cxl_path(idx, 0)}
+                    : e.platform.dram_paths_all(0, ccx);
     cfg.pools = e.platform.pools_for(0, ccx, fabric::Op::kRead);
     cfg.window = 128;
     cfg.stats_after = sim::from_us(20.0);
     cfg.stop_at = sim::from_us(100.0);
-    cfg.seed = seed;
+    cfg.seed = seed + static_cast<std::uint64_t>(idx);
     return std::make_unique<traffic::StreamFlow>(e.simulator, std::move(cfg));
   };
-  auto f0 = mk(1);
-  auto f1 = mk(2);
+  auto f0 = mk(0);
+  auto f1 = mk(1);
   cnet::TrafficManager tm(e.simulator, {});
   const int l = tm.add_link(to_string(link), cap);
   tm.manage({0, f0.get(), 0.6 * cap, {l}});
@@ -68,11 +68,11 @@ int main(int argc, char** argv) {
   bench::heading("Ablation A: sender-driven partitioning vs global traffic manager");
   if (opt.has_platform()) {
     const auto p = opt.platform_or("epyc9634");
-    run(p, SweepLink::kIfIntraCc);
-    run(p, SweepLink::kGmi);
+    run(p, SweepLink::kIfIntraCc, opt.seed_or(1));
+    run(p, SweepLink::kGmi, opt.seed_or(1));
   } else {
-    run(topo::epyc9634(), SweepLink::kIfIntraCc);
-    run(topo::epyc7302(), SweepLink::kGmi);
+    run(topo::epyc9634(), SweepLink::kIfIntraCc, opt.seed_or(1));
+    run(topo::epyc7302(), SweepLink::kGmi, opt.seed_or(1));
   }
   bench::note("the manager restores jain ~= 1.0 at comparable total throughput,");
   bench::note("materializing the flow abstraction the paper argues for");

@@ -1,0 +1,92 @@
+// Serving-workload latency-vs-QPS sweep with a placement-policy ablation.
+//
+// For each platform, an open-loop multi-stage request mix (point lookups,
+// scans and — with a CXL tier — tiered reads) is offered at increasing
+// rates while a noisy-neighbor batch job saturates CCD 0's GMI. Three
+// placement policies compete on the identical arrival sequence: blind
+// round-robin, static NUMA/GMI-local tenant homes, and the telemetry-driven
+// policy that steers by per-CCD link counters fed through the analytical
+// model. The table prints the P99 curve and SLO goodput per policy plus
+// each curve's saturation knee.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/options.hpp"
+#include "serve/sweep.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+
+std::vector<double> rate_grid(const topo::PlatformParams& params, bool quick) {
+  // The big sockets saturate later: extend the grid until round-robin's
+  // knee is inside it (12 CCDs absorb ~45 req/us of this mix).
+  if (quick) return {1.0, 8.0, 32.0};
+  std::vector<double> rates{0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  if (params.ccd_count > 4) {
+    rates.push_back(48.0);
+    rates.push_back(64.0);
+  }
+  return rates;
+}
+
+void run_platform(const topo::PlatformParams& params, bool quick, int jobs, std::uint64_t seed) {
+  serve::SweepConfig sc;
+  sc.rates_per_us = rate_grid(params, quick);
+  sc.antagonist = true;
+  sc.jobs = jobs;
+  sc.seed = seed;
+  if (quick) {
+    sc.warmup = sim::from_us(25.0);
+    sc.stop = sim::from_us(100.0);
+    sc.max_drain = sim::from_ms(1.0);
+  }
+  const auto points = serve::sweep(params, sc);
+
+  bench::subheading(params.name + " (requests/us vs ns; antagonist on CCD 0)");
+  for (const serve::Policy policy : sc.policies) {
+    const auto curve = serve::policy_curve(points, policy);
+    std::printf("  policy %-11s  %6s %8s %8s %10s %8s %6s\n", serve::to_string(policy), "rate",
+                "goodput", "p50", "p99", "viol%", "jain");
+    for (const auto& pt : curve) {
+      std::printf("    %-13s  %6.1f %8.2f %8.1f %10.1f %7.1f%% %6.3f\n", "", pt.rate_per_us,
+                  pt.report.goodput_per_us, pt.report.p50_ns, pt.report.p99_ns,
+                  pt.report.slo_violation_frac * 100.0, pt.report.jain_tenant_fairness);
+    }
+    const int knee = serve::knee_index(curve);
+    std::printf("    knee: %.1f req/us (p99 %.1f ns)\n", curve[knee].rate_per_us,
+                curve[knee].report.p99_ns);
+  }
+
+  // Ablation summary at round-robin's knee rate: the paired comparison the
+  // telemetry policy is built to win.
+  const auto rr = serve::policy_curve(points, serve::Policy::kRoundRobin);
+  const int knee = serve::knee_index(rr);
+  std::printf("  at round-robin knee (%.1f req/us):\n", rr[knee].rate_per_us);
+  for (const serve::Policy policy : sc.policies) {
+    const auto curve = serve::policy_curve(points, policy);
+    const auto& pt = curve[static_cast<std::size_t>(knee)];
+    std::printf("    %-11s p99 %10.1f ns  goodput %6.2f req/us  viol %5.1f%%\n",
+                serve::to_string(policy), pt.report.p99_ns, pt.report.goodput_per_us,
+                pt.report.slo_violation_frac * 100.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt("bench_serving",
+                     "serving workloads: latency-vs-QPS knees and placement-policy ablation");
+  opt.parse(argc, argv);
+
+  exec::Stopwatch watch;
+  bench::heading("Serving: latency vs offered load per placement policy");
+  for (const auto& params : opt.platforms()) {
+    run_platform(params, opt.quick(), opt.jobs(), opt.seed_or(1));
+  }
+  bench::report_wallclock("serving sweeps", opt.jobs(), watch.elapsed_ms());
+  return 0;
+}

@@ -6,6 +6,7 @@
 //   --jobs N                 sweep worker threads (SCN_JOBS also honoured)
 //   --quick                  reduced golden-test configuration
 //   --platform <name|file>   a builtin (epyc7302/epyc9634) or a .scn spec
+//   --seed S                 base RNG seed (full u64) for binaries that take one
 //
 // plus per-binary flags registered by the caller. Malformed numbers and
 // unknown flags are hard errors: usage on stderr and exit(2) — never a
@@ -14,6 +15,7 @@
 #pragma once
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +91,11 @@ class Options {
           })) {
         continue;
       }
+      if (consume_valued(arg, "--seed", argc, argv, i, [&](const std::string& v) {
+            seed_ = parse_u64(v, "--seed");
+          })) {
+        continue;
+      }
       bool matched = false;
       for (const auto& s : specs_) {
         if (s.kind == Spec::kBool) {
@@ -134,6 +141,12 @@ class Options {
   // ---- cross-cutting flags -------------------------------------------------
   [[nodiscard]] int jobs() const { return jobs_; }
   [[nodiscard]] bool quick() const { return quick_; }
+  [[nodiscard]] bool has_seed() const { return seed_.has_value(); }
+  /// The `--seed` value; `fallback` (the binary's historical hard-coded
+  /// seed) when absent, so default output stays byte-identical.
+  [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
+    return seed_ ? *seed_ : fallback;
+  }
   [[nodiscard]] bool has_platform() const { return platform_.has_value(); }
   [[nodiscard]] const std::string& platform_arg() const { return platform_arg_; }
 
@@ -198,8 +211,25 @@ class Options {
     return static_cast<int>(parsed);
   }
 
+  /// strtoull with the same rigor: full consumption, no sign (strtoull would
+  /// silently wrap `-1` to 2^64-1), overflow is an error. Any u64 is a valid
+  /// seed, so there is no range cap beyond the type's.
+  [[nodiscard]] std::uint64_t parse_u64(const std::string& v, const char* name) const {
+    errno = 0;
+    char* end = nullptr;
+    if (v.empty() || v[0] == '-' || v[0] == '+') {
+      die(std::string("flag '") + name + "': bad value '" + v + "'");
+    }
+    const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+      die(std::string("flag '") + name + "': bad value '" + v + "'");
+    }
+    return static_cast<std::uint64_t>(parsed);
+  }
+
   void print_usage(std::FILE* out) const {
-    std::fprintf(out, "usage: %s [--jobs N] [--quick] [--platform <name|file.scn>]", prog_);
+    std::fprintf(out, "usage: %s [--jobs N] [--quick] [--platform <name|file.scn>] [--seed S]",
+                 prog_);
     for (const auto& s : specs_) {
       std::fprintf(out, " [%s%s]", s.name, s.kind == Spec::kBool ? "" : " V");
     }
@@ -210,6 +240,7 @@ class Options {
     std::fprintf(out, "  --quick        reduced golden-test configuration\n");
     std::fprintf(out,
                  "  --platform P   builtin platform name (epyc7302, epyc9634) or .scn spec file\n");
+    std::fprintf(out, "  --seed S       base RNG seed, unsigned 64-bit (default: per-binary)\n");
     for (const auto& s : specs_) {
       std::fprintf(out, "  %-14s %s\n", s.name, s.help);
     }
@@ -224,6 +255,7 @@ class Options {
 
   bool quick_ = false;
   int jobs_ = 1;
+  std::optional<std::uint64_t> seed_;
   std::string platform_arg_;
   std::optional<topo::PlatformParams> platform_;
   std::vector<char*> passthrough_;

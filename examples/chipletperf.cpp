@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
                                    : params.core_write_issue_bw;
     }
     cfg.stop_at = stop;
-    cfg.seed = 0x9E0 + id;
+    cfg.seed = cli.seed_or(0x9E0) + id;
     flows.push_back(std::make_unique<traffic::StreamFlow>(e.simulator, std::move(cfg)));
     return id;
   };

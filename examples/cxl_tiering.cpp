@@ -30,7 +30,8 @@ struct SplitResult {
   double cxl_gbps = 0.0;
 };
 
-SplitResult run_split(const scn::topo::PlatformParams& params, double cxl_fraction) {
+SplitResult run_split(const scn::topo::PlatformParams& params, double cxl_fraction,
+                      std::uint64_t seed) {
   using namespace scn;
   measure::Experiment e(params);
   auto& platform = e.platform;
@@ -53,7 +54,7 @@ SplitResult run_split(const scn::topo::PlatformParams& params, double cxl_fracti
     cfg.pools = platform.pools_for(0, 0, fabric::Op::kRead);
     cfg.stats_after = sim::from_us(15.0);
     cfg.stop_at = sim::from_us(75.0);
-    cfg.seed = 7 + static_cast<std::uint64_t>(core);
+    cfg.seed = seed + static_cast<std::uint64_t>(core);
     (to_cxl ? cxl_group : dram_group).add(e.simulator, std::move(cfg));
   }
   dram_group.start_all();
@@ -87,7 +88,7 @@ int main(int argc, char** argv) {
   const std::vector<double> fractions{0.0, 0.125, 0.25, 0.5, 0.75, 1.0};
   exec::ParallelSweep sweep(opt.jobs());
   const auto results = sweep.map(static_cast<int>(fractions.size()), [&](int i) {
-    return run_split(params, fractions[static_cast<std::size_t>(i)]);
+    return run_split(params, fractions[static_cast<std::size_t>(i)], opt.seed_or(7));
   });
 
   for (const auto& r : results) {

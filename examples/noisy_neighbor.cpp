@@ -22,7 +22,7 @@ struct Tenants {
   std::unique_ptr<traffic::StreamFlow> bully;   // throughput-hungry aggregate
 };
 
-Tenants make_tenants(measure::Experiment& e) {
+Tenants make_tenants(measure::Experiment& e, std::uint64_t seed) {
   Tenants t;
   traffic::StreamFlow::Config victim_cfg;
   victim_cfg.name = "victim";
@@ -33,7 +33,7 @@ Tenants make_tenants(measure::Experiment& e) {
   victim_cfg.record_latency = true;
   victim_cfg.stats_after = sim::from_us(20.0);
   victim_cfg.stop_at = sim::from_us(120.0);
-  victim_cfg.seed = 1;
+  victim_cfg.seed = seed;
   t.victim = std::make_unique<traffic::StreamFlow>(e.simulator, victim_cfg);
 
   traffic::StreamFlow::Config bully_cfg;
@@ -44,7 +44,7 @@ Tenants make_tenants(measure::Experiment& e) {
   bully_cfg.record_latency = true;
   bully_cfg.stats_after = sim::from_us(20.0);
   bully_cfg.stop_at = sim::from_us(120.0);
-  bully_cfg.seed = 2;
+  bully_cfg.seed = seed + 1;
   t.bully = std::make_unique<traffic::StreamFlow>(e.simulator, bully_cfg);
   return t;
 }
@@ -67,14 +67,14 @@ int main(int argc, char** argv) {
 
   {  // Baseline 1: victim alone.
     measure::Experiment e(params);
-    auto t = make_tenants(e);
+    auto t = make_tenants(e, opt.seed_or(1));
     t.victim->start();
     e.simulator.run_until(sim::from_us(130.0));
     report("victim alone:", t);
   }
   {  // Baseline 2: sender-driven sharing (the hardware default, §3.5).
     measure::Experiment e(params);
-    auto t = make_tenants(e);
+    auto t = make_tenants(e, opt.seed_or(1));
     t.victim->start();
     t.bully->start();
     e.simulator.run_until(sim::from_us(130.0));
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   }
   {  // Managed: the flow abstraction + max-min allocation protect the victim.
     measure::Experiment e(params);
-    auto t = make_tenants(e);
+    auto t = make_tenants(e, opt.seed_or(1));
     cnet::TrafficManager tm(e.simulator, {});
     const int gmi = tm.add_link("gmi_down[0]", params.gmi_down_bw);
     tm.manage({0, t.victim.get(), 2.0, {gmi}});

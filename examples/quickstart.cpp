@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     cfg.window = platform.params().core_read_window;
     cfg.stats_after = sim::from_ms(2.0) + sim::from_us(10.0);
     cfg.stop_at = sim::from_ms(2.0) + sim::from_us(60.0);
-    cfg.seed = 42 + static_cast<std::uint64_t>(core);
+    cfg.seed = opt.seed_or(42) + static_cast<std::uint64_t>(core);
     group.add(e.simulator, std::move(cfg));
   }
   group.start_all();

@@ -11,6 +11,7 @@ LinkStats snapshot(fabric::Channel* ch, sim::Tick now) {
   LinkStats s;
   s.name = ch->name();
   s.capacity_gbps = ch->capacity_bytes_per_ns();
+  s.bytes_total = ch->bytes_total();
   s.delivered_gbps = now > 0 ? ch->bytes_total() / sim::to_ns(now) : 0.0;
   s.utilization = ch->utilization(now);
   s.stall_ns = sim::to_ns(ch->stall_ticks());
@@ -23,6 +24,8 @@ LinkStats snapshot(fabric::Channel* ch, sim::Tick now) {
 }
 
 }  // namespace
+
+LinkStats link_stats_one(fabric::Channel& channel, sim::Tick now) { return snapshot(&channel, now); }
 
 std::vector<LinkStats> link_stats(topo::Platform& platform) {
   const sim::Tick now = platform.simulator().now();

@@ -15,6 +15,7 @@ struct LinkStats {
   std::string name;
   double capacity_gbps = 0.0;
   double delivered_gbps = 0.0;   ///< bytes observed / elapsed time
+  double bytes_total = 0.0;      ///< cumulative payload bytes (for windowed deltas)
   double utilization = 0.0;      ///< occupied fraction of [0, now], <= 1
   double stall_ns = 0.0;         ///< downtime injected via Channel::stall
   std::uint64_t messages = 0;
@@ -34,6 +35,10 @@ struct PoolStats {
 
 /// Snapshot every channel on the platform at the current simulation time.
 [[nodiscard]] std::vector<LinkStats> link_stats(topo::Platform& platform);
+
+/// Snapshot one channel. Placement policies poll just the segments they
+/// steer around (e.g. the per-CCD GMIs) instead of sweeping the platform.
+[[nodiscard]] LinkStats link_stats_one(fabric::Channel& channel, sim::Tick now);
 
 /// Snapshot every traffic-control pool.
 [[nodiscard]] std::vector<PoolStats> pool_stats(topo::Platform& platform);

@@ -102,6 +102,21 @@ Prediction predict_multi(const std::vector<fabric::Path*>& paths, const Workload
   return p;
 }
 
+double loaded_latency_ns(const std::vector<fabric::Path*>& paths, double chunk_bytes,
+                         double offered_gbps) {
+  Workload w;
+  w.op = fabric::Op::kRead;
+  w.chunk_bytes = chunk_bytes;
+  w.total_window = 1;
+  const Prediction base = predict_multi(paths, w);
+  if (base.capacity_gbps <= 0.0) return base.zero_load_rtt_ns;
+  double rho = offered_gbps / base.capacity_gbps;
+  if (rho < 0.0) rho = 0.0;
+  constexpr double kRhoCap = 0.97;
+  if (rho > kRhoCap) rho = kRhoCap;
+  return base.zero_load_rtt_ns / (1.0 - rho);
+}
+
 Prediction predict(const fabric::Path& path, const Workload& w) {
   std::vector<fabric::Path*> one{const_cast<fabric::Path*>(&path)};
   return predict_multi(one, w);

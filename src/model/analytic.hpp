@@ -55,4 +55,14 @@ struct Prediction {
 [[nodiscard]] Prediction predict_multi(const std::vector<fabric::Path*>& paths,
                                        const Workload& workload);
 
+/// Placement-scoring shorthand: expected read latency over `paths` when the
+/// shared bottleneck already carries `offered_gbps` of *background* traffic
+/// (the telemetry-measured load — unlike Workload::offered_gbps, which is
+/// the modelled flow's own offer). Zero-load RTT inflated by the classic
+/// 1/(1-rho) response-time factor, rho capped below 1 so a saturated
+/// segment scores finite-but-prohibitive. Consulted per epoch by the
+/// serving layer's telemetry placement policy.
+[[nodiscard]] double loaded_latency_ns(const std::vector<fabric::Path*>& paths,
+                                       double chunk_bytes, double offered_gbps);
+
 }  // namespace scn::model

@@ -1,0 +1,46 @@
+// Placement policies: which worker (core/CCD) serves the next request.
+//
+// The policy is the serving-layer decision the paper's software direction
+// enables: the device tree says where the workers are, the telemetry says
+// which chiplet paths are loaded, and the analytical model turns a measured
+// link load into an expected request latency. bench_serving ablates the
+// three policies against each other.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace scn::serve {
+
+enum class Policy : std::uint8_t {
+  /// Ignore topology entirely: request i goes to worker i mod N.
+  kRoundRobin,
+  /// NUMA/GMI-local: a tenant is homed on one I/O-die quadrant; its requests
+  /// go to workers on that quadrant's CCDs and read the quadrant's DIMMs
+  /// (position-local paths), keeping traffic off the long diagonal routes.
+  kLocal,
+  /// Telemetry-driven: every epoch the server samples the per-CCD GMI byte
+  /// counters (cnet telemetry) and asks the analytical model for the
+  /// expected loaded latency of each CCD's DRAM paths; requests go to the
+  /// worker minimizing predicted latency scaled by its queue depth.
+  kTelemetry,
+};
+
+[[nodiscard]] constexpr const char* to_string(Policy p) noexcept {
+  switch (p) {
+    case Policy::kRoundRobin: return "round-robin";
+    case Policy::kLocal: return "gmi-local";
+    case Policy::kTelemetry: return "telemetry";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<Policy> parse_policy(std::string_view s) noexcept {
+  if (s == "round-robin" || s == "rr") return Policy::kRoundRobin;
+  if (s == "gmi-local" || s == "local") return Policy::kLocal;
+  if (s == "telemetry") return Policy::kTelemetry;
+  return std::nullopt;
+}
+
+}  // namespace scn::serve

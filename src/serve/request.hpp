@@ -1,0 +1,107 @@
+// Request classes: what one user request does to the chiplet network.
+//
+// A request is a small DAG of stages. Each stage is either on-chiplet
+// compute (a chain of dependent L3 hits — no fabric traffic) or a batch of
+// fabric transactions (DIMM reads, CXL-tier reads, response writes) issued
+// with a bounded per-stage window through the worker's compute-chiplet
+// traffic-control pools. Stages start when all of their `deps` have
+// completed, so fan-out/fan-in shapes (read DRAM and CXL in parallel, then
+// write the response) are expressible.
+//
+// Every class belongs to a tenant and carries an end-to-end SLO; the server
+// accounts goodput, violation fraction and cross-tenant fairness per class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "topo/params.hpp"
+
+namespace scn::serve {
+
+enum class StageKind : std::uint8_t { kCompute, kDramRead, kCxlRead, kDramWrite };
+
+[[nodiscard]] constexpr const char* to_string(StageKind k) noexcept {
+  switch (k) {
+    case StageKind::kCompute: return "compute";
+    case StageKind::kDramRead: return "dram-read";
+    case StageKind::kCxlRead: return "cxl-read";
+    case StageKind::kDramWrite: return "dram-write";
+  }
+  return "?";
+}
+
+struct Stage {
+  std::string name;
+  StageKind kind = StageKind::kDramRead;
+  /// Fabric transactions to issue (kCompute: dependent L3 accesses).
+  int chunks = 8;
+  double chunk_bytes = 64.0;
+  /// Outstanding transactions within the stage (ignored by kCompute).
+  std::uint32_t window = 8;
+  /// Stage indices that must complete before this one starts; stages with no
+  /// deps start when the request begins service.
+  std::vector<int> deps;
+};
+
+struct RequestClass {
+  std::string name;
+  std::string tenant;
+  double weight = 1.0;  ///< share of the arrival mix
+  sim::Tick slo = sim::from_us(2.0);
+  std::vector<Stage> stages;
+};
+
+/// The default serving catalog: a latency-sensitive point lookup, a
+/// scan-heavy analytics request, and (when the platform has a CXL tier) a
+/// tiered read that fans out to DRAM and CXL in parallel. Working sets and
+/// SLOs are sized against the platform's measured zero-load latencies so the
+/// same catalog is meaningful on both characterized processors and on
+/// what-if specs.
+[[nodiscard]] inline std::vector<RequestClass> default_classes(const topo::PlatformParams& p) {
+  std::vector<RequestClass> classes;
+
+  RequestClass point;
+  point.name = "point";
+  point.tenant = "alpha";
+  point.weight = 3.0;
+  point.slo = sim::from_us(2.0);
+  point.stages = {
+      {"compute", StageKind::kCompute, 16, 64.0, 1, {}},
+      {"lookup", StageKind::kDramRead, 8, 64.0, 8, {0}},
+      {"respond", StageKind::kDramWrite, 2, 64.0, 2, {1}},
+  };
+  classes.push_back(std::move(point));
+
+  RequestClass scan;
+  scan.name = "scan";
+  scan.tenant = "beta";
+  scan.weight = 2.0;
+  scan.slo = sim::from_us(4.0);
+  scan.stages = {
+      {"compute", StageKind::kCompute, 8, 64.0, 1, {}},
+      {"scan", StageKind::kDramRead, 48, 64.0, 12, {0}},
+      {"respond", StageKind::kDramWrite, 4, 64.0, 4, {1}},
+  };
+  classes.push_back(std::move(scan));
+
+  if (p.has_cxl()) {
+    RequestClass tiered;
+    tiered.name = "tiered";
+    tiered.tenant = "gamma";
+    tiered.weight = 1.0;
+    tiered.slo = sim::from_us(5.0);
+    tiered.stages = {
+        {"compute", StageKind::kCompute, 8, 64.0, 1, {}},
+        {"hot", StageKind::kDramRead, 8, 64.0, 8, {0}},
+        {"cold", StageKind::kCxlRead, 8, 64.0, 4, {0}},
+        {"respond", StageKind::kDramWrite, 2, 64.0, 2, {1, 2}},
+    };
+    classes.push_back(std::move(tiered));
+  }
+  return classes;
+}
+
+}  // namespace scn::serve

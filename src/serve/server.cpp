@@ -1,0 +1,435 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "cnet/telemetry.hpp"
+#include "fabric/runner.hpp"
+#include "fabric/token_chain.hpp"
+#include "model/analytic.hpp"
+#include "stats/fairness.hpp"
+
+namespace scn::serve {
+namespace {
+
+constexpr int kQuadrants = 4;
+
+}  // namespace
+
+ServerSim::ServerSim(sim::Simulator& simulator, topo::Platform& platform, ServerConfig config)
+    : sim_(&simulator),
+      platform_(&platform),
+      cfg_(std::move(config)),
+      classes_(cfg_.classes.empty() ? default_classes(platform.params()) : cfg_.classes),
+      // Independent streams: arrivals and the class mix must not perturb (or
+      // be perturbed by) fabric hiccup draws, so the request sequence is
+      // identical across placement policies at a fixed seed.
+      arrivals_(cfg_.arrival, [&] {
+        std::uint64_t s = cfg_.seed;
+        return sim::splitmix64(s);
+      }()),
+      class_rng_(0),
+      fabric_rng_(0) {
+  std::uint64_t s = cfg_.seed;
+  (void)sim::splitmix64(s);  // arrival stream, consumed above
+  class_rng_.reseed(sim::splitmix64(s));
+  fabric_rng_.reseed(sim::splitmix64(s));
+  antagonist_seed_ = sim::splitmix64(s);
+
+  if (cfg_.worker_slots == 0) cfg_.worker_slots = 1;
+  validate_classes();
+
+  for (const auto& cls : classes_) {
+    total_weight_ += cls.weight;
+    int t = -1;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      if (tenants_[i] == cls.tenant) {
+        t = static_cast<int>(i);
+        break;
+      }
+    }
+    if (t < 0) {
+      t = static_cast<int>(tenants_.size());
+      tenants_.push_back(cls.tenant);
+    }
+    tenant_of_class_.push_back(t);
+  }
+  local_rr_.assign(tenants_.size(), 0);
+  class_acc_.resize(classes_.size());
+
+  const int ccds = platform.ccd_count();
+  const int ccxs = platform.ccx_per_ccd();
+  workers_.reserve(static_cast<std::size_t>(ccds * ccxs));
+  quadrant_workers_.assign(kQuadrants, {});
+  for (int ccd = 0; ccd < ccds; ++ccd) {
+    for (int ccx = 0; ccx < ccxs; ++ccx) {
+      Worker w;
+      w.index = static_cast<int>(workers_.size());
+      w.ccd = ccd;
+      w.ccx = ccx;
+      w.dram_all = platform.dram_paths_all(ccd, ccx);
+      w.dram_near = platform.dram_paths_at(ccd, ccx, topo::DimmPosition::kNear);
+      if (platform.has_cxl()) w.cxl = &platform.cxl_path(ccd, ccx);
+      w.read_pools = platform.pools_for(ccd, ccx, fabric::Op::kRead);
+      w.write_pools = platform.pools_for(ccd, ccx, fabric::Op::kWrite);
+      quadrant_workers_[ccd % kQuadrants].push_back(w.index);
+      workers_.push_back(std::move(w));
+    }
+  }
+
+  pred_ns_.assign(static_cast<std::size_t>(ccds), 0.0);
+  last_gmi_bytes_.assign(static_cast<std::size_t>(ccds), 0.0);
+}
+
+ServerSim::~ServerSim() = default;
+
+void ServerSim::validate_classes() const {
+  if (classes_.empty()) throw std::invalid_argument("serve: empty request catalog");
+  for (const auto& cls : classes_) {
+    if (cls.stages.empty()) {
+      throw std::invalid_argument("serve: class '" + cls.name + "' has no stages");
+    }
+    if (cls.weight <= 0.0) {
+      throw std::invalid_argument("serve: class '" + cls.name + "' weight must be > 0");
+    }
+    for (std::size_t j = 0; j < cls.stages.size(); ++j) {
+      const Stage& st = cls.stages[j];
+      if (st.chunks <= 0) {
+        throw std::invalid_argument("serve: stage '" + st.name + "' chunks must be > 0");
+      }
+      if (st.kind == StageKind::kCxlRead && !platform_->has_cxl()) {
+        throw std::invalid_argument("serve: class '" + cls.name +
+                                    "' needs a CXL tier this platform lacks");
+      }
+      for (std::size_t d = 0; d < st.deps.size(); ++d) {
+        const int dep = st.deps[d];
+        // Deps must point at earlier stages: topological by construction,
+        // which is what makes cycles impossible to express.
+        if (dep < 0 || static_cast<std::size_t>(dep) >= j) {
+          throw std::invalid_argument("serve: stage '" + st.name + "' dep out of range");
+        }
+        for (std::size_t e = 0; e < d; ++e) {
+          if (st.deps[e] == dep) {
+            throw std::invalid_argument("serve: stage '" + st.name + "' duplicate dep");
+          }
+        }
+      }
+    }
+  }
+}
+
+void ServerSim::start() {
+  if (started_) return;
+  started_ = true;
+
+  if (cfg_.antagonist) {
+    for (int i = 0; i < cfg_.antagonist_flows; ++i) {
+      traffic::StreamFlow::Config fc;
+      fc.name = "antagonist" + std::to_string(i);
+      fc.op = fabric::Op::kRead;
+      const int ccx = i % platform_->ccx_per_ccd();
+      fc.paths = platform_->dram_paths_at(0, ccx, topo::DimmPosition::kNear);
+      fc.pools = platform_->pools_for(0, ccx, fabric::Op::kRead);
+      fc.window = platform_->params().core_read_window;
+      fc.stop_at = cfg_.stop;
+      fc.seed = antagonist_seed_ + static_cast<std::uint64_t>(i);
+      antagonists_.push_back(std::make_unique<traffic::StreamFlow>(*sim_, std::move(fc)));
+      antagonists_.back()->start();
+    }
+  }
+
+  if (cfg_.policy == Policy::kTelemetry) {
+    for (std::size_t c = 0; c < pred_ns_.size(); ++c) {
+      const Worker& w = workers_[c * static_cast<std::size_t>(platform_->ccx_per_ccd())];
+      pred_ns_[c] = model::loaded_latency_ns(w.dram_near, fabric::kCachelineBytes, 0.0);
+    }
+    sim_->schedule(cfg_.telemetry_epoch, [this] { telemetry_tick(); });
+  }
+
+  sim_->schedule(arrivals_.next_gap(), [this] { on_arrival(); });
+}
+
+void ServerSim::run(sim::Tick max_drain) {
+  sim_->run_until(cfg_.stop);
+  const sim::Tick deadline = cfg_.stop + max_drain;
+  while (outstanding_ > 0 && sim_->now() < deadline) {
+    if (!sim_->step()) break;
+  }
+}
+
+void ServerSim::on_arrival() {
+  const sim::Tick now = sim_->now();
+  if (now >= cfg_.stop) return;
+
+  const std::uint64_t id = next_id_++;
+  const int cls = pick_class();
+  auto owned = std::make_unique<Request>();
+  Request* r = owned.get();
+  r->id = id;
+  r->cls = cls;
+  r->arrived = now;
+  r->measured = now >= cfg_.warmup;
+  const auto& stages = classes_[static_cast<std::size_t>(cls)].stages;
+  r->stages_left = static_cast<int>(stages.size());
+  r->runs.resize(stages.size());
+  for (std::size_t j = 0; j < stages.size(); ++j) {
+    r->runs[j].deps_left = static_cast<int>(stages[j].deps.size());
+  }
+  requests_.push_back(std::move(owned));
+
+  if (r->measured) ++class_acc_[static_cast<std::size_t>(cls)].arrivals;
+  ++outstanding_;
+
+  const int wi = place(cls);
+  Worker& w = workers_[static_cast<std::size_t>(wi)];
+  r->worker = &w;
+  ++w.served;
+  if (cfg_.on_placed) cfg_.on_placed(id, wi);
+  w.queue.push_back(r);
+  dispatch(w);
+
+  sim_->schedule(arrivals_.next_gap(), [this] { on_arrival(); });
+}
+
+int ServerSim::pick_class() {
+  double x = class_rng_.uniform() * total_weight_;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    x -= classes_[i].weight;
+    if (x < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(classes_.size()) - 1;
+}
+
+int ServerSim::place(int cls) {
+  switch (cfg_.policy) {
+    case Policy::kRoundRobin:
+      return static_cast<int>(rr_next_++ % workers_.size());
+    case Policy::kLocal: {
+      const int tenant = tenant_of_class_[static_cast<std::size_t>(cls)];
+      const auto& home = quadrant_workers_[static_cast<std::size_t>(tenant % kQuadrants)];
+      if (home.empty()) return static_cast<int>(rr_next_++ % workers_.size());
+      auto& cursor = local_rr_[static_cast<std::size_t>(tenant)];
+      return home[cursor++ % home.size()];
+    }
+    case Policy::kTelemetry: {
+      // Model-predicted per-CCD latency, scaled by how busy the worker
+      // already is; ties break toward the lowest index.
+      double best = 0.0;
+      int best_index = -1;
+      for (const Worker& w : workers_) {
+        const double busy =
+            1.0 + static_cast<double>(w.in_flight) + static_cast<double>(w.queue.size());
+        const double score = pred_ns_[static_cast<std::size_t>(w.ccd)] * busy;
+        if (best_index < 0 || score < best) {
+          best = score;
+          best_index = w.index;
+        }
+      }
+      return best_index;
+    }
+  }
+  return 0;
+}
+
+void ServerSim::dispatch(Worker& worker) {
+  while (worker.in_flight < cfg_.worker_slots && !worker.queue.empty()) {
+    Request* r = worker.queue.front();
+    worker.queue.pop_front();
+    ++worker.in_flight;
+    begin_service(r);
+  }
+}
+
+void ServerSim::begin_service(Request* r) {
+  const auto& stages = classes_[static_cast<std::size_t>(r->cls)].stages;
+  for (std::size_t j = 0; j < stages.size(); ++j) {
+    if (r->runs[j].deps_left == 0) start_stage(r, static_cast<int>(j));
+  }
+}
+
+void ServerSim::start_stage(Request* r, int si) {
+  const Stage& st = classes_[static_cast<std::size_t>(r->cls)].stages[static_cast<std::size_t>(si)];
+  if (st.kind == StageKind::kCompute) {
+    // A chain of dependent L3 hits: pure on-chiplet latency, no fabric
+    // traffic and no token-pool pressure.
+    const sim::Tick d = static_cast<sim::Tick>(st.chunks) * platform_->params().l3_lat;
+    sim_->schedule(d, [this, r, si] { finish_stage(r, si); });
+    return;
+  }
+  stage_issue(r, si);
+}
+
+void ServerSim::stage_issue(Request* r, int si) {
+  const Stage& st = classes_[static_cast<std::size_t>(r->cls)].stages[static_cast<std::size_t>(si)];
+  auto& run = r->runs[static_cast<std::size_t>(si)];
+  const int window = st.window > 0 ? static_cast<int>(st.window) : 1;
+  while (run.inflight < window && run.issued < st.chunks) {
+    ++run.issued;
+    ++run.inflight;
+    issue_one(r, si);
+  }
+}
+
+void ServerSim::issue_one(Request* r, int si) {
+  const Stage& st = classes_[static_cast<std::size_t>(r->cls)].stages[static_cast<std::size_t>(si)];
+  Worker* w = r->worker;
+  auto& run = r->runs[static_cast<std::size_t>(si)];
+
+  fabric::Path* path = nullptr;
+  if (st.kind == StageKind::kCxlRead) {
+    path = w->cxl;
+  } else {
+    // Round-robin placement interleaves over every UMC (NPS1); the
+    // topology-aware policies keep traffic on position-local DIMMs.
+    const auto& paths = cfg_.policy == Policy::kRoundRobin ? w->dram_all : w->dram_near;
+    path = paths[run.rr++ % paths.size()];
+  }
+
+  const fabric::Op op =
+      st.kind == StageKind::kDramWrite ? fabric::Op::kWrite : fabric::Op::kRead;
+  const auto* pools = op == fabric::Op::kWrite ? &w->write_pools : &w->read_pools;
+  fabric::acquire_chain(
+      *sim_, *pools, [this, r, si, path, op, bytes = st.chunk_bytes, pools] {
+        // `pools` points at the worker (owned by this ServerSim, outlives
+        // every transaction); the release closure must not reference `r`,
+        // which may already be finalized when the tokens come back.
+        fabric::run_transaction(
+            *sim_, *path, op, bytes, &fabric_rng_,
+            [this, r, si](const fabric::Completion&) { on_txn_done(r, si); },
+            [this, pools] { fabric::release_chain(*sim_, *pools); });
+      });
+}
+
+void ServerSim::on_txn_done(Request* r, int si) {
+  const Stage& st = classes_[static_cast<std::size_t>(r->cls)].stages[static_cast<std::size_t>(si)];
+  auto& run = r->runs[static_cast<std::size_t>(si)];
+  --run.inflight;
+  ++run.completed;
+  if (run.completed == st.chunks) {
+    finish_stage(r, si);
+  } else {
+    stage_issue(r, si);
+  }
+}
+
+void ServerSim::finish_stage(Request* r, int si) {
+  if (cfg_.on_stage_done) cfg_.on_stage_done(r->id, si);
+  if (--r->stages_left == 0) {
+    complete(r);
+    return;
+  }
+  const auto& stages = classes_[static_cast<std::size_t>(r->cls)].stages;
+  for (std::size_t j = 0; j < stages.size(); ++j) {
+    auto& rj = r->runs[j];
+    if (rj.deps_left == 0) continue;  // already started (or ready)
+    for (const int d : stages[j].deps) {
+      if (d == si) {
+        if (--rj.deps_left == 0) start_stage(r, static_cast<int>(j));
+        break;
+      }
+    }
+  }
+}
+
+void ServerSim::complete(Request* r) {
+  Worker& w = *r->worker;
+  --w.in_flight;
+  --outstanding_;
+  if (r->measured) {
+    auto& acc = class_acc_[static_cast<std::size_t>(r->cls)];
+    const sim::Tick e2e = sim_->now() - r->arrived;
+    ++acc.completed;
+    acc.e2e.record(e2e);
+    if (e2e <= classes_[static_cast<std::size_t>(r->cls)].slo) ++acc.in_slo;
+  }
+  dispatch(w);
+}
+
+void ServerSim::telemetry_tick() {
+  const sim::Tick now = sim_->now();
+  const double epoch_ns = sim::to_ns(cfg_.telemetry_epoch);
+  const auto ccxs = static_cast<std::size_t>(platform_->ccx_per_ccd());
+  for (std::size_t c = 0; c < pred_ns_.size(); ++c) {
+    const int ccd = static_cast<int>(c);
+    const auto up = cnet::link_stats_one(platform_->gmi_up(ccd), now);
+    const auto down = cnet::link_stats_one(platform_->gmi_down(ccd), now);
+    const double bytes = up.bytes_total + down.bytes_total;
+    const double gbps = (bytes - last_gmi_bytes_[c]) / epoch_ns;
+    last_gmi_bytes_[c] = bytes;
+    pred_ns_[c] = model::loaded_latency_ns(workers_[c * ccxs].dram_near,
+                                           fabric::kCachelineBytes, gbps);
+  }
+  if (now < cfg_.stop) {
+    sim_->schedule(cfg_.telemetry_epoch, [this] { telemetry_tick(); });
+  }
+}
+
+Report ServerSim::report() const {
+  Report rep;
+  const double window_us = sim::to_us(cfg_.stop - cfg_.warmup);
+  stats::Histogram all;
+  std::vector<double> tenant_goodput(tenants_.size(), 0.0);
+  std::vector<double> tenant_weight(tenants_.size(), 0.0);
+
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const auto& acc = class_acc_[i];
+    ClassReport c;
+    c.name = classes_[i].name;
+    c.tenant = classes_[i].tenant;
+    c.arrivals = acc.arrivals;
+    c.completed = acc.completed;
+    c.in_slo = acc.in_slo;
+    if (!acc.e2e.empty()) {
+      c.mean_ns = acc.e2e.mean() / 1000.0;
+      c.p50_ns = static_cast<double>(acc.e2e.p50()) / 1000.0;
+      c.p99_ns = static_cast<double>(acc.e2e.p99()) / 1000.0;
+      c.p999_ns = static_cast<double>(acc.e2e.p999()) / 1000.0;
+    }
+    if (acc.arrivals > 0) {
+      c.slo_violation_frac =
+          1.0 - static_cast<double>(acc.in_slo) / static_cast<double>(acc.arrivals);
+    }
+    if (window_us > 0.0) c.goodput_per_us = static_cast<double>(acc.in_slo) / window_us;
+
+    rep.arrivals += acc.arrivals;
+    rep.completed += acc.completed;
+    rep.in_slo += acc.in_slo;
+    all.merge(acc.e2e);
+    const auto t = static_cast<std::size_t>(tenant_of_class_[i]);
+    tenant_goodput[t] += static_cast<double>(acc.in_slo);
+    tenant_weight[t] += classes_[i].weight;
+    rep.classes.push_back(std::move(c));
+  }
+
+  if (window_us > 0.0) {
+    rep.offered_per_us = static_cast<double>(rep.arrivals) / window_us;
+    rep.achieved_per_us = static_cast<double>(rep.completed) / window_us;
+    rep.goodput_per_us = static_cast<double>(rep.in_slo) / window_us;
+  }
+  if (!all.empty()) {
+    rep.mean_ns = all.mean() / 1000.0;
+    rep.p50_ns = static_cast<double>(all.p50()) / 1000.0;
+    rep.p99_ns = static_cast<double>(all.p99()) / 1000.0;
+    rep.p999_ns = static_cast<double>(all.p999()) / 1000.0;
+  }
+  if (rep.arrivals > 0) {
+    rep.slo_violation_frac =
+        1.0 - static_cast<double>(rep.in_slo) / static_cast<double>(rep.arrivals);
+  }
+
+  // Fairness over weight-normalized tenant goodput: a tenant with twice the
+  // arrival weight is entitled to twice the goodput.
+  std::vector<double> shares;
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    if (tenant_weight[t] > 0.0) shares.push_back(tenant_goodput[t] / tenant_weight[t]);
+  }
+  rep.jain_tenant_fairness = stats::jain_index(shares);
+
+  rep.served_per_worker.reserve(workers_.size());
+  for (const Worker& w : workers_) rep.served_per_worker.push_back(w.served);
+  return rep;
+}
+
+}  // namespace scn::serve

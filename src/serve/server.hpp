@@ -1,0 +1,204 @@
+// Request-level serving engine on top of the chiplet-network simulator.
+//
+// ServerSim turns the transaction-level fabric into a servable system: an
+// open-loop ArrivalProcess emits requests drawn from a weighted catalog of
+// RequestClasses, a placement policy picks the worker (one per CCX) that
+// serves each request, and every fabric-touching stage of the request DAG is
+// issued through that worker's compute-chiplet traffic-control pools exactly
+// like the traffic generators do. Per-class end-to-end latency, SLO goodput
+// and cross-tenant fairness come back in a Report.
+//
+// Determinism contract: arrivals and the class mix are drawn from RNG
+// streams that are independent of the fabric RNG, so two servers built from
+// the same (seed, arrival config, classes) see the *identical* request
+// sequence regardless of placement policy — policy comparisons at a fixed
+// seed are paired, not merely same-distribution.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/arrival.hpp"
+#include "serve/placement.hpp"
+#include "serve/request.hpp"
+#include "stats/histogram.hpp"
+#include "topo/platform.hpp"
+#include "traffic/stream_flow.hpp"
+
+namespace scn::serve {
+
+struct ServerConfig {
+  Policy policy = Policy::kRoundRobin;
+  ArrivalConfig arrival;
+  /// Request catalog; empty selects default_classes(platform params).
+  std::vector<RequestClass> classes;
+  /// Concurrent requests a worker serves; beyond this, requests queue.
+  std::uint32_t worker_slots = 4;
+  /// Requests arriving before `warmup` load the system but are not measured.
+  sim::Tick warmup = sim::from_us(40.0);
+  /// Arrivals cease at `stop`; in-flight requests drain afterwards.
+  sim::Tick stop = sim::from_us(200.0);
+  std::uint64_t seed = 1;
+  /// Colocated batch job: unthrottled streaming readers pinned to CCD 0,
+  /// saturating its GMI for the whole run. This is the noisy neighbor the
+  /// telemetry policy is supposed to steer around.
+  bool antagonist = false;
+  int antagonist_flows = 4;
+  /// Telemetry policy sampling period (per-CCD GMI byte-counter deltas).
+  sim::Tick telemetry_epoch = sim::from_us(2.0);
+  /// Test hooks (request id, stage index / worker index). Not for benchmarks.
+  std::function<void(std::uint64_t, int)> on_stage_done;
+  std::function<void(std::uint64_t, int)> on_placed;
+};
+
+struct ClassReport {
+  std::string name;
+  std::string tenant;
+  std::uint64_t arrivals = 0;   ///< measured arrivals (after warmup)
+  std::uint64_t completed = 0;
+  std::uint64_t in_slo = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  double slo_violation_frac = 0.0;  ///< never-completed requests count
+  double goodput_per_us = 0.0;      ///< SLO-compliant completions per us
+};
+
+struct Report {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t in_slo = 0;
+  double offered_per_us = 0.0;
+  double achieved_per_us = 0.0;
+  double goodput_per_us = 0.0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  double slo_violation_frac = 0.0;
+  /// Jain index over per-tenant goodput normalized by tenant weight.
+  double jain_tenant_fairness = 1.0;
+  std::vector<ClassReport> classes;
+  std::vector<std::uint64_t> served_per_worker;  ///< placement decisions
+};
+
+class ServerSim {
+ public:
+  /// Validates the catalog (deps must reference earlier stages only, CXL
+  /// stages require a CXL tier) and builds one worker per (CCD, CCX).
+  ServerSim(sim::Simulator& simulator, topo::Platform& platform, ServerConfig config);
+  ~ServerSim();
+
+  ServerSim(const ServerSim&) = delete;
+  ServerSim& operator=(const ServerSim&) = delete;
+
+  /// Arm the arrival loop (and antagonist flows / telemetry epochs).
+  void start();
+
+  /// Run to `stop`, then keep stepping until every accepted request has
+  /// completed or `max_drain` extra simulated time elapses. The platform's
+  /// periodic noise keeps the event queue non-empty forever, so a plain
+  /// run() would never return; requests still open at the drain deadline
+  /// are counted as SLO violations.
+  void run(sim::Tick max_drain = sim::from_ms(2.0));
+
+  [[nodiscard]] Report report() const;
+
+  [[nodiscard]] int worker_count() const noexcept { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] int worker_ccd(int worker) const noexcept { return workers_[worker].ccd; }
+  [[nodiscard]] int outstanding_requests() const noexcept { return outstanding_; }
+  [[nodiscard]] std::uint64_t arrivals_total() const noexcept { return next_id_; }
+  [[nodiscard]] const std::vector<RequestClass>& classes() const noexcept { return classes_; }
+
+ private:
+  struct StageRun {
+    int issued = 0;
+    int completed = 0;
+    int inflight = 0;
+    int deps_left = 0;
+    std::size_t rr = 0;  ///< per-stage round-robin over the path set
+  };
+
+  struct Worker;
+
+  struct Request {
+    std::uint64_t id = 0;
+    int cls = 0;
+    Worker* worker = nullptr;
+    sim::Tick arrived = 0;
+    bool measured = false;
+    int stages_left = 0;
+    std::vector<StageRun> runs;
+  };
+
+  struct Worker {
+    int index = 0;
+    int ccd = 0;
+    int ccx = 0;
+    std::vector<fabric::Path*> dram_all;   ///< NPS1 interleave over every UMC
+    std::vector<fabric::Path*> dram_near;  ///< position-local DIMMs
+    fabric::Path* cxl = nullptr;
+    std::vector<fabric::TokenPool*> read_pools;
+    std::vector<fabric::TokenPool*> write_pools;
+    std::uint32_t in_flight = 0;
+    std::deque<Request*> queue;
+    std::uint64_t served = 0;  ///< requests placed here
+  };
+
+  struct ClassAccum {
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t in_slo = 0;
+    stats::Histogram e2e;  ///< end-to-end latency, ticks
+  };
+
+  void validate_classes() const;
+  void on_arrival();
+  [[nodiscard]] int pick_class();
+  [[nodiscard]] int place(int cls);
+  void dispatch(Worker& worker);
+  void begin_service(Request* r);
+  void start_stage(Request* r, int si);
+  void stage_issue(Request* r, int si);
+  void issue_one(Request* r, int si);
+  void on_txn_done(Request* r, int si);
+  void finish_stage(Request* r, int si);
+  void complete(Request* r);
+  void telemetry_tick();
+
+  sim::Simulator* sim_;
+  topo::Platform* platform_;
+  ServerConfig cfg_;
+
+  std::vector<RequestClass> classes_;
+  double total_weight_ = 0.0;
+  std::vector<std::string> tenants_;      ///< distinct, in order of appearance
+  std::vector<int> tenant_of_class_;      ///< class index -> tenants_ index
+
+  std::vector<Worker> workers_;
+  std::vector<std::vector<int>> quadrant_workers_;  ///< [ccd % 4] -> worker idx
+
+  ArrivalProcess arrivals_;
+  sim::Rng class_rng_;
+  sim::Rng fabric_rng_;
+  std::uint64_t antagonist_seed_ = 0;
+
+  std::vector<std::unique_ptr<Request>> requests_;  ///< owns every request
+  std::vector<ClassAccum> class_acc_;
+  std::uint64_t next_id_ = 0;
+  int outstanding_ = 0;
+  std::size_t rr_next_ = 0;                ///< round-robin placement cursor
+  std::vector<std::size_t> local_rr_;      ///< per-tenant cursor (kLocal)
+  std::vector<double> pred_ns_;            ///< per-CCD predicted latency
+  std::vector<double> last_gmi_bytes_;     ///< per-CCD byte counter at last epoch
+
+  std::vector<std::unique_ptr<traffic::StreamFlow>> antagonists_;
+  bool started_ = false;
+};
+
+}  // namespace scn::serve

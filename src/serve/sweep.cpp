@@ -1,0 +1,63 @@
+#include "serve/sweep.hpp"
+
+#include "exec/sweep.hpp"
+#include "measure/experiment.hpp"
+
+namespace scn::serve {
+
+std::vector<LoadPoint> sweep(const topo::PlatformParams& params, const SweepConfig& config) {
+  const int n_rates = static_cast<int>(config.rates_per_us.size());
+  const int n_policies = static_cast<int>(config.policies.size());
+  const int count = n_rates * n_policies;
+
+  exec::ParallelSweep pool(config.jobs);
+  return pool.map(count, [&](int point) {
+    const int p = point / n_rates;
+    const int r = point % n_rates;
+
+    measure::Experiment e(params);
+    ServerConfig sc;
+    sc.policy = config.policies[static_cast<std::size_t>(p)];
+    sc.arrival.kind = config.arrival;
+    sc.arrival.rate_per_us = config.rates_per_us[static_cast<std::size_t>(r)];
+    sc.classes = config.classes;
+    sc.worker_slots = config.worker_slots;
+    sc.warmup = config.warmup;
+    sc.stop = config.stop;
+    sc.antagonist = config.antagonist;
+    // Seed depends on the rate index only: every policy replays the same
+    // arrival sequence at a given rate (paired policy comparison).
+    sc.seed = exec::point_seed(config.seed, static_cast<std::uint64_t>(r));
+
+    ServerSim server(e.simulator, e.platform, std::move(sc));
+    server.start();
+    server.run(config.max_drain);
+
+    LoadPoint out;
+    out.rate_per_us = config.rates_per_us[static_cast<std::size_t>(r)];
+    out.policy = config.policies[static_cast<std::size_t>(p)];
+    out.report = server.report();
+    return out;
+  });
+}
+
+std::vector<LoadPoint> policy_curve(const std::vector<LoadPoint>& points, Policy policy) {
+  std::vector<LoadPoint> out;
+  for (const auto& pt : points) {
+    if (pt.policy == policy) out.push_back(pt);
+  }
+  return out;
+}
+
+int knee_index(const std::vector<LoadPoint>& curve, double factor) {
+  if (curve.empty()) return -1;
+  const double base = curve.front().report.p99_ns;
+  if (base > 0.0) {
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      if (curve[i].report.p99_ns > factor * base) return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(curve.size()) - 1;
+}
+
+}  // namespace scn::serve

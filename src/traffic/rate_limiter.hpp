@@ -1,0 +1,51 @@
+// Open-loop rate control for the traffic generators.
+//
+// Models the paper's NOP-instruction pacing: a target payload rate is turned
+// into a fixed inter-issue gap for the flow's chunk size (serialization_ticks
+// rounds up, so back-to-back issues can never exceed the requested rate). A
+// rate of zero means unthrottled — the issuer self-clocks off its window
+// tokens instead. The limiter also owns the (time, rate) demand schedule that
+// models fluctuating offered load (Fig. 5's harvest experiments), and can be
+// retargeted at runtime by controllers like cnet::TrafficManager.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace scn::traffic {
+
+class RateLimiter {
+ public:
+  RateLimiter() = default;
+  explicit RateLimiter(double bytes_per_ns) noexcept : rate_(bytes_per_ns) {}
+
+  /// Replace the target rate (bytes/ns == GB/s; <= 0 => unthrottled).
+  void set_rate(double bytes_per_ns) noexcept { rate_ = bytes_per_ns; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] bool unthrottled() const noexcept { return rate_ <= 0.0; }
+
+  /// Ticks between successive issues of `chunk_bytes` at the target rate;
+  /// 0 when unthrottled.
+  [[nodiscard]] sim::Tick gap(double chunk_bytes) const noexcept {
+    if (rate_ <= 0.0) return 0;
+    return sim::serialization_ticks(chunk_bytes, rate_);
+  }
+
+  /// Install a demand schedule: each entry replaces the target rate at its
+  /// absolute tick. The limiter must outlive the simulation (the scheduled
+  /// closures capture `this`).
+  void arm_schedule(sim::Simulator& simulator,
+                    const std::vector<std::pair<sim::Tick, double>>& schedule) {
+    for (const auto& [when, rate] : schedule) {
+      simulator.schedule_at(when, [this, r = rate] { rate_ = r; });
+    }
+  }
+
+ private:
+  double rate_ = 0.0;
+};
+
+}  // namespace scn::traffic

@@ -8,7 +8,10 @@
 namespace scn::traffic {
 
 StreamFlow::StreamFlow(sim::Simulator& simulator, Config config)
-    : simulator_(&simulator), config_(std::move(config)), rng_(config_.seed) {
+    : simulator_(&simulator),
+      config_(std::move(config)),
+      limiter_(config_.target_rate),
+      rng_(config_.seed) {
   assert(!config_.paths.empty() && "a flow needs at least one target route");
   window_pool_ = std::make_unique<fabric::TokenPool>(config_.name + "/window", config_.window);
   base_rtt_ns_ = sim::to_ns(config_.paths.front()->zero_load_rtt());
@@ -20,19 +23,14 @@ void StreamFlow::start() {
     loop_active_ = true;
     issue_loop();
   });
-  for (const auto& [when, rate] : config_.rate_schedule) {
-    simulator_->schedule_at(when, [this, r = rate] { config_.target_rate = r; });
-  }
+  limiter_.arm_schedule(*simulator_, config_.rate_schedule);
   if (config_.adaptive.has_value()) {
     simulator_->schedule_at(config_.start_at + config_.adaptive->adjust_period,
                             [this] { adapt_window(); });
   }
 }
 
-sim::Tick StreamFlow::issue_gap() const noexcept {
-  if (config_.target_rate <= 0.0) return 0;
-  return sim::serialization_ticks(config_.chunk_bytes, config_.target_rate);
-}
+sim::Tick StreamFlow::issue_gap() const noexcept { return limiter_.gap(config_.chunk_bytes); }
 
 fabric::Path* StreamFlow::next_path() noexcept {
   if (config_.paths.size() == 1) return config_.paths.front();

@@ -27,6 +27,7 @@
 #include "sim/simulator.hpp"
 #include "stats/histogram.hpp"
 #include "stats/timeseries.hpp"
+#include "traffic/rate_limiter.hpp"
 
 namespace scn::traffic {
 
@@ -77,7 +78,8 @@ class StreamFlow {
   void set_timeseries(stats::TimeSeries* ts) noexcept { timeseries_ = ts; }
 
   /// Replace the offered rate at runtime (bytes/ns; 0 => unthrottled).
-  void set_target_rate(double bytes_per_ns) noexcept { config_.target_rate = bytes_per_ns; }
+  void set_target_rate(double bytes_per_ns) noexcept { limiter_.set_rate(bytes_per_ns); }
+  [[nodiscard]] const RateLimiter& limiter() const noexcept { return limiter_; }
 
  private:
   void issue_loop();
@@ -95,6 +97,7 @@ class StreamFlow {
 
   sim::Simulator* simulator_;
   Config config_;
+  RateLimiter limiter_;  ///< pacing state; config_.target_rate is its initial value
   sim::Rng rng_;
   std::unique_ptr<fabric::TokenPool> window_pool_;
   std::size_t rr_index_ = 0;

@@ -1,0 +1,460 @@
+// The request-level serving subsystem: arrival-process statistics, request
+// DAG ordering, placement policies, SLO accounting, determinism, and the
+// headline latency-vs-QPS acceptance property (saturation knee on both
+// characterized platforms, telemetry placement beating round-robin at the
+// knee).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "measure/experiment.hpp"
+#include "serve/arrival.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/sweep.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+
+// ---- arrival processes -----------------------------------------------------
+
+double empirical_rate_per_us(serve::ArrivalProcess& p, int arrivals) {
+  sim::Tick total = 0;
+  for (int i = 0; i < arrivals; ++i) total += p.next_gap();
+  return arrivals / sim::to_us(total);
+}
+
+TEST(ServeArrival, DeterministicRateIsExact) {
+  serve::ArrivalConfig cfg;
+  cfg.kind = serve::ArrivalKind::kDeterministic;
+  cfg.rate_per_us = 4.0;
+  serve::ArrivalProcess p(cfg, 1);
+  EXPECT_NEAR(empirical_rate_per_us(p, 100), 4.0, 1e-6);
+}
+
+TEST(ServeArrival, PoissonMatchesConfiguredMean) {
+  serve::ArrivalConfig cfg;
+  cfg.kind = serve::ArrivalKind::kPoisson;
+  cfg.rate_per_us = 2.0;
+  serve::ArrivalProcess p(cfg, 7);
+  // 20000 draws: the sample mean of an exponential is within a few percent.
+  EXPECT_NEAR(empirical_rate_per_us(p, 20000), 2.0, 0.1);
+}
+
+TEST(ServeArrival, MmppPreservesLongRunMean) {
+  serve::ArrivalConfig cfg;
+  cfg.kind = serve::ArrivalKind::kMmpp;
+  cfg.rate_per_us = 2.0;
+  serve::ArrivalProcess p(cfg, 13);
+  // (burst 1.7 + calm 0.3) / 2 == 1, so the long-run mean is rate_per_us.
+  // Convergence is over phase sojourns (20 us each), hence the wide run.
+  EXPECT_NEAR(empirical_rate_per_us(p, 60000), 2.0, 0.2);
+}
+
+TEST(ServeArrival, MmppActuallyAlternatesPhases) {
+  serve::ArrivalConfig cfg;
+  cfg.kind = serve::ArrivalKind::kMmpp;
+  cfg.rate_per_us = 1.0;
+  serve::ArrivalProcess p(cfg, 5);
+  int flips = 0;
+  bool last = p.in_burst();
+  for (int i = 0; i < 5000; ++i) {
+    (void)p.next_gap();
+    if (p.in_burst() != last) {
+      ++flips;
+      last = p.in_burst();
+    }
+  }
+  EXPECT_GT(flips, 10);
+}
+
+TEST(ServeArrival, GapsNeverZero) {
+  serve::ArrivalConfig cfg;
+  cfg.rate_per_us = 1e9;  // absurd rate: gaps clamp to 1 tick, never 0
+  serve::ArrivalProcess p(cfg, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_GE(p.next_gap(), 1);
+}
+
+TEST(ServeArrival, SameSeedSameSchedule) {
+  serve::ArrivalConfig cfg;
+  cfg.kind = serve::ArrivalKind::kMmpp;
+  serve::ArrivalProcess a(cfg, 42);
+  serve::ArrivalProcess b(cfg, 42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_gap(), b.next_gap());
+}
+
+// ---- catalog validation ----------------------------------------------------
+
+serve::ServerConfig base_config(double rate_per_us = 1.0) {
+  serve::ServerConfig cfg;
+  cfg.arrival.kind = serve::ArrivalKind::kPoisson;
+  cfg.arrival.rate_per_us = rate_per_us;
+  cfg.warmup = sim::from_us(10.0);
+  cfg.stop = sim::from_us(60.0);
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(ServeValidate, EmptyStageListThrows) {
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config();
+  cfg.classes = {{"broken", "t", 1.0, sim::from_us(1.0), {}}};
+  EXPECT_THROW(serve::ServerSim(e.simulator, e.platform, cfg), std::invalid_argument);
+}
+
+TEST(ServeValidate, ForwardDependencyThrows) {
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config();
+  serve::RequestClass c;
+  c.name = "cyclic";
+  c.tenant = "t";
+  c.stages = {
+      {"a", serve::StageKind::kDramRead, 4, 64.0, 4, {1}},  // depends on later stage
+      {"b", serve::StageKind::kDramRead, 4, 64.0, 4, {}},
+  };
+  cfg.classes = {c};
+  EXPECT_THROW(serve::ServerSim(e.simulator, e.platform, cfg), std::invalid_argument);
+}
+
+TEST(ServeValidate, CxlStageNeedsCxlTier) {
+  measure::Experiment e(topo::epyc7302());  // no CXL on the 7302
+  auto cfg = base_config();
+  serve::RequestClass c;
+  c.name = "tiered";
+  c.tenant = "t";
+  c.stages = {{"cold", serve::StageKind::kCxlRead, 4, 64.0, 4, {}}};
+  cfg.classes = {c};
+  EXPECT_THROW(serve::ServerSim(e.simulator, e.platform, cfg), std::invalid_argument);
+}
+
+TEST(ServeValidate, DefaultCatalogTracksPlatformTiers) {
+  const auto with_cxl = serve::default_classes(topo::epyc9634());
+  const auto without = serve::default_classes(topo::epyc7302());
+  EXPECT_EQ(with_cxl.size(), 3u);
+  EXPECT_EQ(without.size(), 2u);
+  for (const auto& c : without) {
+    for (const auto& s : c.stages) EXPECT_NE(s.kind, serve::StageKind::kCxlRead);
+  }
+}
+
+// ---- request DAG ordering --------------------------------------------------
+
+TEST(ServeDag, StagesRespectDependencies) {
+  // Diamond DAG on the CXL platform: compute -> {hot DRAM, cold CXL} ->
+  // respond. The hook must see stage 0 first and stage 3 last for every
+  // request, with both middle stages in between (fan-out/fan-in).
+  measure::Experiment e(topo::epyc9634());
+  auto cfg = base_config(0.5);
+  serve::RequestClass c;
+  c.name = "diamond";
+  c.tenant = "t";
+  c.slo = sim::from_us(50.0);
+  c.stages = {
+      {"compute", serve::StageKind::kCompute, 8, 64.0, 1, {}},
+      {"hot", serve::StageKind::kDramRead, 8, 64.0, 8, {0}},
+      {"cold", serve::StageKind::kCxlRead, 8, 64.0, 4, {0}},
+      {"respond", serve::StageKind::kDramWrite, 2, 64.0, 2, {1, 2}},
+  };
+  cfg.classes = {c};
+  std::map<std::uint64_t, std::vector<int>> order;
+  cfg.on_stage_done = [&](std::uint64_t id, int stage) { order[id].push_back(stage); };
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  server.start();
+  server.run();
+
+  ASSERT_GT(order.size(), 10u);
+  for (const auto& [id, stages] : order) {
+    ASSERT_EQ(stages.size(), 4u) << "request " << id;
+    EXPECT_EQ(stages.front(), 0) << "request " << id;
+    EXPECT_EQ(stages.back(), 3) << "request " << id;
+    // The two middle completions are stages 1 and 2 in either order.
+    std::vector<int> mid = {stages[1], stages[2]};
+    std::sort(mid.begin(), mid.end());
+    EXPECT_EQ(mid, (std::vector<int>{1, 2})) << "request " << id;
+  }
+}
+
+TEST(ServeDag, LinearChainCompletesInOrder) {
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config(0.5);
+  serve::RequestClass c;
+  c.name = "chain";
+  c.tenant = "t";
+  c.slo = sim::from_us(50.0);
+  c.stages = {
+      {"compute", serve::StageKind::kCompute, 4, 64.0, 1, {}},
+      {"read", serve::StageKind::kDramRead, 8, 64.0, 4, {0}},
+      {"write", serve::StageKind::kDramWrite, 2, 64.0, 2, {1}},
+  };
+  cfg.classes = {c};
+  std::map<std::uint64_t, std::vector<int>> order;
+  cfg.on_stage_done = [&](std::uint64_t id, int stage) { order[id].push_back(stage); };
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  server.start();
+  server.run();
+
+  ASSERT_GT(order.size(), 10u);
+  for (const auto& [id, stages] : order) {
+    EXPECT_EQ(stages, (std::vector<int>{0, 1, 2})) << "request " << id;
+  }
+}
+
+// ---- placement -------------------------------------------------------------
+
+TEST(ServePlacement, RoundRobinCyclesThroughAllWorkers) {
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config(2.0);
+  cfg.policy = serve::Policy::kRoundRobin;
+  std::vector<int> placed;
+  cfg.on_placed = [&](std::uint64_t, int worker) { placed.push_back(worker); };
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  const int n = server.worker_count();
+  EXPECT_EQ(n, topo::epyc7302().ccd_count * topo::epyc7302().ccx_per_ccd);
+  server.start();
+  server.run();
+  ASSERT_GT(placed.size(), static_cast<std::size_t>(2 * n));
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    EXPECT_EQ(placed[i], static_cast<int>(i % n)) << "arrival " << i;
+  }
+}
+
+TEST(ServePlacement, LocalPolicyKeepsTenantOnItsQuadrant) {
+  measure::Experiment e(topo::epyc9634());
+  auto cfg = base_config(2.0);
+  cfg.policy = serve::Policy::kLocal;
+  serve::RequestClass c;
+  c.name = "pinned";
+  c.tenant = "solo";  // first tenant -> quadrant 0
+  c.slo = sim::from_us(50.0);
+  c.stages = {{"read", serve::StageKind::kDramRead, 8, 64.0, 8, {}}};
+  cfg.classes = {c};
+  std::vector<int> placed;
+  cfg.on_placed = [&](std::uint64_t, int worker) { placed.push_back(worker); };
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  server.start();
+  server.run();
+  ASSERT_GT(placed.size(), 20u);
+  for (int w : placed) {
+    EXPECT_EQ(server.worker_ccd(w) % 4, 0) << "worker " << w;
+  }
+}
+
+TEST(ServePlacement, TelemetryPolicySteersAwayFromTheAntagonist) {
+  // The antagonist saturates CCD 0's GMI; the telemetry policy should place
+  // a below-fair-share fraction of requests on CCD 0's workers.
+  measure::Experiment e(topo::epyc9634());
+  auto cfg = base_config(4.0);
+  cfg.policy = serve::Policy::kTelemetry;
+  cfg.antagonist = true;
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  server.start();
+  server.run();
+  const auto report = server.report();
+  ASSERT_EQ(report.served_per_worker.size(),
+            static_cast<std::size_t>(server.worker_count()));
+  std::uint64_t on_ccd0 = 0;
+  std::uint64_t total = 0;
+  for (int w = 0; w < server.worker_count(); ++w) {
+    total += report.served_per_worker[w];
+    if (server.worker_ccd(w) == 0) on_ccd0 += report.served_per_worker[w];
+  }
+  ASSERT_GT(total, 0u);
+  const double fair_share = 1.0 / topo::epyc9634().ccd_count;
+  EXPECT_LT(static_cast<double>(on_ccd0) / total, 0.5 * fair_share);
+}
+
+// ---- SLO accounting --------------------------------------------------------
+
+TEST(ServeSlo, GenerousSloMeansNoViolations) {
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config(1.0);
+  auto classes = serve::default_classes(topo::epyc7302());
+  for (auto& c : classes) c.slo = sim::from_ms(1.0);
+  cfg.classes = classes;
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  server.start();
+  server.run();
+  const auto r = server.report();
+  ASSERT_GT(r.arrivals, 20u);
+  EXPECT_EQ(r.completed, r.arrivals);
+  EXPECT_EQ(r.in_slo, r.arrivals);
+  EXPECT_DOUBLE_EQ(r.slo_violation_frac, 0.0);
+  EXPECT_GT(r.goodput_per_us, 0.0);
+  EXPECT_NEAR(r.jain_tenant_fairness, 1.0, 0.35);  // weighted shares, finite run
+}
+
+TEST(ServeSlo, ImpossibleSloViolatesEverything) {
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config(1.0);
+  auto classes = serve::default_classes(topo::epyc7302());
+  for (auto& c : classes) c.slo = 1;  // one picosecond
+  cfg.classes = classes;
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  server.start();
+  server.run();
+  const auto r = server.report();
+  ASSERT_GT(r.arrivals, 20u);
+  EXPECT_EQ(r.in_slo, 0u);
+  EXPECT_DOUBLE_EQ(r.slo_violation_frac, 1.0);
+  EXPECT_DOUBLE_EQ(r.goodput_per_us, 0.0);
+  EXPECT_GT(r.completed, 0u);  // they complete, they just miss the SLO
+}
+
+TEST(ServeSlo, PerClassReportsSumToTotals) {
+  measure::Experiment e(topo::epyc9634());
+  auto cfg = base_config(2.0);
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  server.start();
+  server.run();
+  const auto r = server.report();
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t in_slo = 0;
+  for (const auto& c : r.classes) {
+    arrivals += c.arrivals;
+    completed += c.completed;
+    in_slo += c.in_slo;
+  }
+  EXPECT_EQ(arrivals, r.arrivals);
+  EXPECT_EQ(completed, r.completed);
+  EXPECT_EQ(in_slo, r.in_slo);
+  EXPECT_GE(r.p99_ns, r.p50_ns);
+  EXPECT_GE(r.p999_ns, r.p99_ns);
+}
+
+// ---- determinism -----------------------------------------------------------
+
+TEST(ServeDeterminism, SameSeedSameReport) {
+  auto run_once = [] {
+    measure::Experiment e(topo::epyc9634());
+    auto cfg = base_config(2.0);
+    cfg.policy = serve::Policy::kTelemetry;
+    cfg.antagonist = true;
+    serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+    server.start();
+    server.run();
+    return server.report();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.in_slo, b.in_slo);
+  EXPECT_DOUBLE_EQ(a.p99_ns, b.p99_ns);
+  EXPECT_DOUBLE_EQ(a.mean_ns, b.mean_ns);
+  EXPECT_EQ(a.served_per_worker, b.served_per_worker);
+}
+
+TEST(ServeDeterminism, PoliciesSeeIdenticalArrivalSequence) {
+  // The paired-comparison contract: at a fixed seed the arrival schedule and
+  // class mix must not depend on the placement policy.
+  auto arrivals_with = [](serve::Policy policy) {
+    measure::Experiment e(topo::epyc7302());
+    auto cfg = base_config(2.0);
+    cfg.policy = policy;
+    serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+    server.start();
+    server.run();
+    return server.arrivals_total();
+  };
+  const auto rr = arrivals_with(serve::Policy::kRoundRobin);
+  const auto local = arrivals_with(serve::Policy::kLocal);
+  const auto tel = arrivals_with(serve::Policy::kTelemetry);
+  EXPECT_EQ(rr, local);
+  EXPECT_EQ(rr, tel);
+}
+
+// ---- the headline acceptance property --------------------------------------
+
+// Reduced grid per platform, quick-style timings: cheap enough for ASan CI
+// while still driving the system past saturation at the top rate.
+serve::SweepConfig knee_sweep_config(std::vector<double> rates) {
+  serve::SweepConfig sc;
+  sc.rates_per_us = std::move(rates);
+  sc.policies = {serve::Policy::kRoundRobin, serve::Policy::kTelemetry};
+  sc.antagonist = true;
+  sc.warmup = sim::from_us(25.0);
+  sc.stop = sim::from_us(100.0);
+  sc.max_drain = sim::from_ms(1.0);
+  sc.seed = 1;
+  return sc;
+}
+
+void expect_knee_and_telemetry_win(const topo::PlatformParams& params,
+                                   std::vector<double> rates) {
+  const auto points = serve::sweep(params, knee_sweep_config(std::move(rates)));
+  const auto rr = serve::policy_curve(points, serve::Policy::kRoundRobin);
+  const auto tel = serve::policy_curve(points, serve::Policy::kTelemetry);
+  ASSERT_FALSE(rr.empty());
+  ASSERT_EQ(rr.size(), tel.size());
+
+  // Approximately monotone: the P99 curve may dip slightly at light load
+  // (telemetry steering shifts the mix) but must never collapse.
+  for (std::size_t i = 1; i < rr.size(); ++i) {
+    EXPECT_GE(rr[i].report.p99_ns, 0.5 * rr[i - 1].report.p99_ns)
+        << params.name << " rr rate " << rr[i].rate_per_us;
+  }
+
+  // A real saturation knee: P99 at the knee blows past 3x the light-load P99.
+  const int knee = serve::knee_index(rr);
+  ASSERT_GE(knee, 1) << params.name;
+  EXPECT_GT(rr[knee].report.p99_ns, 3.0 * rr[0].report.p99_ns) << params.name;
+
+  // The ablation headline: telemetry placement strictly beats round-robin at
+  // round-robin's knee. Paired comparison — identical arrivals at this seed.
+  EXPECT_LT(tel[knee].report.p99_ns, rr[knee].report.p99_ns) << params.name;
+}
+
+TEST(ServeKnee, Epyc7302SaturatesAndTelemetryWins) {
+  expect_knee_and_telemetry_win(topo::epyc7302(), {1.0, 8.0, 20.0, 32.0});
+}
+
+TEST(ServeKnee, Epyc9634SaturatesAndTelemetryWins) {
+  expect_knee_and_telemetry_win(topo::epyc9634(), {1.0, 8.0, 32.0, 48.0});
+}
+
+TEST(ServeSweep, PolicyMajorLayoutAndJobsInvariance) {
+  auto sc = knee_sweep_config({1.0, 8.0});
+  sc.stop = sim::from_us(60.0);
+  sc.warmup = sim::from_us(10.0);
+  const auto params = topo::epyc7302();
+  sc.jobs = 1;
+  const auto serial = serve::sweep(params, sc);
+  sc.jobs = 4;
+  const auto parallel = serve::sweep(params, sc);
+  ASSERT_EQ(serial.size(), 4u);  // 2 policies x 2 rates
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].policy, parallel[i].policy);
+    EXPECT_DOUBLE_EQ(serial[i].rate_per_us, parallel[i].rate_per_us);
+    EXPECT_EQ(serial[i].report.arrivals, parallel[i].report.arrivals);
+    EXPECT_DOUBLE_EQ(serial[i].report.p99_ns, parallel[i].report.p99_ns);
+  }
+}
+
+TEST(ServeSweep, KneeIndexContract) {
+  auto mk = [](std::vector<double> p99s) {
+    std::vector<serve::LoadPoint> curve;
+    for (double v : p99s) {
+      serve::LoadPoint pt;
+      pt.report.p99_ns = v;
+      curve.push_back(pt);
+    }
+    return curve;
+  };
+  EXPECT_EQ(serve::knee_index({}), -1);
+  EXPECT_EQ(serve::knee_index(mk({100.0, 150.0, 200.0})), 2);  // never blows up: last
+  EXPECT_EQ(serve::knee_index(mk({100.0, 150.0, 301.0, 900.0})), 2);
+  EXPECT_EQ(serve::knee_index(mk({100.0, 150.0, 200.0, 250.0}), 2.0), 3);
+}
+
+}  // namespace

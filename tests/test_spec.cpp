@@ -108,6 +108,35 @@ TEST(SpecSchema, DiffReportsAChangedField) {
   EXPECT_NE(delta[0].find("gmi_up_bw"), std::string::npos) << delta[0];
 }
 
+TEST(SpecSchema, DiffIsEmptyForIdenticalSpecs) {
+  EXPECT_TRUE(spec::diff(topo::epyc7302(), topo::epyc7302()).empty());
+  EXPECT_TRUE(spec::diff(topo::epyc9634(), topo::epyc9634()).empty());
+}
+
+TEST(SpecSchema, DiffReportsEveryChangedFieldExactlyOnce) {
+  // The `platform_spec diff` subcommand prints these lines verbatim, so the
+  // contract is one line per differing field, across value types.
+  auto a = topo::epyc9634();
+  auto b = a;
+  b.name = "EPYC 9634 what-if";  // string field
+  b.ccd_count += 4;              // integer field
+  b.gmi_up_bw *= 2.0;            // double field
+  const auto delta = spec::diff(a, b);
+  ASSERT_EQ(delta.size(), 3u);
+  std::string joined;
+  for (const auto& line : delta) joined += line + "\n";
+  EXPECT_NE(joined.find("name"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("ccd_count"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("gmi_up_bw"), std::string::npos) << joined;
+}
+
+TEST(SpecSchema, DiffIsSymmetricInCount) {
+  auto a = topo::epyc7302();
+  auto b = a;
+  b.umc_read_bw *= 0.5;
+  EXPECT_EQ(spec::diff(a, b).size(), spec::diff(b, a).size());
+}
+
 // ---- diagnostics -----------------------------------------------------------
 
 void expect_error(const std::string& text, const char* fragment) {

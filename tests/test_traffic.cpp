@@ -1,4 +1,4 @@
-// Unit tests: pointer-chase probe and stream-flow generator semantics.
+// Unit tests: pointer-chase probe, rate limiter, and stream-flow semantics.
 #include <gtest/gtest.h>
 
 #include <limits>
@@ -10,6 +10,7 @@
 #include "stats/timeseries.hpp"
 #include "traffic/flow_group.hpp"
 #include "traffic/pointer_chase.hpp"
+#include "traffic/rate_limiter.hpp"
 #include "traffic/stream_flow.hpp"
 
 namespace scn::traffic {
@@ -255,6 +256,103 @@ TEST(FlowGroup, AggregatesThroughput) {
   s.run_until(from_us(15.0));
   EXPECT_EQ(group.size(), 3u);
   EXPECT_NEAR(group.aggregate_gbps(), 3.0, 0.15);
+}
+
+TEST(RateLimiter, ZeroAndNegativeRatesAreUnthrottled) {
+  RateLimiter unset;
+  EXPECT_TRUE(unset.unthrottled());
+  EXPECT_EQ(unset.gap(64.0), 0);
+  RateLimiter negative(-1.0);
+  EXPECT_TRUE(negative.unthrottled());
+  EXPECT_EQ(negative.gap(64.0), 0);
+}
+
+TEST(RateLimiter, GapMatchesSerializationAndRoundsUp) {
+  RateLimiter limiter(2.0);  // 2 bytes/ns
+  EXPECT_EQ(limiter.gap(64.0), sim::serialization_ticks(64.0, 2.0));
+  // 64 B / 3 GB/s = 21.33.. ns: the gap must round up, never down, so
+  // back-to-back issues cannot exceed the requested rate.
+  limiter.set_rate(3.0);
+  EXPECT_EQ(limiter.gap(64.0), from_ns(64.0 / 3.0) + 1);
+}
+
+TEST(RateLimiter, NearZeroRateYieldsEnormousGap) {
+  RateLimiter limiter(1e-9);  // ~1 byte/s
+  EXPECT_FALSE(limiter.unthrottled());
+  EXPECT_GT(limiter.gap(64.0), from_us(1000.0));
+}
+
+TEST(RateLimiter, ScheduleBoundaryTicksApplyInOrder) {
+  sim::Simulator s;
+  RateLimiter limiter(4.0);
+  // Two entries at the same tick: the later-installed one must win (events
+  // at equal time run in insertion order), and an entry at tick 0 applies
+  // before any issue happens.
+  limiter.arm_schedule(s, {{0, 8.0}, {from_us(1.0), 1.0}, {from_us(1.0), 2.0}});
+  s.run_until(0);
+  EXPECT_DOUBLE_EQ(limiter.rate(), 8.0);
+  s.run_until(from_us(1.0));
+  EXPECT_DOUBLE_EQ(limiter.rate(), 2.0);
+}
+
+TEST(StreamFlow, NearZeroRateGapLargerThanWindowCountsNothing) {
+  sim::Simulator s;
+  MiniFabric f(1000.0);
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 4;
+  cfg.target_rate = 1e-4;  // gap 640 us >> the 10 us measurement window
+  cfg.stats_after = from_us(2.0);
+  cfg.stop_at = from_us(12.0);
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run_until(from_us(15.0));
+  // Exactly one transaction fits (issued at t=0); achieved_gbps needs two
+  // completions to report a rate, so it must stay 0, not NaN or garbage.
+  EXPECT_LE(flow.completions(), 1u);
+  EXPECT_DOUBLE_EQ(flow.achieved_gbps(), 0.0);
+}
+
+TEST(StreamFlow, SingleTransactionFlowCompletesAndReportsZeroRate) {
+  sim::Simulator s;
+  MiniFabric f;
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 1;
+  cfg.record_latency = true;
+  cfg.stop_at = from_ns(150.0);  // one ~102 ns round trip fits
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run();
+  EXPECT_EQ(flow.completions(), 1u);
+  EXPECT_EQ(flow.latency_histogram().count(), 1u);
+  EXPECT_DOUBLE_EQ(flow.achieved_gbps(), 0.0);  // a rate needs >= 2 samples
+}
+
+TEST(StreamFlow, ScheduleEntryAtStopBoundaryIsHarmless) {
+  sim::Simulator s;
+  MiniFabric f(1000.0);
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 8;
+  cfg.target_rate = 2.0;
+  // Entries exactly at stop_at and beyond it: armed but never observable.
+  cfg.stop_at = from_us(5.0);
+  cfg.rate_schedule = {{from_us(5.0), 100.0}, {from_us(7.0), 200.0}};
+  StreamFlow flow(s, cfg);
+  flow.start();
+  s.run_until(from_us(10.0));
+  EXPECT_NEAR(flow.limiter().rate(), 200.0, 1e-12);  // schedule did apply...
+  EXPECT_LT(flow.delivered_bytes(), 2.0 * 5000.0 * 1.1);  // ...but issuing had stopped
+}
+
+TEST(FlowGroup, EmptyGroupAggregatesToZero) {
+  FlowGroup group("empty");
+  EXPECT_EQ(group.size(), 0u);
+  EXPECT_DOUBLE_EQ(group.aggregate_gbps(), 0.0);
+  EXPECT_TRUE(group.merged_latency().empty());
+  group.start_all();  // no-ops, must not crash
+  group.stop_all();
 }
 
 TEST(FlowGroup, MergedLatencyCombines) {

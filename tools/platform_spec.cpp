@@ -3,6 +3,7 @@
 //   platform_spec list                      the builtin platform names
 //   platform_spec dump <name|file> [out]    canonical spec text (stdout or out)
 //   platform_spec validate <name|file>...   parse + validate, report per input
+//   platform_spec diff <a> <b>              field-level diff of two specs
 //
 // `dump` emits the canonical form: dump(parse(dump(x))) == dump(x), which is
 // what the round-trip golden test in CI relies on.
@@ -19,8 +20,9 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s list\n"
                "       %s dump <name|file.scn> [out.scn]\n"
-               "       %s validate <name|file.scn>...\n",
-               prog, prog, prog);
+               "       %s validate <name|file.scn>...\n"
+               "       %s diff <name|file.scn> <name|file.scn>\n",
+               prog, prog, prog, prog);
   return 2;
 }
 
@@ -60,6 +62,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     return 0;
+  }
+
+  if (cmd == "diff") {
+    // git-diff-style exit codes: 0 identical, 1 differs, 2 usage/parse error.
+    if (argc != 4) return usage(argv[0]);
+    try {
+      const auto a = spec::resolve(argv[2]);
+      const auto b = spec::resolve(argv[3]);
+      const auto lines = spec::diff(a, b);
+      for (const auto& line : lines) std::printf("%s\n", line.c_str());
+      return lines.empty() ? 0 : 1;
+    } catch (const spec::Error& e) {
+      std::fprintf(stderr, "platform_spec: %s\n", e.what());
+      return 2;
+    }
   }
 
   if (cmd == "validate") {
