@@ -8,15 +8,23 @@
 //   bench_microperf --json out.json       # tracked harness only, writes JSON
 //   bench_microperf --json out.json --repeat 7
 //
-// The tracked harness measures four hot paths end to end:
+// The tracked harness measures six hot paths end to end:
 //   event_loop     self-rescheduling event chains through Simulator (the
 //                  shape of every flow's issue loop)
 //   queue_churn    EventQueue push/pop of randomly-timed events
 //   transactions   full fabric round-trips via run_transaction on a
 //                  channel-constrained Path with a reissue window
 //   token_chain    acquire_chain/release_chain grant cycles
+//   queue_bimodal  near-horizon pushes mixed with far-future outliers — the
+//                  timing wheel's cascade/overflow machinery under stress
+//   serve_burst    serve-like bursty arrivals: dense event clusters separated
+//                  by quiet gaps the queue fully drains across
 // Each metric is the best rate over --repeat runs (min wall time), which is
-// robust against scheduler noise on shared machines.
+// robust against scheduler noise on shared machines. --quick shrinks every
+// workload (for CI smoke checks of the JSON shape); tracked baselines always
+// come from full-size runs. The JSON also carries a "queue" introspection
+// block (peak pending, cascades, rebases, bucket granularity) from the
+// event_loop workload, so mechanism cost is visible PR over PR.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -184,8 +192,11 @@ struct EventLoopHarness {
     }
   };
 
-  /// Returns (events, wall seconds, final sim time as checksum).
-  static void run(std::uint64_t events, double* secs, sim::Tick* checksum) {
+  /// Returns (events, wall seconds, final sim time as checksum). When `stats`
+  /// is non-null the queue's introspection counters are captured before the
+  /// simulator dies — the JSON report's "queue" block.
+  static void run(std::uint64_t events, double* secs, sim::Tick* checksum,
+                  sim::QueueStats* stats = nullptr) {
     sim::Simulator s;
     std::vector<Chain> chains(kChains);
     const std::uint64_t per_chain = events / kChains;
@@ -198,6 +209,7 @@ struct EventLoopHarness {
     s.run();
     *secs = seconds_since(t0);
     *checksum = s.now();
+    if (stats != nullptr) *stats = s.queue_stats();
   }
 };
 
@@ -299,6 +311,93 @@ struct TokenChainHarness {
   }
 };
 
+/// Bimodal push timing: mostly near-horizon events plus a steady trickle of
+/// far-future outliers beyond the wheel's span. This drives exactly the
+/// machinery the uniform churn workload never touches — overflow parking,
+/// rebase-on-empty, multi-level cascades — so a regression there cannot hide
+/// behind a healthy level-0 fast path.
+struct QueueBimodalHarness {
+  static void run(std::uint64_t items, double* secs, sim::Tick* checksum) {
+    sim::EventQueue q;
+    sim::Rng rng(97);
+    const std::uint64_t batch = 1024;
+    sim::Tick acc = 0;
+    sim::Tick base = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t done = 0; done < items; done += batch) {
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        // 1 in 8 events lands ~2^41 ticks out — past the top wheel level, so
+        // it parks in the overflow list and re-enters through a rebase.
+        const bool far = rng.below(8) == 0;
+        const sim::Tick off =
+            far ? (sim::Tick{1} << 41) + static_cast<sim::Tick>(rng.below(1u << 20))
+                : static_cast<sim::Tick>(rng.below(65536));
+        q.push(base + off, [] {});
+      }
+      while (!q.empty()) {
+        const sim::QueueEntry e = q.pop();
+        acc ^= e.time;
+        base = e.time;  // next batch schedules relative to the drained frontier
+      }
+    }
+    *secs = seconds_since(t0);
+    *checksum = acc;  // xor over times: order-independent, so backend-agnostic
+  }
+};
+
+/// Serve-shaped arrivals: bursts of requests land together, each walks a short
+/// chain of tight-gap hops, then the queue goes quiet until the next burst.
+/// The drain-to-one-event lulls exercise the empty-queue re-anchor path that
+/// steady chains never reach.
+struct ServeBurstHarness {
+  static constexpr int kBurst = 32;
+  static constexpr int kHops = 8;
+  static constexpr sim::Tick kPeriod = 4096;  // > kHops * max hop gap: bursts never overlap
+
+  struct Request {
+    sim::Simulator* simulator = nullptr;
+    int hops_left = 0;
+    std::uint64_t salt = 0;
+
+    void step() {
+      if (hops_left == 0) return;
+      --hops_left;
+      salt = salt * 6364136223846793005ull + 1442695040888963407ull;
+      simulator->schedule(static_cast<sim::Tick>(20 + (salt & 63)), [this] { step(); });
+    }
+  };
+
+  struct Generator {
+    sim::Simulator* simulator;
+    std::vector<Request>* requests;
+    std::uint64_t bursts_left;
+
+    void fire() {
+      if (bursts_left == 0) return;
+      --bursts_left;
+      for (std::size_t i = 0; i < requests->size(); ++i) {
+        Request& r = (*requests)[i];
+        r.hops_left = kHops;
+        r.salt = bursts_left * 0x9e3779b97f4a7c15ull + i;
+        r.step();
+      }
+      simulator->schedule(kPeriod, [this] { fire(); });
+    }
+  };
+
+  static void run(std::uint64_t events, double* secs, sim::Tick* checksum) {
+    sim::Simulator s;
+    std::vector<Request> requests(kBurst);
+    for (Request& r : requests) r.simulator = &s;
+    Generator gen{&s, &requests, events / (kBurst * kHops)};
+    const auto t0 = std::chrono::steady_clock::now();
+    gen.fire();
+    s.run();
+    *secs = seconds_since(t0);
+    *checksum = s.now() ^ static_cast<sim::Tick>(s.executed_count());
+  }
+};
+
 struct Metric {
   const char* key;
   std::uint64_t units;     ///< events / items / transactions / chains per run
@@ -322,18 +421,37 @@ void measure(Metric& m, int repeats) {
   }
 }
 
-int run_tracked_harness(const std::string& json_path, int repeats) {
-  Metric event_loop{"event_loop_events_per_sec", 4u << 20, 0.0, 0};
-  Metric queue_churn{"queue_churn_items_per_sec", 2u << 20, 0.0, 0};
-  Metric transactions{"transactions_per_sec", 300000, 0.0, 0};
-  Metric token_chain{"token_chain_grants_per_sec", 200000, 0.0, 0};
+int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
+  // --quick shrinks every workload 16x: enough to exercise all code paths and
+  // keep the JSON shape identical (CI smoke checks), not enough for rates or
+  // checksums comparable with a full-size baseline.
+  const std::uint64_t scale = quick ? 16 : 1;
+  Metric event_loop{"event_loop_events_per_sec", (4u << 20) / scale, 0.0, 0};
+  Metric queue_churn{"queue_churn_items_per_sec", (2u << 20) / scale, 0.0, 0};
+  Metric transactions{"transactions_per_sec", 300000 / scale, 0.0, 0};
+  Metric token_chain{"token_chain_grants_per_sec", 200000 / scale, 0.0, 0};
+  Metric queue_bimodal{"queue_bimodal_items_per_sec", (2u << 20) / scale, 0.0, 0};
+  Metric serve_burst{"serve_burst_events_per_sec", (1u << 20) / scale, 0.0, 0};
 
   measure<EventLoopHarness>(event_loop, repeats);
   measure<QueueChurnHarness>(queue_churn, repeats);
   measure<TransactionHarness>(transactions, repeats);
   measure<TokenChainHarness>(token_chain, repeats);
+  measure<QueueBimodalHarness>(queue_bimodal, repeats);
+  measure<ServeBurstHarness>(serve_burst, repeats);
 
-  const Metric* all[] = {&event_loop, &queue_churn, &transactions, &token_chain};
+  // One untimed pass with introspection on: what the scheduler's bookkeeping
+  // did for the flagship workload (counters are mechanism cost, not ordering).
+  sim::QueueStats qstats{};
+  {
+    double secs = 0.0;
+    sim::Tick cks = 0;
+    EventLoopHarness::run(event_loop.units, &secs, &cks, &qstats);
+  }
+
+  const Metric* all[] = {&event_loop,  &queue_churn,   &transactions,
+                         &token_chain, &queue_bimodal, &serve_burst};
+  constexpr std::size_t kCount = sizeof(all) / sizeof(all[0]);
   std::printf("%-28s %14s %12s\n", "metric", "per_sec", "units/run");
   for (const Metric* m : all) {
     std::printf("%-28s %14.0f %12" PRIu64 "\n", m->key, m->best_per_sec, m->units);
@@ -344,22 +462,35 @@ int run_tracked_harness(const std::string& json_path, int repeats) {
     std::fprintf(stderr, "microperf: cannot write %s\n", json_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"microperf\",\n  \"schema\": 1,\n");
-  std::fprintf(f, "  \"repeats\": %d,\n  \"metrics\": {\n", repeats);
-  for (std::size_t i = 0; i < 4; ++i) {
+  std::fprintf(f, "{\n  \"bench\": \"microperf\",\n  \"schema\": 2,\n");
+  std::fprintf(f, "  \"repeats\": %d,\n  \"quick\": %s,\n  \"metrics\": {\n", repeats,
+               quick ? "true" : "false");
+  for (std::size_t i = 0; i < kCount; ++i) {
     std::fprintf(f, "    \"%s\": %.1f%s\n", all[i]->key, all[i]->best_per_sec,
-                 i + 1 < 4 ? "," : "");
+                 i + 1 < kCount ? "," : "");
   }
   std::fprintf(f, "  },\n  \"units\": {\n");
-  for (std::size_t i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < kCount; ++i) {
     std::fprintf(f, "    \"%s\": %" PRIu64 "%s\n", all[i]->key, all[i]->units,
-                 i + 1 < 4 ? "," : "");
+                 i + 1 < kCount ? "," : "");
   }
   std::fprintf(f, "  },\n  \"checksums\": {\n");
-  for (std::size_t i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < kCount; ++i) {
     std::fprintf(f, "    \"%s\": %" PRId64 "%s\n", all[i]->key,
-                 static_cast<std::int64_t>(all[i]->checksum), i + 1 < 4 ? "," : "");
+                 static_cast<std::int64_t>(all[i]->checksum), i + 1 < kCount ? "," : "");
   }
+  std::fprintf(f, "  },\n  \"queue\": {\n");
+  std::fprintf(f, "    \"backend\": \"%s\",\n", sim::to_string(qstats.backend));
+  std::fprintf(f, "    \"peak_pending\": %" PRIu64 ",\n", qstats.peak_pending);
+  std::fprintf(f, "    \"ready_peak\": %" PRIu64 ",\n", qstats.ready_peak);
+  std::fprintf(f, "    \"cascaded_nodes\": %" PRIu64 ",\n", qstats.cascaded_nodes);
+  std::fprintf(f, "    \"rebases\": %" PRIu64 ",\n", qstats.rebases);
+  std::fprintf(f, "    \"overflow_peak\": %" PRIu64 ",\n", qstats.overflow_peak);
+  std::fprintf(f, "    \"level_occupancy\": [%" PRIu64 ", %" PRIu64 ", %" PRIu64 ", %" PRIu64
+                  "],\n",
+               qstats.level_occupancy[0], qstats.level_occupancy[1], qstats.level_occupancy[2],
+               qstats.level_occupancy[3]);
+  std::fprintf(f, "    \"granularity_log2\": %d\n", qstats.granularity_log2);
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
@@ -381,7 +512,7 @@ int main(int argc, char** argv) {
                  opt.platform_arg().c_str());
   }
   if (!json_path.empty()) {
-    return run_tracked_harness(json_path, repeats > 0 ? repeats : 1);
+    return run_tracked_harness(json_path, repeats > 0 ? repeats : 1, opt.quick());
   }
   auto& passthrough = opt.passthrough();
   int bench_argc = static_cast<int>(passthrough.size());

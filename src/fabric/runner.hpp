@@ -1,6 +1,8 @@
 // Executes transactions along a Path on the discrete-event simulator.
 #pragma once
 
+#include <cstddef>
+
 #include "fabric/path.hpp"
 #include "fabric/types.hpp"
 #include "sim/inline_function.hpp"
@@ -35,5 +37,10 @@ using ReleaseFn = sim::InlineFunction<void()>;
 /// is what latency measurements observe.
 void run_transaction(sim::Simulator& simulator, Path& path, Op op, double payload_bytes,
                      sim::Rng* rng, CompletionFn done, ReleaseFn release = nullptr);
+
+/// Pre-size this thread's walk-state pool for `n` concurrently in-flight
+/// transactions, so a generator that knows its window (e.g. serve::ServerSim)
+/// pays the slab growth before the measured region instead of mid-run.
+void reserve_walks(std::size_t n);
 
 }  // namespace scn::fabric

@@ -81,6 +81,18 @@ ServerSim::ServerSim(sim::Simulator& simulator, topo::Platform& platform, Server
 
   pred_ns_.assign(static_cast<std::size_t>(ccds), 0.0);
   last_gmi_bytes_.assign(static_cast<std::size_t>(ccds), 0.0);
+
+  // Scheduler warm-up hints (performance only, never ordering): size the
+  // event queue and this thread's walk pool for the serving concurrency
+  // bound — every worker slot can hold a request with a handful of fabric
+  // legs in flight — so slab/vector growth happens here, not mid-measurement.
+  const std::size_t inflight = workers_.size() * static_cast<std::size_t>(cfg_.worker_slots);
+  sim_->reserve_events(inflight * 4 + 64);
+  fabric::reserve_walks(inflight * 2 + 32);
+  // Fabric legs dominate the event mix; their serialization times sit at the
+  // nanosecond scale, which seeds the wheel's bucket-width tuner close to its
+  // steady state instead of letting the first requests drag the EMA there.
+  sim_->hint_event_gap(sim::from_ns(2.0));
 }
 
 ServerSim::~ServerSim() = default;

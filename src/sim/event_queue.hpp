@@ -1,159 +1,180 @@
 // Pending-event set for the discrete-event engine.
 //
-// A 4-ary implicit heap keyed on (time, sequence). The sequence number makes
-// ordering of same-tick events deterministic (FIFO in scheduling order),
-// which is essential for bit-exact reproducibility of experiments. Because
-// (time, seq) is a total order, the pop sequence is independent of the heap's
-// internal layout — which is what lets the internals below be optimized
-// freely without perturbing simulation results.
+// EventQueue is a facade over two interchangeable backends keyed on the same
+// (time, sequence) total order — the sequence number makes same-tick events
+// pop FIFO in scheduling order, which is essential for bit-exact
+// reproducibility of experiments. Because (time, seq) is a total order, the
+// pop sequence is independent of either backend's internal layout — which is
+// what lets the internals be optimized freely without perturbing results.
 //
-// Hot-path structure: the callable is an InlineFunction (no allocation for
-// captures up to 64 bytes) parked in a SlabPool slot, while the heap itself
-// orders trivially-copyable 24-byte nodes {time, seq, slot*}. Sifting
-// therefore never runs move constructors or indirect relocation calls, and
-// on the engine's dispatch path (push + run_front) the capture is written
-// exactly once — constructed directly in its slot, invoked in place, then
-// destroyed; it is never relocated at all.
+//   kWheel (default)  hierarchical timing wheel, O(1) amortized push/pop
+//                     (timing_wheel.hpp — the mechanism and the determinism
+//                     argument live there)
+//   kHeap             the legacy 4-ary comparison heap (heap_queue.hpp),
+//                     kept as the reference for equivalence property tests
+//                     and SCN_EVENT_QUEUE=heap golden cross-checks
+//
+// The facade owns the sequence counter, so both backends number events
+// identically and a reset() replays with the same sequence numbers as a
+// fresh queue. Backend dispatch is one perfectly-predicted branch per
+// operation; only the selected backend ever allocates its arena.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <utility>
-#include <vector>
 
-#include "sim/inline_function.hpp"
-#include "sim/slab_pool.hpp"
+#include "sim/heap_queue.hpp"
+#include "sim/queue_types.hpp"
 #include "sim/time.hpp"
+#include "sim/timing_wheel.hpp"
 
 namespace scn::sim {
 
-using EventFn = InlineFunction<void()>;
-
 class EventQueue {
  public:
-  /// A popped event: the callable has been moved out of the queue and is
-  /// owned by the caller.
-  struct Entry {
-    Tick time;
-    std::uint64_t seq;
-    EventFn fn;
-  };
+  using Entry = QueueEntry;
 
-  EventQueue() = default;
+  explicit EventQueue(QueueBackend backend = default_queue_backend()) noexcept
+      : backend_(backend) {}
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
-  ~EventQueue() { clear(); }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] QueueBackend backend() const noexcept { return backend_; }
 
-  /// Time of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] Tick next_time() const noexcept { return heap_.front().time; }
+  [[nodiscard]] bool empty() const noexcept {
+    return backend_ == QueueBackend::kWheel ? wheel_.empty() : heap_.empty();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return backend_ == QueueBackend::kWheel ? wheel_.size() : heap_.size();
+  }
+
+  /// Time of the earliest pending event. Precondition: !empty(). (The wheel
+  /// may lazily advance its cursor, hence not const.)
+  [[nodiscard]] Tick next_time() {
+    return backend_ == QueueBackend::kWheel ? wheel_.next_time() : heap_.next_time();
+  }
 
   /// Schedule a callable. Templated so the capture is constructed directly
-  /// inside its pool slot — there is no intermediate EventFn to relocate.
+  /// inside its pooled slot — there is no intermediate EventFn to relocate.
   template <typename F>
   void push(Tick time, F&& fn) {
-    EventFn* slot = slots_.create(std::forward<F>(fn));
     const std::uint64_t seq = next_seq_++;
-    // Open a hole at the back and bubble ancestors down into it; nodes are
-    // PODs, so each level is three word copies.
-    std::size_t i = heap_.size();
-    heap_.emplace_back();
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / kArity;
-      if (!before(time, seq, heap_[parent])) break;
-      heap_[i] = heap_[parent];
-      i = parent;
+    if (backend_ == QueueBackend::kWheel) {
+      wheel_.push(time, seq, std::forward<F>(fn));
+    } else {
+      heap_.push(time, seq, std::forward<F>(fn));
+      if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
     }
-    heap_[i] = Node{time, seq, slot};
   }
 
   /// Remove and return the earliest event. Precondition: !empty().
   Entry pop() {
-    const Node top = heap_.front();
-    Entry out{top.time, top.seq, std::move(*top.fn)};
-    slots_.destroy(top.fn);
-    remove_front();
-    return out;
+    return backend_ == QueueBackend::kWheel ? wheel_.pop() : heap_.pop();
   }
 
   /// Pop the earliest event and invoke it in place — the callable never
-  /// leaves its slot. Precondition: !empty(). The heap is restructured
-  /// before the call, so events may freely push new events; the slot itself
-  /// stays live until the callable returns. This is the engine's dispatch
+  /// leaves its slot. Precondition: !empty(). This is the engine's dispatch
   /// path; pop() remains for callers that need to own the entry.
   void run_front() {
-    const Node top = heap_.front();
-    remove_front();
-    // Reclaim via RAII so an event that throws still recycles its slot.
-    struct SlotReclaim {
-      SlabPool<EventFn>* pool;
-      EventFn* fn;
-      ~SlotReclaim() { pool->destroy(fn); }
-    } reclaim{&slots_, top.fn};
-    (*top.fn)();
-  }
-
-  /// Drop all pending events (their callables are destroyed, releasing any
-  /// captured per-transaction state back to its pools).
-  void clear() noexcept {
-    for (const Node& node : heap_) slots_.destroy(node.fn);
-    heap_.clear();
-  }
-
-  /// Pre-size the heap storage (e.g. from a generator that knows its window).
-  void reserve(std::size_t n) { heap_.reserve(n); }
-
- private:
-  static constexpr std::size_t kArity = 4;
-
-  /// Detach the root node: sift the displaced last node down through a hole
-  /// at the root. Does not touch the root's slot — callers own it.
-  void remove_front() {
-    const std::size_t n = heap_.size() - 1;
-    if (n > 0) {
-      const Node last = heap_[n];
-      heap_.pop_back();
-      std::size_t i = 0;
-      for (;;) {
-        const std::size_t first_child = i * kArity + 1;
-        if (first_child >= n) break;
-        std::size_t best = first_child;
-        const std::size_t last_child = first_child + kArity < n ? first_child + kArity : n;
-        for (std::size_t c = first_child + 1; c < last_child; ++c) {
-          if (before(heap_[c], heap_[best])) best = c;
-        }
-        if (!before(heap_[best], last.time, last.seq)) break;
-        heap_[i] = heap_[best];
-        i = best;
-      }
-      heap_[i] = last;
+    if (backend_ == QueueBackend::kWheel) {
+      wheel_.run_front();
     } else {
-      heap_.pop_back();
+      heap_.run_front();
     }
   }
 
-  /// Internal heap node; trivially copyable by design — keep it that way.
-  struct Node {
-    Tick time;
-    std::uint64_t seq;
-    EventFn* fn;
-  };
-
-  static bool before(const Node& a, const Node& b) noexcept {
-    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
-  }
-  static bool before(Tick time, std::uint64_t seq, const Node& b) noexcept {
-    return time < b.time || (time == b.time && seq < b.seq);
-  }
-  static bool before(const Node& a, Tick time, std::uint64_t seq) noexcept {
-    return a.time < time || (a.time == time && a.seq < seq);
+  /// Fused dispatch: writes the event's time to `*now` before invoking the
+  /// callable in place. One backend dispatch per event — the engine's hot
+  /// path (Simulator::step). Precondition: !empty().
+  void run_next(Tick* now) {
+    if (backend_ == QueueBackend::kWheel) {
+      wheel_.run_next(now);
+    } else {
+      heap_.run_next(now);
+    }
   }
 
-  SlabPool<EventFn> slots_{256};  // declared before heap_: nodes reference slots
-  std::vector<Node> heap_;
+  /// Drain every pending event (including ones pushed mid-drain), bumping
+  /// `*now` and `*executed` per dispatch. One backend dispatch for the whole
+  /// drain — the Simulator::run() fast path.
+  void run_all(Tick* now, std::uint64_t* executed) {
+    if (backend_ == QueueBackend::kWheel) {
+      wheel_.run_all(now, executed);
+    } else {
+      heap_.run_all(now, executed);
+    }
+  }
+
+  /// Drain events with time <= deadline, bumping `*now` and `*executed` per
+  /// dispatch — the Simulator::run_until() fast path. Leaves `*now` at the
+  /// last executed event's time; the caller owns the final deadline clamp.
+  void run_until_time(Tick deadline, Tick* now, std::uint64_t* executed) {
+    if (backend_ == QueueBackend::kWheel) {
+      wheel_.run_until_time(deadline, now, executed);
+    } else {
+      heap_.run_until_time(deadline, now, executed);
+    }
+  }
+
+  /// Drop all pending events (their callables are destroyed, releasing any
+  /// captured per-transaction state back to its pools). The sequence counter
+  /// keeps running: clear() empties the queue, it does not rewind history.
+  void clear() noexcept {
+    if (backend_ == QueueBackend::kWheel) {
+      wheel_.clear();
+    } else {
+      heap_.clear();
+    }
+  }
+
+  /// clear() plus a sequence-counter rewind: a reset queue numbers events
+  /// exactly like a fresh one, so replays after Simulator::reset() are
+  /// bit-identical to first runs.
+  void reset() noexcept {
+    clear();
+    next_seq_ = 0;
+  }
+
+  /// Pre-size the backend storage (e.g. from a generator that knows its
+  /// in-flight window).
+  void reserve(std::size_t n) {
+    if (backend_ == QueueBackend::kWheel) {
+      wheel_.reserve(n);
+    } else {
+      heap_.reserve(n);
+    }
+  }
+
+  /// Expected inter-event gap in ticks; tunes the wheel's bucket width
+  /// (no-op on the heap backend). Purely a performance hint — pop order is
+  /// unaffected.
+  void set_gap_hint(Tick gap) noexcept {
+    if (backend_ == QueueBackend::kWheel) wheel_.set_gap_hint(gap);
+  }
+
+  /// Sequence number the next push will receive (== pushes since the last
+  /// reset). Exposed for the reset-replay regression tests.
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  /// Mechanism-cost introspection; see QueueStats.
+  [[nodiscard]] QueueStats stats() const noexcept {
+    QueueStats out;
+    out.backend = backend_;
+    if (backend_ == QueueBackend::kWheel) {
+      wheel_.fill_stats(&out);
+    } else {
+      out.peak_pending = heap_peak_;
+    }
+    return out;
+  }
+
+ private:
+  QueueBackend backend_;
+  detail::TimingWheel wheel_;
+  detail::HeapQueue heap_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t heap_peak_ = 0;  // the heap backend keeps no counters of its own
 };
 
 }  // namespace scn::sim

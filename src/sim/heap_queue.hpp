@@ -1,0 +1,184 @@
+// Legacy pending-set backend: a 4-ary implicit heap keyed on (time, seq).
+//
+// This is the PR-2 scheduler, kept verbatim behind EventQueue's backend
+// switch as the reference implementation the timing wheel is proved against:
+// the randomized equivalence property test co-drives both backends over
+// millions of mixed operations and asserts identical (time, seq) pop
+// sequences, and CI runs a golden sweep under SCN_EVENT_QUEUE=heap.
+//
+// Hot-path structure: the callable is an InlineFunction (no allocation for
+// captures up to 64 bytes) parked in a SlabPool slot, while the heap itself
+// orders trivially-copyable 24-byte nodes {time, seq, slot*}. Sifting
+// therefore never runs move constructors or indirect relocation calls, and
+// on the engine's dispatch path (push + run_front) the capture is written
+// exactly once — constructed directly in its slot, invoked in place, then
+// destroyed; it is never relocated at all.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/queue_types.hpp"
+#include "sim/slab_pool.hpp"
+#include "sim/time.hpp"
+
+namespace scn::sim::detail {
+
+class HeapQueue {
+ public:
+  HeapQueue() = default;
+  HeapQueue(const HeapQueue&) = delete;
+  HeapQueue& operator=(const HeapQueue&) = delete;
+  ~HeapQueue() { clear(); }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Tick next_time() const noexcept { return heap_.front().time; }
+
+  /// Schedule a callable under a caller-supplied sequence number. Templated
+  /// so the capture is constructed directly inside its pool slot — there is
+  /// no intermediate EventFn to relocate.
+  template <typename F>
+  void push(Tick time, std::uint64_t seq, F&& fn) {
+    EventFn* slot = slots_.create(std::forward<F>(fn));
+    // Open a hole at the back and bubble ancestors down into it; nodes are
+    // PODs, so each level is three word copies.
+    std::size_t i = heap_.size();
+    heap_.emplace_back();
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(time, seq, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = Node{time, seq, slot};
+  }
+
+  /// Remove and return the earliest event. Precondition: !empty().
+  QueueEntry pop() {
+    const Node top = heap_.front();
+    QueueEntry out{top.time, top.seq, std::move(*top.fn)};
+    slots_.destroy(top.fn);
+    remove_front();
+    return out;
+  }
+
+  /// Pop the earliest event and invoke it in place — the callable never
+  /// leaves its slot. Precondition: !empty(). The heap is restructured
+  /// before the call, so events may freely push new events; the slot itself
+  /// stays live until the callable returns. This is the engine's dispatch
+  /// path; pop() remains for callers that need to own the entry.
+  void run_front() {
+    const Node top = heap_.front();
+    remove_front();
+    // Reclaim via RAII so an event that throws still recycles its slot.
+    struct SlotReclaim {
+      SlabPool<EventFn>* pool;
+      EventFn* fn;
+      ~SlotReclaim() { pool->destroy(fn); }
+    } reclaim{&slots_, top.fn};
+    (*top.fn)();
+  }
+
+  /// Fused dispatch: publish the event's time through `now` before invoking,
+  /// then pop and invoke in place (see TimingWheel::run_next).
+  void run_next(Tick* now) {
+    const Node top = heap_.front();
+    assert(top.time >= *now && "event delivered out of order");
+    *now = top.time;
+    remove_front();
+    struct SlotReclaim {
+      SlabPool<EventFn>* pool;
+      EventFn* fn;
+      ~SlotReclaim() { pool->destroy(fn); }
+    } reclaim{&slots_, top.fn};
+    (*top.fn)();
+  }
+
+  /// Drain every pending event, bumping `*now` and `*executed` per dispatch
+  /// (see TimingWheel::run_all).
+  void run_all(Tick* now, std::uint64_t* executed) {
+    while (!heap_.empty()) {
+      ++*executed;
+      run_next(now);
+    }
+  }
+
+  /// Drain events with time <= deadline, bumping `*now` and `*executed` per
+  /// dispatch (see TimingWheel::run_until_time).
+  void run_until_time(Tick deadline, Tick* now, std::uint64_t* executed) {
+    while (!heap_.empty() && heap_.front().time <= deadline) {
+      ++*executed;
+      run_next(now);
+    }
+  }
+
+  /// Drop all pending events (their callables are destroyed, releasing any
+  /// captured per-transaction state back to its pools).
+  void clear() noexcept {
+    for (const Node& node : heap_) slots_.destroy(node.fn);
+    heap_.clear();
+  }
+
+  /// Pre-size the heap storage (e.g. from a generator that knows its window).
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    slots_.reserve(n);
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  /// Detach the root node: sift the displaced last node down through a hole
+  /// at the root. Does not touch the root's slot — callers own it.
+  void remove_front() {
+    const std::size_t n = heap_.size() - 1;
+    if (n > 0) {
+      const Node last = heap_[n];
+      heap_.pop_back();
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first_child = i * kArity + 1;
+        if (first_child >= n) break;
+        std::size_t best = first_child;
+        const std::size_t last_child = first_child + kArity < n ? first_child + kArity : n;
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+          if (before(heap_[c], heap_[best])) best = c;
+        }
+        if (!before(heap_[best], last.time, last.seq)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  /// Internal heap node; trivially copyable by design — keep it that way.
+  struct Node {
+    Tick time;
+    std::uint64_t seq;
+    EventFn* fn;
+  };
+
+  static bool before(const Node& a, const Node& b) noexcept {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+  static bool before(Tick time, std::uint64_t seq, const Node& b) noexcept {
+    return time < b.time || (time == b.time && seq < b.seq);
+  }
+  static bool before(const Node& a, Tick time, std::uint64_t seq) noexcept {
+    return a.time < time || (a.time == time && a.seq < seq);
+  }
+
+  SlabPool<EventFn> slots_{256};  // declared before heap_: nodes reference slots
+  std::vector<Node> heap_;
+};
+
+}  // namespace scn::sim::detail

@@ -1,0 +1,67 @@
+// Shared vocabulary of the pending-event set: the callable type, the popped
+// entry, the backend selector, and the introspection counters.
+//
+// Split out of event_queue.hpp so the two scheduler backends (the legacy
+// 4-ary heap in heap_queue.hpp and the hierarchical timing wheel in
+// timing_wheel.hpp) can be compiled side by side and co-driven by the
+// equivalence property tests, while everything else keeps including
+// event_queue.hpp and sees only the EventQueue facade.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/inline_function.hpp"
+#include "sim/time.hpp"
+
+namespace scn::sim {
+
+using EventFn = InlineFunction<void()>;
+
+/// A popped event: the callable has been moved out of the queue and is owned
+/// by the caller.
+struct QueueEntry {
+  Tick time;
+  std::uint64_t seq;
+  EventFn fn;
+};
+
+/// Which pending-set implementation an EventQueue runs on. Both produce the
+/// exact same (time, seq) pop order — the wheel is the default because its
+/// push/pop are O(1) amortized; the heap is retained as the reference
+/// implementation for equivalence tests and golden cross-checks.
+enum class QueueBackend : std::uint8_t { kWheel, kHeap };
+
+[[nodiscard]] constexpr const char* to_string(QueueBackend b) noexcept {
+  return b == QueueBackend::kHeap ? "heap" : "wheel";
+}
+
+/// Process-wide default backend: SCN_EVENT_QUEUE=heap selects the legacy
+/// heap (used by CI to pin both backends to the same goldens); anything else
+/// — including unset — selects the wheel.
+[[nodiscard]] inline QueueBackend default_queue_backend() noexcept {
+  static const QueueBackend chosen = [] {
+    const char* env = std::getenv("SCN_EVENT_QUEUE");
+    if (env != nullptr && std::strcmp(env, "heap") == 0) return QueueBackend::kHeap;
+    return QueueBackend::kWheel;
+  }();
+  return chosen;
+}
+
+/// Scheduler introspection, exposed through EventQueue::stats() and
+/// `bench_microperf --json`. Counters describe mechanism cost (how much
+/// bucket bookkeeping the workload induced), never ordering — pop order is
+/// identical whatever these say.
+struct QueueStats {
+  QueueBackend backend = QueueBackend::kWheel;
+  std::uint64_t peak_pending = 0;    ///< high-water mark of size()
+  std::uint64_t ready_peak = 0;      ///< high-water mark of the near-future sort set
+  std::uint64_t cascaded_nodes = 0;  ///< events redistributed from an upper wheel level
+  std::uint64_t rebases = 0;         ///< overflow re-anchoring passes
+  std::uint64_t overflow_peak = 0;   ///< high-water mark of the far-future overflow list
+  std::uint64_t level_occupancy[4] = {0, 0, 0, 0};  ///< events currently parked per level
+  int granularity_log2 = 0;          ///< current level-0 bucket width, log2 ticks
+};
+
+}  // namespace scn::sim

@@ -17,6 +17,11 @@ namespace scn::sim {
 
 class Simulator {
  public:
+  Simulator() = default;
+  /// Pin the scheduler backend (tests and cross-checks; experiments should
+  /// use the default so SCN_EVENT_QUEUE keeps working).
+  explicit Simulator(QueueBackend backend) noexcept : queue_(backend) {}
+
   /// Current simulation time.
   [[nodiscard]] Tick now() const noexcept { return now_; }
 
@@ -47,15 +52,17 @@ class Simulator {
   [[nodiscard]] std::uint64_t executed_count() const noexcept { return executed_; }
 
   /// Run until the event queue drains. Returns the final simulation time.
+  /// The whole drain runs inside the queue backend (one dispatch total);
+  /// in-order delivery is asserted per event in debug builds.
   Tick run() {
-    while (!queue_.empty()) step();
+    queue_.run_all(&now_, &executed_);
     return now_;
   }
 
   /// Run events with time <= deadline; afterwards now() == deadline (or later
   /// if an executed event scheduled exactly at the deadline advanced time).
   Tick run_until(Tick deadline) {
-    while (!queue_.empty() && queue_.next_time() <= deadline) step();
+    queue_.run_until_time(deadline, &now_, &executed_);
     if (now_ < deadline) now_ = deadline;
     return now_;
   }
@@ -63,21 +70,36 @@ class Simulator {
   /// Execute exactly one event if available. Returns false when drained.
   bool step() {
     if (queue_.empty()) return false;
-    const Tick t = queue_.next_time();
-    assert(t >= now_);
-    now_ = t;
+    [[maybe_unused]] const Tick prev = now_;
     ++executed_;
-    queue_.run_front();  // invokes the callable in place, no relocation
+    // Fused pop+invoke: now_ is set to the event's time before its callable
+    // runs (events read the clock), with one queue dispatch per event.
+    queue_.run_next(&now_);
+    assert(now_ >= prev && "event queue delivered an event out of order");
     return true;
   }
 
   /// Drop all pending events and reset the clock. Invalidates any component
   /// state tied to previous time values; intended for test fixtures only.
+  /// Resets the queue's sequence counter too, so a reset simulator replays
+  /// with the same event numbering as a fresh one (same-tick order included).
   void reset() {
-    queue_.clear();
+    queue_.reset();
     now_ = 0;
     executed_ = 0;
   }
+
+  // --- scheduler hints & introspection (performance only, never ordering) ---
+
+  /// Pre-size the pending set for `n` concurrently in-flight events.
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
+  /// Expected inter-event gap in ticks; tunes the timing wheel's bucket
+  /// width (no-op on the heap backend).
+  void hint_event_gap(Tick gap) noexcept { queue_.set_gap_hint(gap); }
+
+  [[nodiscard]] QueueStats queue_stats() const noexcept { return queue_.stats(); }
+  [[nodiscard]] const EventQueue& event_queue() const noexcept { return queue_; }
 
  private:
   EventQueue queue_;

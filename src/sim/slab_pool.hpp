@@ -64,6 +64,12 @@ class SlabPool {
     --live_;
   }
 
+  /// Grow until at least `n` slots exist, so the first `n` create() calls
+  /// after a warm-up never touch the allocator mid-run.
+  void reserve(std::size_t n) {
+    while (capacity_ < n) grow();
+  }
+
   // --- telemetry (tests, leak diagnostics) ---------------------------------
   [[nodiscard]] std::size_t live() const noexcept { return live_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }

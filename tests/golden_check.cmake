@@ -4,7 +4,16 @@
 # be restructured freely — results must not depend on internals or on the
 # number of sweep workers.
 #
-# Invoke: cmake -DBENCH=<exe> -DGOLDEN=<file> -P golden_check.cmake
+# Invoke: cmake -DBENCH=<exe> -DGOLDEN=<file> [-DBACKEND=<heap|wheel>]
+#         -P golden_check.cmake
+#
+# BACKEND pins the event-queue implementation via SCN_EVENT_QUEUE, so the
+# same golden can be asserted under both schedulers — the strongest statement
+# of the equivalence contract: not "both orders are valid" but "the output is
+# byte-identical either way".
+if(DEFINED BACKEND)
+  set(ENV{SCN_EVENT_QUEUE} "${BACKEND}")
+endif()
 file(READ "${GOLDEN}" want)
 foreach(jobs 1 4)
   execute_process(COMMAND "${BENCH}" --quick --jobs ${jobs}

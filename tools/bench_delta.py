@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
 """Compare a bench_microperf JSON report against the committed baseline.
 
-Usage: bench_delta.py BASELINE_JSON CURRENT_JSON
+Usage: bench_delta.py [--max-regression PCT] BASELINE_JSON CURRENT_JSON
 
 Prints a per-metric table of baseline vs current events/sec with the relative
 delta, and flags determinism-checksum drift (a checksum change means the
 simulation executed different work, not just at a different speed — that is a
 correctness signal, not a performance one).
 
-Informational only: CI shared runners have noisy clocks, so the exit code is
-nonzero only for malformed input or checksum drift, never for slow numbers.
+Exit status is nonzero for malformed input, checksum drift, or any metric
+falling more than --max-regression percent below its baseline (default 20 —
+generous because CI shared runners have noisy clocks, but tight enough to
+catch a real algorithmic regression, which shows up as 2x, not 5%).
 """
 
+import argparse
 import json
 import sys
 
@@ -25,10 +28,24 @@ def load(path):
 
 
 def main(argv):
-    if len(argv) != 3:
-        raise SystemExit(__doc__.strip().splitlines()[2])
-    base, cur = load(argv[1]), load(argv[2])
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="fail if any metric drops more than PCT%% below baseline "
+        "(default: %(default)s; pass a negative value to disable)",
+    )
+    args = parser.parse_args(argv[1:])
+    base, cur = load(args.baseline), load(args.current)
 
+    regressed = []
     print(f"{'metric':<36} {'baseline':>12} {'current':>12} {'delta':>8}")
     for name in sorted(set(base["metrics"]) | set(cur["metrics"])):
         b = base["metrics"].get(name)
@@ -39,7 +56,10 @@ def main(argv):
             continue
         delta = (c - b) / b * 100.0 if b else 0.0
         print(f"{name:<36} {b:12.0f} {c:12.0f} {delta:+7.1f}%")
+        if args.max_regression >= 0.0 and delta < -args.max_regression:
+            regressed.append(f"{name}: {delta:+.1f}% (limit -{args.max_regression:.0f}%)")
 
+    failed = False
     drift = []
     for name, want in base.get("checksums", {}).items():
         got = cur.get("checksums", {}).get(name)
@@ -49,9 +69,16 @@ def main(argv):
         print("\nDETERMINISM CHECKSUM DRIFT (simulated work changed):")
         for line in drift:
             print(f"  {line}")
-        return 1
-    print("\nchecksums match: simulated work is identical to the baseline")
-    return 0
+        failed = True
+    else:
+        print("\nchecksums match: simulated work is identical to the baseline")
+
+    if regressed:
+        print("\nPERFORMANCE REGRESSION beyond the allowed envelope:")
+        for line in regressed:
+            print(f"  {line}")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
