@@ -1,0 +1,188 @@
+// Rack-scale serving sweep: N chiplet servers behind a front-end balancer.
+//
+// For each cluster composition, the open-loop request mix is offered at
+// increasing cluster-wide rates while server 0 runs the CCD0 batch
+// antagonist. Three front-end policies compete on the identical arrival
+// sequence: blind cluster round-robin, join-shortest-outstanding, and the
+// telemetry policy steering by per-server GMI byte deltas sampled every
+// lookahead epoch. Inside each box the existing gmi-local placement runs,
+// so this sweeps the fourth (cross-server) policy axis on top of the
+// per-CCX one. The table prints the merged P99 curve, SLO goodput,
+// per-server fairness and NIC-ingress queueing per policy plus each
+// curve's saturation knee.
+//
+// Output is byte-identical for any --jobs value: the grid runs points
+// sequentially and hands --jobs to ClusterSim's pinned shard executor, so
+// the golden check exercises the in-cluster parallel path.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/options.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/spec.hpp"
+#include "serve/sweep.hpp"
+
+namespace {
+
+using namespace scn;
+
+struct Composition {
+  std::string name;
+  std::vector<topo::PlatformParams> servers;
+  cluster::LinkConfig link;
+};
+
+std::vector<Composition> default_compositions(bool quick) {
+  std::vector<Composition> out;
+  Composition small;
+  small.name = "2x epyc7302";
+  small.servers = {spec::lookup("epyc7302"), spec::lookup("epyc7302")};
+  out.push_back(std::move(small));
+  if (!quick) {
+    Composition big;
+    big.name = "2x epyc9634";
+    big.servers = {spec::lookup("epyc9634"), spec::lookup("epyc9634")};
+    out.push_back(std::move(big));
+  }
+  return out;
+}
+
+std::vector<double> rate_grid(const Composition& comp, bool quick) {
+  if (quick) return {2.0, 16.0, 48.0};
+  int ccds = 0;
+  for (const auto& p : comp.servers) ccds += p.ccd_count;
+  // Same shape as the single-server grid, extended until the aggregate
+  // round-robin knee is inside it (~15 req/us per 4-CCD box of this mix).
+  std::vector<double> rates{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0};
+  if (ccds > 8) {
+    rates.push_back(64.0);
+    rates.push_back(96.0);
+  }
+  return rates;
+}
+
+void run_composition(const Composition& comp, const serve::Policy placement, bool quick, int jobs,
+                     std::uint64_t seed) {
+  const std::vector<cluster::LbPolicy> lbs = {cluster::LbPolicy::kRoundRobin,
+                                              cluster::LbPolicy::kLeastOutstanding,
+                                              cluster::LbPolicy::kTelemetry};
+  const auto rates = rate_grid(comp, quick);
+
+  // Grid points run sequentially; per-point cluster seeds are keyed by the
+  // rate index only, so every front-end policy replays the identical arrival
+  // sequence at each rate (paired comparison, as in bench_serving).
+  std::vector<std::vector<cluster::ClusterReport>> curves;
+  for (const cluster::LbPolicy lb : lbs) {
+    std::vector<cluster::ClusterReport> curve;
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+      cluster::ClusterConfig cc;
+      cc.servers = comp.servers;
+      cc.link = comp.link;
+      cc.lb = lb;
+      cc.placement = placement;
+      cc.arrival.rate_per_us = rates[ri];
+      cc.antagonist_server = 0;
+      cc.seed = exec::point_seed(seed, static_cast<std::uint64_t>(ri));
+      cc.jobs = jobs;
+      if (quick) {
+        cc.warmup = sim::from_us(25.0);
+        cc.stop = sim::from_us(100.0);
+        cc.max_drain = sim::from_ms(1.0);
+      }
+      cluster::ClusterSim sim(std::move(cc));
+      sim.run();
+      curve.push_back(sim.report());
+    }
+    curves.push_back(std::move(curve));
+  }
+
+  bench::subheading(comp.name + " (requests/us vs ns; antagonist on server 0, CCD 0)");
+  for (std::size_t li = 0; li < lbs.size(); ++li) {
+    const auto& curve = curves[li];
+    std::printf("  lb %-17s  %6s %8s %8s %10s %8s %6s %8s\n", cluster::to_string(lbs[li]), "rate",
+                "goodput", "p50", "p99", "viol%", "jain", "link-ns");
+    std::vector<double> p99;
+    for (std::size_t ri = 0; ri < curve.size(); ++ri) {
+      const auto& rep = curve[ri];
+      std::printf("    %-19s  %6.1f %8.2f %8.1f %10.1f %7.1f%% %6.3f %8.1f\n", "", rates[ri],
+                  rep.goodput_per_us, rep.p50_ns, rep.p99_ns, rep.slo_violation_frac * 100.0,
+                  rep.jain_server_fairness, rep.link_wait_mean_ns);
+      p99.push_back(rep.p99_ns);
+    }
+    const int knee = serve::knee_index(std::span<const double>(p99));
+    if (knee >= 0) {
+      std::printf("    knee: %.1f req/us (p99 %.1f ns)\n", rates[static_cast<std::size_t>(knee)],
+                  p99[static_cast<std::size_t>(knee)]);
+    } else {
+      std::printf("    knee: none (p99 never exceeded 3x baseline)\n");
+    }
+  }
+
+  // Ablation summary at the cluster round-robin knee, the paired comparison
+  // the telemetry front end is built to win; without a knee in the swept
+  // range, compare at the top rate and say so.
+  std::vector<double> rr_p99;
+  for (const auto& rep : curves.front()) rr_p99.push_back(rep.p99_ns);
+  const int knee = serve::knee_index(std::span<const double>(rr_p99));
+  const auto at = static_cast<std::size_t>(knee >= 0 ? knee : static_cast<int>(rates.size()) - 1);
+  if (knee >= 0) {
+    std::printf("  at cluster-rr knee (%.1f req/us):\n", rates[at]);
+  } else {
+    std::printf("  cluster-rr knee: none; comparing at top rate (%.1f req/us):\n", rates[at]);
+  }
+  for (std::size_t li = 0; li < lbs.size(); ++li) {
+    const auto& rep = curves[li][at];
+    std::printf("    %-17s p99 %10.1f ns  goodput %6.2f req/us  viol %5.1f%%  srv0 fwd %4.1f%%\n",
+                cluster::to_string(lbs[li]), rep.p99_ns, rep.goodput_per_us,
+                rep.slo_violation_frac * 100.0,
+                rep.forwarded > 0 ? 100.0 * static_cast<double>(rep.forwarded_per_server[0]) /
+                                        static_cast<double>(rep.forwarded)
+                                  : 0.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cluster_file;
+  std::string placement_arg;
+  bench::Options opt("bench_cluster",
+                     "rack-scale serving: cluster knees and front-end policy ablation");
+  opt.value("--cluster", &cluster_file, "run a .scnc cluster spec instead of the default racks");
+  opt.value("--placement", &placement_arg,
+            "per-server placement policy (round-robin, gmi-local, telemetry)");
+  opt.parse(argc, argv);
+
+  serve::Policy placement = serve::Policy::kLocal;
+  if (!placement_arg.empty()) {
+    const auto parsed = serve::parse_policy(placement_arg);
+    if (!parsed) opt.die("--placement: unknown policy '" + placement_arg + "'");
+    placement = *parsed;
+  }
+
+  std::vector<Composition> comps;
+  if (!cluster_file.empty()) {
+    try {
+      cluster::ClusterSpec cs = cluster::load_cluster(cluster_file);
+      Composition comp;
+      comp.name = cluster_file;
+      comp.servers = std::move(cs.servers);
+      comp.link = cs.link;
+      comps.push_back(std::move(comp));
+    } catch (const spec::Error& e) {
+      opt.die(std::string("--cluster: ") + e.what());
+    }
+  } else {
+    comps = default_compositions(opt.quick());
+  }
+
+  exec::Stopwatch watch;
+  bench::heading("Cluster: latency vs offered load per front-end policy");
+  for (const auto& comp : comps) {
+    run_composition(comp, placement, opt.quick(), opt.jobs(), opt.seed_or(1));
+  }
+  bench::report_wallclock("cluster sweeps", opt.jobs(), watch.elapsed_ms());
+  return 0;
+}

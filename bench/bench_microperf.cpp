@@ -19,6 +19,8 @@
 //                  timing wheel's cascade/overflow machinery under stress
 //   serve_burst    serve-like bursty arrivals: dense event clusters separated
 //                  by quiet gaps the queue fully drains across
+//   cluster        the rack-scale path end to end: two servers behind the
+//                  front-end balancer, lockstep epochs, link forwarding
 // Each metric is the best rate over --repeat runs (min wall time), which is
 // robust against scheduler noise on shared machines. --quick shrinks every
 // workload (for CI smoke checks of the JSON shape); tracked baselines always
@@ -36,6 +38,7 @@
 #include <vector>
 
 #include "bench/options.hpp"
+#include "cluster/cluster.hpp"
 #include "fabric/channel.hpp"
 #include "fabric/path.hpp"
 #include "fabric/runner.hpp"
@@ -398,6 +401,32 @@ struct ServeBurstHarness {
   }
 };
 
+/// The rack-scale serving path end to end: two 4-CCD servers behind the
+/// telemetry front end, deterministic arrivals, lockstep epoch advancement
+/// and NIC-link forwarding — the whole scn::cluster stack, single-threaded
+/// so the rate tracks per-core simulation cost, not the shard executor.
+struct ClusterHarness {
+  static void run(std::uint64_t requests, double* secs, sim::Tick* checksum) {
+    cluster::ClusterConfig cc;
+    cc.servers = {spec::lookup("epyc7302"), spec::lookup("epyc7302")};
+    cc.lb = cluster::LbPolicy::kTelemetry;
+    cc.arrival.kind = serve::ArrivalKind::kDeterministic;
+    cc.arrival.rate_per_us = 8.0;
+    cc.warmup = sim::from_us(2.0);
+    cc.stop = cc.warmup + sim::from_us(static_cast<double>(requests) / cc.arrival.rate_per_us);
+    cc.max_drain = sim::from_ms(1.0);
+    cc.seed = 11;
+    cc.jobs = 1;
+    cluster::ClusterSim cluster_sim(std::move(cc));
+    const auto t0 = std::chrono::steady_clock::now();
+    cluster_sim.run();
+    *secs = seconds_since(t0);
+    const cluster::ClusterReport rep = cluster_sim.report();
+    *checksum = static_cast<sim::Tick>(rep.completed ^ (rep.forwarded << 20) ^
+                                       (rep.in_slo << 40) ^ rep.epochs);
+  }
+};
+
 struct Metric {
   const char* key;
   std::uint64_t units;     ///< events / items / transactions / chains per run
@@ -432,6 +461,7 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
   Metric token_chain{"token_chain_grants_per_sec", 200000 / scale, 0.0, 0};
   Metric queue_bimodal{"queue_bimodal_items_per_sec", (2u << 20) / scale, 0.0, 0};
   Metric serve_burst{"serve_burst_events_per_sec", (1u << 20) / scale, 0.0, 0};
+  Metric cluster_path{"cluster_requests_per_sec", 4096 / scale, 0.0, 0};
 
   measure<EventLoopHarness>(event_loop, repeats);
   measure<QueueChurnHarness>(queue_churn, repeats);
@@ -439,6 +469,7 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
   measure<TokenChainHarness>(token_chain, repeats);
   measure<QueueBimodalHarness>(queue_bimodal, repeats);
   measure<ServeBurstHarness>(serve_burst, repeats);
+  measure<ClusterHarness>(cluster_path, repeats);
 
   // One untimed pass with introspection on: what the scheduler's bookkeeping
   // did for the flagship workload (counters are mechanism cost, not ordering).
@@ -449,8 +480,8 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
     EventLoopHarness::run(event_loop.units, &secs, &cks, &qstats);
   }
 
-  const Metric* all[] = {&event_loop,  &queue_churn,   &transactions,
-                         &token_chain, &queue_bimodal, &serve_burst};
+  const Metric* all[] = {&event_loop,   &queue_churn, &transactions, &token_chain,
+                         &queue_bimodal, &serve_burst, &cluster_path};
   constexpr std::size_t kCount = sizeof(all) / sizeof(all[0]);
   std::printf("%-28s %14s %12s\n", "metric", "per_sec", "units/run");
   for (const Metric* m : all) {

@@ -57,18 +57,29 @@ void run_platform(const topo::PlatformParams& params, bool quick, int jobs, std:
                   pt.report.slo_violation_frac * 100.0, pt.report.jain_tenant_fairness);
     }
     const int knee = serve::knee_index(curve);
-    std::printf("    knee: %.1f req/us (p99 %.1f ns)\n", curve[knee].rate_per_us,
-                curve[knee].report.p99_ns);
+    if (knee >= 0) {
+      std::printf("    knee: %.1f req/us (p99 %.1f ns)\n", curve[static_cast<std::size_t>(knee)].rate_per_us,
+                  curve[static_cast<std::size_t>(knee)].report.p99_ns);
+    } else {
+      std::printf("    knee: none (p99 never exceeded 3x baseline)\n");
+    }
   }
 
   // Ablation summary at round-robin's knee rate: the paired comparison the
-  // telemetry policy is built to win.
+  // telemetry policy is built to win. Without a knee in the swept range,
+  // compare at the highest rate instead and say so.
   const auto rr = serve::policy_curve(points, serve::Policy::kRoundRobin);
   const int knee = serve::knee_index(rr);
-  std::printf("  at round-robin knee (%.1f req/us):\n", rr[knee].rate_per_us);
+  const auto at = static_cast<std::size_t>(knee >= 0 ? knee : static_cast<int>(rr.size()) - 1);
+  if (knee >= 0) {
+    std::printf("  at round-robin knee (%.1f req/us):\n", rr[at].rate_per_us);
+  } else {
+    std::printf("  round-robin knee: none; comparing at top rate (%.1f req/us):\n",
+                rr[at].rate_per_us);
+  }
   for (const serve::Policy policy : sc.policies) {
     const auto curve = serve::policy_curve(points, policy);
-    const auto& pt = curve[static_cast<std::size_t>(knee)];
+    const auto& pt = curve[at];
     std::printf("    %-11s p99 %10.1f ns  goodput %6.2f req/us  viol %5.1f%%\n",
                 serve::to_string(policy), pt.report.p99_ns, pt.report.goodput_per_us,
                 pt.report.slo_violation_frac * 100.0);

@@ -1,0 +1,418 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "cnet/telemetry.hpp"
+#include "exec/sweep.hpp"
+#include "stats/fairness.hpp"
+#include "topo/platform.hpp"
+
+namespace scn::cluster {
+
+std::uint64_t server_seed(std::uint64_t cluster_seed, int server) noexcept {
+  return exec::point_seed(cluster_seed, static_cast<std::uint64_t>(server));
+}
+
+// ---- pinned shard executor -------------------------------------------------
+//
+// Unlike exec::ThreadPool (any worker takes any task), every task posted here
+// names its shard, and shard s is exactly one thread for the pool's whole
+// lifetime. The fabric layer's slab pools (walk contexts, token-chain state)
+// are thread_local, so everything an instance allocates — from Platform
+// construction through every epoch to teardown — must happen on one thread.
+// With zero shards, post() runs the task inline on the caller (--jobs 1).
+class ClusterSim::ShardPool {
+ public:
+  explicit ShardPool(int shards) {
+    for (int i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    for (auto& s : shards_) {
+      Shard* shard = s.get();
+      shard->thread = std::thread([shard] { loop(*shard); });
+    }
+  }
+
+  ~ShardPool() {
+    for (auto& s : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->stop = true;
+      }
+      s->task_cv.notify_all();
+    }
+    for (auto& s : shards_) {
+      if (s->thread.joinable()) s->thread.join();
+    }
+  }
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(shards_.size()); }
+
+  /// Enqueue on shard `shard % size()`. Tasks must not throw.
+  void post(int shard, std::function<void()> task) {
+    if (shards_.empty()) {
+      task();
+      return;
+    }
+    Shard& s = *shards_[static_cast<std::size_t>(shard) % shards_.size()];
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.tasks.push_back(std::move(task));
+    }
+    s.task_cv.notify_one();
+  }
+
+  /// Barrier: block until every shard's queue is empty and idle. After this
+  /// returns, the main thread may touch any instance state.
+  void wait_all() {
+    for (auto& s : shards_) {
+      std::unique_lock<std::mutex> lock(s->mu);
+      s->idle_cv.wait(lock, [&] { return s->tasks.empty() && !s->busy; });
+    }
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable task_cv;
+    std::condition_variable idle_cv;
+    std::deque<std::function<void()>> tasks;
+    std::thread thread;
+    bool busy = false;
+    bool stop = false;
+  };
+
+  static void loop(Shard& s) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(s.mu);
+        s.task_cv.wait(lock, [&] { return s.stop || !s.tasks.empty(); });
+        if (s.tasks.empty()) return;  // stop requested and drained
+        task = std::move(s.tasks.front());
+        s.tasks.pop_front();
+        s.busy = true;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.busy = false;
+        if (s.tasks.empty()) s.idle_cv.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// ---- one server instance ---------------------------------------------------
+
+struct ClusterSim::Instance {
+  sim::Simulator sim;
+  std::unique_ptr<topo::Platform> platform;
+  std::unique_ptr<serve::ServerSim> server;
+  std::exception_ptr build_error;
+
+  // Front-end state for this server, touched only by the main thread between
+  // barriers (link_busy, snapshots) or by this instance's own delivery
+  // events on its shard (inflight_forwards decrement).
+  sim::Tick link_busy = 0;          ///< NIC ingress FIFO: busy-until time
+  std::uint64_t forwarded = 0;      ///< requests the balancer sent here
+  int inflight_forwards = 0;        ///< forwarded but not yet delivered
+  int snap_outstanding = 0;         ///< outstanding at the last boundary
+  double gmi_last_bytes = 0.0;      ///< GMI byte counter at the last epoch
+  double gmi_delta = 0.0;           ///< bytes moved in the last epoch
+};
+
+ClusterSim::ClusterSim(ClusterConfig config) : cfg_(std::move(config)), class_rng_(0) {
+  if (cfg_.servers.empty()) {
+    throw std::invalid_argument("cluster: at least one server is required");
+  }
+  if (cfg_.warmup >= cfg_.stop) {
+    throw std::invalid_argument("cluster: warmup must be earlier than stop");
+  }
+  if (cfg_.antagonist_server >= static_cast<int>(cfg_.servers.size())) {
+    throw std::invalid_argument("cluster: antagonist_server out of range");
+  }
+  if (cfg_.link.latency < 0 || cfg_.link.request_bytes < 0.0) {
+    throw std::invalid_argument("cluster: link latency and request bytes must be >= 0");
+  }
+
+  // Shared catalog: class indices must mean the same thing on every server.
+  // When any box lacks a CXL tier, build the default catalog from such a box
+  // so the CXL-tiered class is dropped cluster-wide rather than crashing the
+  // servers that cannot serve it.
+  if (!cfg_.classes.empty()) {
+    catalog_ = cfg_.classes;
+  } else {
+    const topo::PlatformParams* base = &cfg_.servers.front();
+    for (const auto& p : cfg_.servers) {
+      if (!p.has_cxl()) {
+        base = &p;
+        break;
+      }
+    }
+    catalog_ = serve::default_classes(*base);
+  }
+
+  // Lookahead bound: every forward issued in epoch [T, T+E) delivers at or
+  // after T+E when E == link latency, so instances can run an epoch without
+  // seeing each other. A zero-latency link degenerates to one-tick epochs.
+  epoch_ = std::max<sim::Tick>(cfg_.link.latency, 1);
+
+  // Front-end streams, salted so they cannot collide with the per-server
+  // seed chain (server_seed derives from cfg_.seed too).
+  std::uint64_t s = cfg_.seed ^ 0x9e3779b97f4a7c15ULL;
+  arrivals_ = std::make_unique<serve::ArrivalProcess>(cfg_.arrival, sim::splitmix64(s));
+  class_rng_.reseed(sim::splitmix64(s));
+
+  const int n = static_cast<int>(cfg_.servers.size());
+  const int jobs = std::min(std::max(cfg_.jobs, 1), n);
+  shards_ = std::make_unique<ShardPool>(jobs > 1 ? jobs : 0);
+
+  instances_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) instances_.push_back(std::make_unique<Instance>());
+  for (int i = 0; i < n; ++i) {
+    Instance* inst = instances_[static_cast<std::size_t>(i)].get();
+    serve::ServerConfig sc;
+    sc.policy = cfg_.placement;
+    sc.arrival = cfg_.arrival;
+    sc.classes = catalog_;
+    sc.worker_slots = cfg_.worker_slots;
+    sc.warmup = cfg_.warmup;
+    sc.stop = cfg_.stop;
+    sc.external_arrivals = !cfg_.local_arrivals;
+    sc.seed = server_seed(cfg_.seed, i);
+    sc.antagonist = i == cfg_.antagonist_server;
+    shards_->post(i, [inst, params = cfg_.servers[static_cast<std::size_t>(i)],
+                      sc = std::move(sc)]() mutable {
+      try {
+        inst->platform = std::make_unique<topo::Platform>(inst->sim, std::move(params));
+        inst->server =
+            std::make_unique<serve::ServerSim>(inst->sim, *inst->platform, std::move(sc));
+        inst->server->start();
+      } catch (...) {
+        inst->build_error = std::current_exception();
+      }
+    });
+  }
+  shards_->wait_all();
+  for (const auto& inst : instances_) {
+    if (inst->build_error) std::rethrow_exception(inst->build_error);
+  }
+}
+
+ClusterSim::~ClusterSim() {
+  // Teardown must also happen on each instance's shard: in-flight fabric
+  // walks drain back into the thread-local pool they were carved from.
+  for (int i = 0; i < static_cast<int>(instances_.size()); ++i) {
+    Instance* inst = instances_[static_cast<std::size_t>(i)].get();
+    shards_->post(i, [inst] {
+      inst->server.reset();
+      inst->platform.reset();
+    });
+  }
+  shards_->wait_all();
+}
+
+const serve::ServerSim& ClusterSim::server(int i) const {
+  return *instances_[static_cast<std::size_t>(i)]->server;
+}
+
+int ClusterSim::pick_class() {
+  double total = 0.0;
+  for (const auto& cls : catalog_) total += cls.weight;
+  double x = class_rng_.uniform() * total;
+  for (std::size_t i = 0; i < catalog_.size(); ++i) {
+    x -= catalog_[i].weight;
+    if (x < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(catalog_.size()) - 1;
+}
+
+int ClusterSim::pick_server() {
+  const int n = static_cast<int>(instances_.size());
+  switch (cfg_.lb) {
+    case LbPolicy::kRoundRobin:
+      return static_cast<int>(rr_next_++ % static_cast<std::size_t>(n));
+    case LbPolicy::kLeastOutstanding: {
+      int best = 0;
+      long best_load = 0;
+      for (int i = 0; i < n; ++i) {
+        const Instance& inst = *instances_[static_cast<std::size_t>(i)];
+        const long load = inst.snap_outstanding + inst.inflight_forwards;
+        if (i == 0 || load < best_load) {
+          best = i;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+    case LbPolicy::kTelemetry: {
+      // Fabric pressure (GMI bytes moved last epoch) scaled by how much work
+      // the server already holds: a box whose links an antagonist saturates
+      // scores high even when its request queue looks as short as anyone's.
+      const double epoch_ns = sim::to_ns(epoch_);
+      int best = 0;
+      double best_score = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const Instance& inst = *instances_[static_cast<std::size_t>(i)];
+        const double gbps = epoch_ns > 0.0 ? inst.gmi_delta / epoch_ns : 0.0;
+        const double load =
+            1.0 + static_cast<double>(inst.snap_outstanding + inst.inflight_forwards);
+        const double score = (1.0 + gbps) * load;
+        if (i == 0 || score < best_score) {
+          best = i;
+          best_score = score;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void ClusterSim::forward(int target, int cls, sim::Tick at) {
+  Instance& inst = *instances_[static_cast<std::size_t>(target)];
+  const sim::Tick start = std::max(at, inst.link_busy);
+  inst.link_busy = start + sim::serialization_ticks(cfg_.link.request_bytes, cfg_.link.bytes_per_ns);
+  const sim::Tick deliver = inst.link_busy + cfg_.link.latency;
+  link_wait_ticks_ += static_cast<double>(start - at);
+  ++forwarded_;
+  ++inst.forwarded;
+  ++inst.inflight_forwards;
+  serve::ServerSim* srv = inst.server.get();
+  Instance* target_inst = &inst;
+  // Origin is the front-end arrival time: serialization wait and propagation
+  // count against the request's end-to-end latency and SLO.
+  inst.sim.schedule_at(deliver, [srv, target_inst, cls, at] {
+    --target_inst->inflight_forwards;
+    srv->inject(cls, at);
+  });
+}
+
+void ClusterSim::route_epoch(sim::Tick from, sim::Tick to) {
+  (void)from;
+  while (next_arrival_ < to) {
+    forward(pick_server(), pick_class(), next_arrival_);
+    next_arrival_ += arrivals_->next_gap();
+  }
+}
+
+void ClusterSim::advance_all(sim::Tick boundary) {
+  for (int i = 0; i < static_cast<int>(instances_.size()); ++i) {
+    Instance* inst = instances_[static_cast<std::size_t>(i)].get();
+    shards_->post(i, [inst, boundary] { inst->sim.run_until(boundary); });
+  }
+  shards_->wait_all();
+}
+
+void ClusterSim::sample_epoch() {
+  for (auto& owned : instances_) {
+    Instance& inst = *owned;
+    inst.snap_outstanding = inst.server->outstanding_requests();
+    if (cfg_.lb != LbPolicy::kTelemetry) continue;
+    const sim::Tick now = inst.sim.now();
+    double bytes = 0.0;
+    for (int ccd = 0; ccd < inst.platform->ccd_count(); ++ccd) {
+      bytes += cnet::link_stats_one(inst.platform->gmi_up(ccd), now).bytes_total;
+      bytes += cnet::link_stats_one(inst.platform->gmi_down(ccd), now).bytes_total;
+    }
+    inst.gmi_delta = bytes - inst.gmi_last_bytes;
+    inst.gmi_last_bytes = bytes;
+  }
+}
+
+bool ClusterSim::busy() const {
+  for (const auto& inst : instances_) {
+    if (inst->server->outstanding_requests() > 0 || inst->inflight_forwards > 0) return true;
+  }
+  return false;
+}
+
+void ClusterSim::run() {
+  if (ran_) return;
+  ran_ = true;
+
+  if (!cfg_.local_arrivals) next_arrival_ = arrivals_->next_gap();
+
+  // Arrival phase: route, then advance, in lockstep epochs. Routing for
+  // [now, boundary) happens strictly before any instance executes the epoch,
+  // using state observed at `now` — the conservative-lookahead contract.
+  sim::Tick now = 0;
+  while (now < cfg_.stop) {
+    const sim::Tick boundary = std::min(now + epoch_, cfg_.stop);
+    if (!cfg_.local_arrivals) route_epoch(now, boundary);
+    advance_all(boundary);
+    sample_epoch();
+    ++epochs_run_;
+    now = boundary;
+  }
+
+  // Drain phase: no new arrivals; keep advancing in epochs until every
+  // server is idle and no forward is on the wire, or the drain budget ends.
+  const sim::Tick deadline = cfg_.stop + cfg_.max_drain;
+  while (busy() && now < deadline) {
+    const sim::Tick boundary = std::min(now + epoch_, deadline);
+    advance_all(boundary);
+    ++epochs_run_;
+    now = boundary;
+  }
+}
+
+ClusterReport ClusterSim::report() const {
+  ClusterReport rep;
+  rep.forwarded = forwarded_;
+  rep.epochs = epochs_run_;
+
+  stats::Histogram all;
+  std::vector<double> shares;
+  sim::Tick drained_end = cfg_.stop;
+  for (const auto& owned : instances_) {
+    const Instance& inst = *owned;
+    serve::Report r = inst.server->report();
+    rep.arrivals += r.arrivals;
+    rep.completed += r.completed;
+    rep.in_slo += r.in_slo;
+    shares.push_back(static_cast<double>(r.in_slo));
+    drained_end = std::max(drained_end, inst.server->measured_end());
+    for (int cls = 0; cls < static_cast<int>(catalog_.size()); ++cls) {
+      all.merge(inst.server->class_e2e(cls));
+    }
+    rep.per_server.push_back(std::move(r));
+    rep.forwarded_per_server.push_back(inst.forwarded);
+  }
+
+  const double window_us = sim::to_us(cfg_.stop - cfg_.warmup);
+  const double drained_us = sim::to_us(drained_end - cfg_.warmup);
+  if (window_us > 0.0) rep.offered_per_us = static_cast<double>(rep.arrivals) / window_us;
+  if (drained_us > 0.0) {
+    rep.achieved_per_us = static_cast<double>(rep.completed) / drained_us;
+    rep.goodput_per_us = static_cast<double>(rep.in_slo) / drained_us;
+  }
+  if (!all.empty()) {
+    rep.mean_ns = all.mean() / 1000.0;
+    rep.p50_ns = static_cast<double>(all.p50()) / 1000.0;
+    rep.p99_ns = static_cast<double>(all.p99()) / 1000.0;
+    rep.p999_ns = static_cast<double>(all.p999()) / 1000.0;
+  }
+  if (rep.arrivals > 0) {
+    rep.slo_violation_frac =
+        1.0 - static_cast<double>(rep.in_slo) / static_cast<double>(rep.arrivals);
+  }
+  rep.jain_server_fairness = stats::jain_index(shares);
+  if (rep.forwarded > 0) {
+    rep.link_wait_mean_ns = link_wait_ticks_ / 1000.0 / static_cast<double>(rep.forwarded);
+  }
+  return rep;
+}
+
+}  // namespace scn::cluster

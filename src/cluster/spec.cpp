@@ -1,0 +1,115 @@
+#include "cluster/spec.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace scn::cluster {
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+[[nodiscard]] double parse_double(std::string_view value, const std::string& where) {
+  const std::string text(value);
+  char* end = nullptr;
+  const double d = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw spec::Error(where + ": expected a number, got '" + text + "'");
+  }
+  return d;
+}
+
+/// A server token is a builtin platform name or a .scn path; relative paths
+/// anchor at the cluster spec's own directory so a spec can sit next to the
+/// platform files it composes.
+[[nodiscard]] topo::PlatformParams resolve_server(const std::string& token,
+                                                  const std::string& base_dir) {
+  if (spec::is_builtin(token)) return spec::lookup(token);
+  if (!base_dir.empty() && !token.empty() && token.front() != '/') {
+    return spec::load(base_dir + "/" + token);
+  }
+  return spec::resolve(token);
+}
+
+}  // namespace
+
+ClusterSpec parse_cluster(std::string_view text, const std::string& source,
+                          const std::string& base_dir) {
+  ClusterSpec out;
+  bool in_cluster = false;
+  bool seen_cluster = false;
+  int lineno = 0;
+
+  std::string line;
+  std::istringstream stream{std::string(text)};
+  while (std::getline(stream, line)) {
+    ++lineno;
+    const std::string where = source + ":" + std::to_string(lineno);
+    const std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#') continue;
+
+    if (body.front() == '[') {
+      if (body.back() != ']') throw spec::Error(where + ": unterminated section header");
+      const std::string_view section = trim(body.substr(1, body.size() - 2));
+      in_cluster = section == "cluster";
+      if (in_cluster) seen_cluster = true;
+      continue;
+    }
+    if (!in_cluster) {
+      throw spec::Error(where + ": key outside the [cluster] section");
+    }
+
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      throw spec::Error(where + ": expected 'key = value'");
+    }
+    const std::string key(trim(body.substr(0, eq)));
+    const std::string_view value = trim(body.substr(eq + 1));
+    if (value.empty()) throw spec::Error(where + ": empty value for '" + key + "'");
+
+    if (key == "servers") {
+      std::istringstream tokens{std::string(value)};
+      std::string token;
+      while (tokens >> token) {
+        try {
+          out.servers.push_back(resolve_server(token, base_dir));
+        } catch (const spec::Error& e) {
+          throw spec::Error(where + ": server '" + token + "': " + e.what());
+        }
+      }
+    } else if (key == "link_latency_ns") {
+      const double ns = parse_double(value, where);
+      if (ns < 0.0) throw spec::Error(where + ": link_latency_ns must be >= 0");
+      out.link.latency = sim::from_ns(ns);
+    } else if (key == "link_bytes_per_ns") {
+      out.link.bytes_per_ns = parse_double(value, where);
+    } else if (key == "request_bytes") {
+      const double bytes = parse_double(value, where);
+      if (bytes < 0.0) throw spec::Error(where + ": request_bytes must be >= 0");
+      out.link.request_bytes = bytes;
+    } else {
+      throw spec::Error(where + ": unknown key '" + key + "'");
+    }
+  }
+
+  if (!seen_cluster) throw spec::Error(source + ": missing [cluster] section");
+  if (out.servers.empty()) throw spec::Error(source + ": no servers listed");
+  return out;
+}
+
+ClusterSpec load_cluster(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw spec::Error(path + ": cannot open cluster spec");
+  std::ostringstream text;
+  text << file.rdbuf();
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base_dir = slash == std::string::npos ? "" : path.substr(0, slash);
+  return parse_cluster(text.str(), path, base_dir);
+}
+
+}  // namespace scn::cluster

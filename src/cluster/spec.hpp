@@ -1,0 +1,42 @@
+// Declarative cluster specs: racks as data, the same way .scn files make
+// platforms data.
+//
+// A `.scnc` file names the member servers (builtin platform names or paths
+// to .scn files, resolved relative to the spec's directory) and the
+// inter-server ingress link:
+//
+//   # comment (full line only)
+//   [cluster]
+//   servers = epyc9634 epyc9634 epyc7302.scn
+//   link_latency_ns = 800
+//   link_bytes_per_ns = 12.5
+//   request_bytes = 512
+//
+// Tick-valued keys are nanoseconds and bandwidths bytes/ns (GB/s), matching
+// the platform spec conventions. Malformed input throws spec::Error with
+// file:line context, like the platform parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "spec/spec.hpp"
+
+namespace scn::cluster {
+
+struct ClusterSpec {
+  std::vector<topo::PlatformParams> servers;
+  LinkConfig link;
+};
+
+/// Parse cluster spec text. `source` names the origin for diagnostics;
+/// `base_dir` anchors relative server spec paths (empty = cwd).
+[[nodiscard]] ClusterSpec parse_cluster(std::string_view text, const std::string& source,
+                                        const std::string& base_dir = "");
+
+/// Read and parse a `.scnc` file; server paths resolve relative to it.
+[[nodiscard]] ClusterSpec load_cluster(const std::string& path);
+
+}  // namespace scn::cluster

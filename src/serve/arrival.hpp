@@ -54,15 +54,17 @@ class ArrivalProcess {
   }
 
   /// Ticks until the next arrival. Always >= 1 so an arrival loop cannot
-  /// livelock the event queue at extreme rates.
+  /// livelock the event queue at extreme rates; the fractional-tick residue
+  /// (including the sub-tick debt a clamp creates) carries into later draws,
+  /// so the long-run mean rate is exact rather than biased low at high rates.
   [[nodiscard]] sim::Tick next_gap() {
     sim::Tick gap = 0;
     switch (config_.kind) {
       case ArrivalKind::kDeterministic:
-        gap = sim::from_ns(1000.0 / config_.rate_per_us);
+        gap = quantize(1000.0 / config_.rate_per_us);
         break;
       case ArrivalKind::kPoisson:
-        gap = sim::from_ns(rng_.exponential(1000.0 / config_.rate_per_us));
+        gap = quantize(rng_.exponential(1000.0 / config_.rate_per_us));
         break;
       case ArrivalKind::kMmpp: {
         // Draw within the current phase; if the draw overruns the phase, the
@@ -71,7 +73,7 @@ class ArrivalProcess {
         for (;;) {
           const double factor = burst_ ? config_.burst_factor : config_.calm_factor;
           const sim::Tick draw =
-              sim::from_ns(rng_.exponential(1000.0 / (config_.rate_per_us * factor)));
+              quantize(rng_.exponential(1000.0 / (config_.rate_per_us * factor)));
           if (draw <= phase_left_) {
             phase_left_ -= draw;
             gap += draw;
@@ -84,13 +86,33 @@ class ArrivalProcess {
         break;
       }
     }
-    return gap > 0 ? gap : 1;
+    if (gap < 1) {
+      // Borrow from future gaps so the clamp does not inflate the mean.
+      residue_ += static_cast<double>(gap) - 1.0;
+      gap = 1;
+    }
+    return gap;
   }
 
   [[nodiscard]] const ArrivalConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool in_burst() const noexcept { return burst_; }
 
  private:
+  /// Floor-quantize a nanosecond interval to ticks, carrying the fractional
+  /// tick into the next draw. Over n draws the emitted total differs from the
+  /// exact sum by less than one tick, so the schedule cannot drift from its
+  /// nominal rate no matter how coarse each individual gap is.
+  [[nodiscard]] sim::Tick quantize(double ns) {
+    const double want = ns * static_cast<double>(sim::kTicksPerNs) + residue_;
+    if (want < 0.0) {
+      residue_ = want;
+      return 0;
+    }
+    const auto t = static_cast<sim::Tick>(want);
+    residue_ = want - static_cast<double>(t);
+    return t;
+  }
+
   [[nodiscard]] sim::Tick sojourn() {
     const sim::Tick s = sim::from_ns(rng_.exponential(sim::to_ns(config_.mean_sojourn)));
     return s > 0 ? s : 1;
@@ -100,6 +122,7 @@ class ArrivalProcess {
   sim::Rng rng_;
   bool burst_ = false;
   sim::Tick phase_left_ = 0;
+  double residue_ = 0.0;  ///< fractional ticks owed to the schedule
 };
 
 }  // namespace scn::serve

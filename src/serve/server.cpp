@@ -39,6 +39,11 @@ ServerSim::ServerSim(sim::Simulator& simulator, topo::Platform& platform, Server
   antagonist_seed_ = sim::splitmix64(s);
 
   if (cfg_.worker_slots == 0) cfg_.worker_slots = 1;
+  if (cfg_.warmup >= cfg_.stop) {
+    // An empty (or negative) measurement window silently zeroes every rate
+    // in report(); fail loudly like the catalog validator does.
+    throw std::invalid_argument("serve: warmup must be earlier than stop");
+  }
   validate_classes();
 
   for (const auto& cls : classes_) {
@@ -160,29 +165,46 @@ void ServerSim::start() {
     sim_->schedule(cfg_.telemetry_epoch, [this] { telemetry_tick(); });
   }
 
-  sim_->schedule(arrivals_.next_gap(), [this] { on_arrival(); });
+  if (!cfg_.external_arrivals) {
+    sim_->schedule(arrivals_.next_gap(), [this] { on_arrival(); });
+  }
 }
 
 void ServerSim::run(sim::Tick max_drain) {
   sim_->run_until(cfg_.stop);
+  // Drain in bounded run_until() chunks rather than raw step(): run_until
+  // never carries the clock past its deadline, so a cluster epoch engine
+  // advancing this simulator in fixed slices executes the identical
+  // completion set and produces a bit-identical report.
   const sim::Tick deadline = cfg_.stop + max_drain;
+  const sim::Tick chunk = std::max<sim::Tick>(max_drain / 64, 1);
   while (outstanding_ > 0 && sim_->now() < deadline) {
-    if (!sim_->step()) break;
+    sim_->run_until(std::min<sim::Tick>(sim_->now() + chunk, deadline));
   }
 }
 
 void ServerSim::on_arrival() {
   const sim::Tick now = sim_->now();
   if (now >= cfg_.stop) return;
+  admit(pick_class(), now);
+  sim_->schedule(arrivals_.next_gap(), [this] { on_arrival(); });
+}
 
+void ServerSim::inject(int cls, sim::Tick origin) {
+  if (cls < 0 || static_cast<std::size_t>(cls) >= classes_.size()) {
+    throw std::out_of_range("serve: inject() class index out of range");
+  }
+  admit(cls, origin);
+}
+
+void ServerSim::admit(int cls, sim::Tick origin) {
   const std::uint64_t id = next_id_++;
-  const int cls = pick_class();
   auto owned = std::make_unique<Request>();
   Request* r = owned.get();
   r->id = id;
   r->cls = cls;
-  r->arrived = now;
-  r->measured = now >= cfg_.warmup;
+  r->arrived = origin;
+  r->measured = origin >= cfg_.warmup;
   const auto& stages = classes_[static_cast<std::size_t>(cls)].stages;
   r->stages_left = static_cast<int>(stages.size());
   r->runs.resize(stages.size());
@@ -201,8 +223,6 @@ void ServerSim::on_arrival() {
   if (cfg_.on_placed) cfg_.on_placed(id, wi);
   w.queue.push_back(r);
   dispatch(w);
-
-  sim_->schedule(arrivals_.next_gap(), [this] { on_arrival(); });
 }
 
 int ServerSim::pick_class() {
@@ -355,6 +375,7 @@ void ServerSim::complete(Request* r) {
     ++acc.completed;
     acc.e2e.record(e2e);
     if (e2e <= classes_[static_cast<std::size_t>(r->cls)].slo) ++acc.in_slo;
+    if (sim_->now() > completed_end_) completed_end_ = sim_->now();
   }
   dispatch(w);
 }
@@ -380,7 +401,12 @@ void ServerSim::telemetry_tick() {
 
 Report ServerSim::report() const {
   Report rep;
+  // Offered load is judged against the arrival window (arrivals stop at
+  // `stop`), but completion rates must use the drained end time: requests
+  // finishing after `stop` are counted, so crediting them to the shorter
+  // window would overstate achieved throughput and goodput.
   const double window_us = sim::to_us(cfg_.stop - cfg_.warmup);
+  const double drained_us = sim::to_us(measured_end() - cfg_.warmup);
   stats::Histogram all;
   std::vector<double> tenant_goodput(tenants_.size(), 0.0);
   std::vector<double> tenant_weight(tenants_.size(), 0.0);
@@ -403,7 +429,7 @@ Report ServerSim::report() const {
       c.slo_violation_frac =
           1.0 - static_cast<double>(acc.in_slo) / static_cast<double>(acc.arrivals);
     }
-    if (window_us > 0.0) c.goodput_per_us = static_cast<double>(acc.in_slo) / window_us;
+    if (drained_us > 0.0) c.goodput_per_us = static_cast<double>(acc.in_slo) / drained_us;
 
     rep.arrivals += acc.arrivals;
     rep.completed += acc.completed;
@@ -417,8 +443,10 @@ Report ServerSim::report() const {
 
   if (window_us > 0.0) {
     rep.offered_per_us = static_cast<double>(rep.arrivals) / window_us;
-    rep.achieved_per_us = static_cast<double>(rep.completed) / window_us;
-    rep.goodput_per_us = static_cast<double>(rep.in_slo) / window_us;
+  }
+  if (drained_us > 0.0) {
+    rep.achieved_per_us = static_cast<double>(rep.completed) / drained_us;
+    rep.goodput_per_us = static_cast<double>(rep.in_slo) / drained_us;
   }
   if (!all.empty()) {
     rep.mean_ns = all.mean() / 1000.0;

@@ -40,8 +40,13 @@ struct ServerConfig {
   std::uint32_t worker_slots = 4;
   /// Requests arriving before `warmup` load the system but are not measured.
   sim::Tick warmup = sim::from_us(40.0);
-  /// Arrivals cease at `stop`; in-flight requests drain afterwards.
+  /// Arrivals cease at `stop`; in-flight requests drain afterwards. The ctor
+  /// rejects warmup >= stop (the measurement window would be empty).
   sim::Tick stop = sim::from_us(200.0);
+  /// When true, the local ArrivalProcess is not armed: requests enter only
+  /// via inject() (a front-end load balancer feeding this server). The
+  /// antagonist and telemetry epochs still run.
+  bool external_arrivals = false;
   std::uint64_t seed = 1;
   /// Colocated batch job: unthrottled streaming readers pinned to CCD 0,
   /// saturating its GMI for the whole run. This is the noisy neighbor the
@@ -109,11 +114,29 @@ class ServerSim {
 
   [[nodiscard]] Report report() const;
 
+  /// Admit one externally routed request of class `cls` at the current
+  /// simulator time. `origin` is when the request hit the front end; the
+  /// end-to-end latency is measured from it, so forwarding delay counts
+  /// against the SLO. Used by scn::cluster; requires external routing to be
+  /// meaningful but works alongside local arrivals too.
+  void inject(int cls, sim::Tick origin);
+
   [[nodiscard]] int worker_count() const noexcept { return static_cast<int>(workers_.size()); }
   [[nodiscard]] int worker_ccd(int worker) const noexcept { return workers_[worker].ccd; }
   [[nodiscard]] int outstanding_requests() const noexcept { return outstanding_; }
   [[nodiscard]] std::uint64_t arrivals_total() const noexcept { return next_id_; }
   [[nodiscard]] const std::vector<RequestClass>& classes() const noexcept { return classes_; }
+  /// End of the measured window: `stop`, or the last measured completion
+  /// when the drain ran longer. report() rates use this, so drained
+  /// completions are not credited to a window they did not fit in.
+  [[nodiscard]] sim::Tick measured_end() const noexcept {
+    return completed_end_ > cfg_.stop ? completed_end_ : cfg_.stop;
+  }
+  /// Measured end-to-end latency histogram (ticks) for one class; lets a
+  /// cluster merge exact percentiles across servers instead of averaging.
+  [[nodiscard]] const stats::Histogram& class_e2e(int cls) const {
+    return class_acc_[static_cast<std::size_t>(cls)].e2e;
+  }
 
  private:
   struct StageRun {
@@ -159,6 +182,7 @@ class ServerSim {
 
   void validate_classes() const;
   void on_arrival();
+  void admit(int cls, sim::Tick origin);
   [[nodiscard]] int pick_class();
   [[nodiscard]] int place(int cls);
   void dispatch(Worker& worker);
@@ -192,6 +216,7 @@ class ServerSim {
   std::vector<ClassAccum> class_acc_;
   std::uint64_t next_id_ = 0;
   int outstanding_ = 0;
+  sim::Tick completed_end_ = 0;  ///< last measured completion time
   std::size_t rr_next_ = 0;                ///< round-robin placement cursor
   std::vector<std::size_t> local_rr_;      ///< per-tenant cursor (kLocal)
   std::vector<double> pred_ns_;            ///< per-CCD predicted latency

@@ -49,15 +49,25 @@ std::vector<LoadPoint> policy_curve(const std::vector<LoadPoint>& points, Policy
   return out;
 }
 
-int knee_index(const std::vector<LoadPoint>& curve, double factor) {
-  if (curve.empty()) return -1;
-  const double base = curve.front().report.p99_ns;
-  if (base > 0.0) {
-    for (std::size_t i = 0; i < curve.size(); ++i) {
-      if (curve[i].report.p99_ns > factor * base) return static_cast<int>(i);
-    }
+int knee_index(std::span<const double> p99_ns, double factor) {
+  // Baseline: the first point where anything completed. Leading zero-P99
+  // points (offered load too low, or a pathological config) would make every
+  // later point "exceed" a zero reference.
+  std::size_t base_at = 0;
+  while (base_at < p99_ns.size() && p99_ns[base_at] <= 0.0) ++base_at;
+  if (base_at >= p99_ns.size()) return -1;
+  const double base = p99_ns[base_at];
+  for (std::size_t i = base_at + 1; i < p99_ns.size(); ++i) {
+    if (p99_ns[i] > factor * base) return static_cast<int>(i);
   }
-  return static_cast<int>(curve.size()) - 1;
+  return -1;  // never crossed: the curve has no knee in the swept range
+}
+
+int knee_index(const std::vector<LoadPoint>& curve, double factor) {
+  std::vector<double> p99;
+  p99.reserve(curve.size());
+  for (const auto& pt : curve) p99.push_back(pt.report.p99_ns);
+  return knee_index(std::span<const double>(p99), factor);
 }
 
 }  // namespace scn::serve

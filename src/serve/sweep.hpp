@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "serve/server.hpp"
@@ -47,9 +48,12 @@ struct SweepConfig {
                                                   Policy policy);
 
 /// Saturation knee of a curve with ascending rates: the first point whose
-/// P99 exceeds `factor` x the first point's P99, or the last index when the
-/// curve never blows up. The first point must be lightly loaded for the
-/// reference to mean anything.
+/// P99 exceeds `factor` x the baseline P99. The baseline is the first point
+/// with a nonzero P99 — a zero P99 means nothing completed there and cannot
+/// anchor the comparison. Returns -1 when no knee exists: every point has a
+/// zero P99, or the curve never crosses the threshold (callers print "none"
+/// rather than pretending the last rate is a knee).
+[[nodiscard]] int knee_index(std::span<const double> p99_ns, double factor = 3.0);
 [[nodiscard]] int knee_index(const std::vector<LoadPoint>& curve, double factor = 3.0);
 
 }  // namespace scn::serve

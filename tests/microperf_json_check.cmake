@@ -26,7 +26,8 @@ foreach(metric
         transactions_per_sec
         token_chain_grants_per_sec
         queue_bimodal_items_per_sec
-        serve_burst_events_per_sec)
+        serve_burst_events_per_sec
+        cluster_requests_per_sec)
   # Each metric key appears once per block (metrics, units, checksums).
   string(REGEX MATCHALL "\"${metric}\"" hits "${doc}")
   list(LENGTH hits n)

@@ -1,0 +1,301 @@
+// Rack-scale cluster composition: config validation, the zero-forwarding
+// equivalence proof (a cluster with local arrivals reproduces standalone
+// ServerSim runs exactly), lockstep-lookahead determinism across --jobs,
+// link-model edge cases (idle epochs, saturated ingress), front-end steering
+// away from an antagonist box, and the .scnc spec parser.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/spec.hpp"
+#include "measure/experiment.hpp"
+#include "serve/server.hpp"
+#include "spec/spec.hpp"
+#include "topo/params.hpp"
+
+namespace {
+
+using namespace scn;
+
+cluster::ClusterConfig base_cluster(int servers, double rate_per_us = 4.0) {
+  cluster::ClusterConfig cc;
+  for (int i = 0; i < servers; ++i) cc.servers.push_back(topo::epyc7302());
+  cc.arrival.kind = serve::ArrivalKind::kPoisson;
+  cc.arrival.rate_per_us = rate_per_us;
+  cc.warmup = sim::from_us(10.0);
+  cc.stop = sim::from_us(60.0);
+  cc.max_drain = sim::from_ms(1.0);
+  cc.seed = 3;
+  return cc;
+}
+
+// ---- validation ------------------------------------------------------------
+
+TEST(ClusterValidate, EmptyServerListThrows) {
+  cluster::ClusterConfig cc = base_cluster(0);
+  EXPECT_THROW(cluster::ClusterSim{cc}, std::invalid_argument);
+}
+
+TEST(ClusterValidate, AntagonistIndexMustBeInRange) {
+  cluster::ClusterConfig cc = base_cluster(2);
+  cc.antagonist_server = 2;
+  EXPECT_THROW(cluster::ClusterSim{cc}, std::invalid_argument);
+}
+
+TEST(ClusterValidate, MemberServerWindowIsValidated) {
+  // ServerSim's warmup < stop check must propagate out of the shard-threaded
+  // instance build, not hang or get swallowed.
+  cluster::ClusterConfig cc = base_cluster(2);
+  cc.jobs = 2;
+  cc.warmup = cc.stop;
+  EXPECT_THROW(cluster::ClusterSim{cc}, std::invalid_argument);
+}
+
+TEST(ClusterValidate, EpochLengthTracksLinkLatency) {
+  cluster::ClusterConfig cc = base_cluster(1);
+  {
+    cluster::ClusterSim c(cc);
+    EXPECT_EQ(c.epoch_length(), cc.link.latency);
+  }
+  cc.link.latency = 0;  // degenerate link: lookahead clamps to one tick
+  cluster::ClusterSim c(cc);
+  EXPECT_EQ(c.epoch_length(), 1);
+}
+
+TEST(ClusterValidate, SharedCatalogDropsCxlOnMixedRacks) {
+  cluster::ClusterConfig mixed = base_cluster(1);
+  mixed.servers.push_back(topo::epyc9634());
+  cluster::ClusterSim a(mixed);
+  EXPECT_EQ(a.classes().size(), 2u);  // 7302 has no CXL tier: class dropped
+
+  cluster::ClusterConfig all_cxl = base_cluster(0);
+  all_cxl.servers = {topo::epyc9634(), topo::epyc9634()};
+  cluster::ClusterSim b(all_cxl);
+  EXPECT_EQ(b.classes().size(), 3u);
+}
+
+// ---- zero-forwarding equivalence -------------------------------------------
+
+void expect_same_server_report(const serve::Report& a, const serve::Report& b,
+                               int server) {
+  EXPECT_EQ(a.arrivals, b.arrivals) << "server " << server;
+  EXPECT_EQ(a.completed, b.completed) << "server " << server;
+  EXPECT_EQ(a.in_slo, b.in_slo) << "server " << server;
+  EXPECT_DOUBLE_EQ(a.achieved_per_us, b.achieved_per_us) << "server " << server;
+  EXPECT_DOUBLE_EQ(a.goodput_per_us, b.goodput_per_us) << "server " << server;
+  EXPECT_DOUBLE_EQ(a.mean_ns, b.mean_ns) << "server " << server;
+  EXPECT_DOUBLE_EQ(a.p50_ns, b.p50_ns) << "server " << server;
+  EXPECT_DOUBLE_EQ(a.p99_ns, b.p99_ns) << "server " << server;
+  EXPECT_DOUBLE_EQ(a.p999_ns, b.p999_ns) << "server " << server;
+  EXPECT_EQ(a.served_per_worker, b.served_per_worker) << "server " << server;
+}
+
+TEST(ClusterEquivalence, LocalArrivalsMatchStandaloneServers) {
+  // Acceptance criterion: with forwarding disabled (each member runs its own
+  // arrival process) a 4-server cluster is *exactly* four standalone
+  // ServerSim runs at the member seeds — the epoch-composed advancement
+  // executes the same event set as a monolithic run.
+  cluster::ClusterConfig cc = base_cluster(4, 2.0);
+  cc.local_arrivals = true;
+  cc.antagonist_server = 1;
+  cc.jobs = 4;
+  cluster::ClusterSim c(cc);
+  c.run();
+  const auto rep = c.report();
+  ASSERT_EQ(rep.per_server.size(), 4u);
+
+  for (int i = 0; i < 4; ++i) {
+    measure::Experiment e(topo::epyc7302());
+    serve::ServerConfig sc;
+    sc.policy = cc.placement;
+    sc.arrival = cc.arrival;
+    sc.classes = c.classes();
+    sc.worker_slots = cc.worker_slots;
+    sc.warmup = cc.warmup;
+    sc.stop = cc.stop;
+    sc.seed = cluster::server_seed(cc.seed, i);
+    sc.antagonist = (i == cc.antagonist_server);
+    serve::ServerSim standalone(e.simulator, e.platform, std::move(sc));
+    standalone.start();
+    standalone.run(cc.max_drain);
+    expect_same_server_report(rep.per_server[static_cast<std::size_t>(i)],
+                              standalone.report(), i);
+  }
+  EXPECT_EQ(rep.forwarded, 0u);
+}
+
+// ---- determinism -----------------------------------------------------------
+
+void expect_same_cluster_report(const cluster::ClusterReport& a,
+                                const cluster::ClusterReport& b) {
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.in_slo, b.in_slo);
+  EXPECT_EQ(a.forwarded, b.forwarded);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_DOUBLE_EQ(a.achieved_per_us, b.achieved_per_us);
+  EXPECT_DOUBLE_EQ(a.goodput_per_us, b.goodput_per_us);
+  EXPECT_DOUBLE_EQ(a.mean_ns, b.mean_ns);
+  EXPECT_DOUBLE_EQ(a.p50_ns, b.p50_ns);
+  EXPECT_DOUBLE_EQ(a.p99_ns, b.p99_ns);
+  EXPECT_DOUBLE_EQ(a.p999_ns, b.p999_ns);
+  EXPECT_DOUBLE_EQ(a.jain_server_fairness, b.jain_server_fairness);
+  EXPECT_DOUBLE_EQ(a.link_wait_mean_ns, b.link_wait_mean_ns);
+  EXPECT_EQ(a.forwarded_per_server, b.forwarded_per_server);
+}
+
+TEST(ClusterDeterminism, JobsOneAndFourBitIdentical) {
+  auto run_once = [](int jobs) {
+    cluster::ClusterConfig cc = base_cluster(2, 8.0);
+    cc.lb = cluster::LbPolicy::kTelemetry;
+    cc.antagonist_server = 0;
+    cc.jobs = jobs;
+    cluster::ClusterSim c(cc);
+    c.run();
+    return c.report();
+  };
+  const auto serial = run_once(1);
+  const auto threaded = run_once(4);
+  const auto again = run_once(4);
+  ASSERT_GT(serial.completed, 50u);
+  expect_same_cluster_report(serial, threaded);
+  expect_same_cluster_report(threaded, again);
+}
+
+// ---- link model edge cases -------------------------------------------------
+
+TEST(ClusterLink, IdleEpochsWithNoForwardsInFlight) {
+  // A trickle of arrivals: most lookahead epochs route nothing and most
+  // boundaries see zero in-flight forwards, which must not stall the
+  // lockstep loop or lose requests.
+  cluster::ClusterConfig cc = base_cluster(2, 0.2);
+  cc.warmup = sim::from_us(5.0);
+  cc.stop = sim::from_us(45.0);
+  cluster::ClusterSim c(cc);
+  c.run();
+  const auto rep = c.report();
+  EXPECT_GT(rep.epochs, 40u);  // 800 ns epochs over >= 40 us
+  ASSERT_GT(rep.arrivals, 0u);
+  EXPECT_EQ(rep.completed, rep.arrivals);
+  EXPECT_GE(rep.forwarded, rep.arrivals);  // forwarded counts warmup traffic too
+}
+
+TEST(ClusterLink, SaturatedIngressQueuesForwards) {
+  // Serialization slower than the arrival rate: forwards must FIFO-queue on
+  // the member's ingress link and the measured queue wait must show it.
+  cluster::ClusterConfig cc = base_cluster(2, 1.0);
+  cc.warmup = sim::from_us(5.0);
+  cc.stop = sim::from_us(30.0);
+  cc.link.bytes_per_ns = 0.05;  // 512 B take 10.24 us on the wire
+  cluster::ClusterSim c(cc);
+  c.run();
+  const auto rep = c.report();
+  ASSERT_GT(rep.arrivals, 0u);
+  EXPECT_EQ(rep.completed, rep.arrivals);  // drain still clears everything
+  EXPECT_GT(rep.link_wait_mean_ns, 0.0);
+  // The wire time dominates service: e2e must reflect the link, not hide it.
+  EXPECT_GT(rep.p50_ns, 10240.0);
+}
+
+// ---- front-end steering ----------------------------------------------------
+
+TEST(ClusterSteering, RoundRobinSplitsEvenly) {
+  cluster::ClusterConfig cc = base_cluster(2, 8.0);
+  cc.lb = cluster::LbPolicy::kRoundRobin;
+  cluster::ClusterSim c(cc);
+  c.run();
+  const auto rep = c.report();
+  ASSERT_EQ(rep.forwarded_per_server.size(), 2u);
+  const auto a = rep.forwarded_per_server[0];
+  const auto b = rep.forwarded_per_server[1];
+  EXPECT_LE(a > b ? a - b : b - a, 1u);
+}
+
+TEST(ClusterSteering, TelemetrySteersAwayFromAntagonistServer) {
+  // Server 0 hosts the batch antagonist. Its queue depths look ordinary at
+  // this rate, but its GMI deltas are saturated — only the telemetry policy
+  // sees that, and it must shift forwards toward server 1.
+  cluster::ClusterConfig cc = base_cluster(2, 8.0);
+  cc.lb = cluster::LbPolicy::kTelemetry;
+  cc.antagonist_server = 0;
+  cluster::ClusterSim c(cc);
+  c.run();
+  const auto rep = c.report();
+  ASSERT_EQ(rep.forwarded_per_server.size(), 2u);
+  EXPECT_LT(rep.forwarded_per_server[0], rep.forwarded_per_server[1]);
+}
+
+TEST(ClusterSteering, LeastOutstandingAvoidsTheSlowBox) {
+  // Deep queues: the antagonist box completes slower, so join-shortest-
+  // outstanding should send it the smaller share.
+  cluster::ClusterConfig cc = base_cluster(2, 24.0);
+  cc.lb = cluster::LbPolicy::kLeastOutstanding;
+  cc.antagonist_server = 0;
+  cluster::ClusterSim c(cc);
+  c.run();
+  const auto rep = c.report();
+  ASSERT_EQ(rep.forwarded_per_server.size(), 2u);
+  EXPECT_LT(rep.forwarded_per_server[0], rep.forwarded_per_server[1]);
+}
+
+// ---- .scnc spec parsing ----------------------------------------------------
+
+TEST(ClusterSpec, ParsesInlineText) {
+  const auto spec = cluster::parse_cluster(
+      "# rack\n"
+      "[cluster]\n"
+      "servers = epyc7302 epyc9634\n"
+      "link_latency_ns = 500\n"
+      "link_bytes_per_ns = 25\n"
+      "request_bytes = 256\n",
+      "inline");
+  ASSERT_EQ(spec.servers.size(), 2u);
+  EXPECT_EQ(spec.servers[0].name, topo::epyc7302().name);
+  EXPECT_EQ(spec.servers[1].name, topo::epyc9634().name);
+  EXPECT_EQ(spec.link.latency, sim::from_ns(500.0));
+  EXPECT_DOUBLE_EQ(spec.link.bytes_per_ns, 25.0);
+  EXPECT_DOUBLE_EQ(spec.link.request_bytes, 256.0);
+}
+
+TEST(ClusterSpec, RejectsMalformedInput) {
+  EXPECT_THROW(cluster::parse_cluster("servers = epyc7302\n", "t"), spec::Error);
+  EXPECT_THROW(cluster::parse_cluster("[cluster]\n", "t"), spec::Error);
+  EXPECT_THROW(cluster::parse_cluster("[cluster]\nservers =\n", "t"), spec::Error);
+  EXPECT_THROW(cluster::parse_cluster("[cluster]\nservers = nosuch\n", "t"),
+               spec::Error);
+  EXPECT_THROW(
+      cluster::parse_cluster("[cluster]\nservers = epyc7302\nbogus_key = 1\n", "t"),
+      spec::Error);
+  EXPECT_THROW(cluster::parse_cluster(
+                   "[cluster]\nservers = epyc7302\nlink_latency_ns = -1\n", "t"),
+               spec::Error);
+}
+
+TEST(ClusterSpec, LoadsTheCommittedRackExample) {
+  const auto spec =
+      cluster::load_cluster(std::string(SCN_SPECS_DIR) + "/rack-2x9634-2x7302.scnc");
+  ASSERT_EQ(spec.servers.size(), 4u);
+  EXPECT_EQ(spec.servers[0].name, topo::epyc9634().name);
+  EXPECT_EQ(spec.servers[3].name, topo::epyc7302().name);
+  EXPECT_EQ(spec.link.latency, sim::from_ns(800.0));
+  EXPECT_DOUBLE_EQ(spec.link.bytes_per_ns, 12.5);
+
+  // And the loaded spec actually runs.
+  cluster::ClusterConfig cc;
+  cc.servers = {spec.servers[2], spec.servers[3]};  // the two 7302s: cheap
+  cc.link = spec.link;
+  cc.arrival.kind = serve::ArrivalKind::kPoisson;
+  cc.arrival.rate_per_us = 2.0;
+  cc.warmup = sim::from_us(5.0);
+  cc.stop = sim::from_us(25.0);
+  cc.max_drain = sim::from_ms(1.0);
+  cluster::ClusterSim c(cc);
+  c.run();
+  EXPECT_GT(c.report().completed, 0u);
+}
+
+}  // namespace

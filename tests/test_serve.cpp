@@ -41,6 +41,44 @@ TEST(ServeArrival, DeterministicRateIsExact) {
   EXPECT_NEAR(empirical_rate_per_us(p, 100), 4.0, 1e-6);
 }
 
+TEST(ServeArrival, DeterministicCarryKeepsNonDivisibleRatesExact) {
+  // Regression: per-draw rounding used to bias rates whose period is not an
+  // integer tick count. The residue carry must keep the emitted schedule
+  // within one tick of the exact one over any horizon — far inside the 0.1%
+  // budget over a 10 ms window.
+  for (const double rate : {3.0, 4.9, 7.3}) {
+    serve::ArrivalConfig cfg;
+    cfg.kind = serve::ArrivalKind::kDeterministic;
+    cfg.rate_per_us = rate;
+    serve::ArrivalProcess p(cfg, 1);
+    const auto n = static_cast<int>(rate * 10000.0);  // ~10 ms of arrivals
+    sim::Tick total = 0;
+    for (int i = 0; i < n; ++i) total += p.next_gap();
+    const double exact_ticks = static_cast<double>(n) * 1e6 / rate;  // 1/rate us in ps
+    EXPECT_NEAR(static_cast<double>(total), exact_ticks, 1.0) << "rate " << rate;
+    const double measured = static_cast<double>(n) / sim::to_us(total);
+    EXPECT_NEAR(measured, rate, rate * 0.001) << "rate " << rate;
+  }
+}
+
+TEST(ServeArrival, PoissonCarryKeepsHighRateMeanExact) {
+  // At 50 req/us the mean gap is 20k ticks, but individual exponential draws
+  // are often sub-mean; rounding each one independently used to understate
+  // offered load. With the carry the long-run mean tracks the sample's exact
+  // (unquantized) mean to within one tick overall.
+  serve::ArrivalConfig cfg;
+  cfg.kind = serve::ArrivalKind::kPoisson;
+  cfg.rate_per_us = 50.0;
+  serve::ArrivalProcess p(cfg, 9);
+  const int n = 500000;  // ~10 ms
+  sim::Tick total = 0;
+  for (int i = 0; i < n; ++i) total += p.next_gap();
+  const double measured = static_cast<double>(n) / sim::to_us(total);
+  // Statistical bound: sample-mean noise at n=500k is ~0.14%; the old
+  // quantization alone cannot be the dominant error term any more.
+  EXPECT_NEAR(measured, 50.0, 50.0 * 0.01);
+}
+
 TEST(ServeArrival, PoissonMatchesConfiguredMean) {
   serve::ArrivalConfig cfg;
   cfg.kind = serve::ArrivalKind::kPoisson;
@@ -133,6 +171,17 @@ TEST(ServeValidate, CxlStageNeedsCxlTier) {
   c.tenant = "t";
   c.stages = {{"cold", serve::StageKind::kCxlRead, 4, 64.0, 4, {}}};
   cfg.classes = {c};
+  EXPECT_THROW(serve::ServerSim(e.simulator, e.platform, cfg), std::invalid_argument);
+}
+
+TEST(ServeValidate, WarmupMustPrecedeStop) {
+  // Regression: warmup >= stop silently produced a zero-or-negative
+  // measurement window (rates divided by it went infinite). Now rejected.
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config();
+  cfg.warmup = cfg.stop;
+  EXPECT_THROW(serve::ServerSim(e.simulator, e.platform, cfg), std::invalid_argument);
+  cfg.warmup = cfg.stop + sim::from_us(1.0);
   EXPECT_THROW(serve::ServerSim(e.simulator, e.platform, cfg), std::invalid_argument);
 }
 
@@ -331,6 +380,54 @@ TEST(ServeSlo, PerClassReportsSumToTotals) {
   EXPECT_GE(r.p999_ns, r.p99_ns);
 }
 
+TEST(ServeSlo, AchievedRateUsesDrainedWindow) {
+  // Regression: achieved/goodput used to divide by the nominal arrival window
+  // even though requests in flight at stop are drained (and counted) past it,
+  // overstating throughput at saturation. The divisor is now the drained end.
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config(8.0);  // hot enough that work is in flight at stop
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  server.start();
+  server.run();
+  const auto r = server.report();
+  ASSERT_GT(r.completed, 0u);
+  EXPECT_GE(server.measured_end(), sim::from_us(60.0));
+  const double drained_us = sim::to_us(server.measured_end() - sim::from_us(10.0));
+  EXPECT_NEAR(r.achieved_per_us, static_cast<double>(r.completed) / drained_us,
+              1e-9);
+  // Offered load still reflects the configured window, so at saturation
+  // achieved must come out strictly below offered.
+  EXPECT_LE(r.achieved_per_us, r.offered_per_us);
+}
+
+TEST(ServeExternal, InjectedRequestsKeepTheirOrigin) {
+  // Cluster mode: arrivals are injected by a front end with an origin stamp
+  // earlier than delivery; end-to-end latency must include that gap.
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config(1.0);
+  cfg.external_arrivals = true;
+  auto classes = serve::default_classes(topo::epyc7302());
+  for (auto& c : classes) c.slo = sim::from_ms(1.0);
+  cfg.classes = classes;
+  serve::ServerSim server(e.simulator, e.platform, std::move(cfg));
+  server.start();
+  const sim::Tick lag = sim::from_us(2.0);
+  constexpr int kInjected = 64;
+  for (int i = 0; i < kInjected; ++i) {
+    const sim::Tick deliver = sim::from_us(12.0) + i * sim::from_us(0.5);
+    e.simulator.schedule_at(deliver, [&server, deliver, lag] {
+      server.inject(0, deliver - lag);
+    });
+  }
+  EXPECT_THROW(server.inject(99, 0), std::out_of_range);
+  server.run();
+  const auto r = server.report();
+  EXPECT_EQ(r.arrivals, static_cast<std::uint64_t>(kInjected));
+  EXPECT_EQ(r.completed, r.arrivals);
+  // Mean e2e must carry the 2 us origin-to-delivery lag on top of service.
+  EXPECT_GT(r.mean_ns, sim::to_ns(lag));
+}
+
 // ---- determinism -----------------------------------------------------------
 
 TEST(ServeDeterminism, SameSeedSameReport) {
@@ -451,10 +548,21 @@ TEST(ServeSweep, KneeIndexContract) {
     }
     return curve;
   };
-  EXPECT_EQ(serve::knee_index({}), -1);
-  EXPECT_EQ(serve::knee_index(mk({100.0, 150.0, 200.0})), 2);  // never blows up: last
+  EXPECT_EQ(serve::knee_index(std::vector<serve::LoadPoint>{}), -1);
+  // Regression: a curve that never crosses factor x baseline used to report
+  // its last point as the "knee"; it now reports none.
+  EXPECT_EQ(serve::knee_index(mk({100.0, 150.0, 200.0})), -1);
   EXPECT_EQ(serve::knee_index(mk({100.0, 150.0, 301.0, 900.0})), 2);
   EXPECT_EQ(serve::knee_index(mk({100.0, 150.0, 200.0, 250.0}), 2.0), 3);
+  // Regression: a leading zero-sample point (warmup window saw no completed
+  // requests) used to poison the baseline — anything beats 3 x 0. The first
+  // positive P99 is the baseline now, and an all-zero curve has no knee.
+  EXPECT_EQ(serve::knee_index(mk({0.0, 100.0, 150.0, 400.0})), 3);
+  EXPECT_EQ(serve::knee_index(mk({0.0, 0.0, 100.0, 150.0, 400.0})), 4);
+  EXPECT_EQ(serve::knee_index(mk({0.0, 0.0, 0.0})), -1);
+  EXPECT_EQ(serve::knee_index(mk({0.0, 100.0, 150.0})), -1);
+  // The span overload sees raw P99 values directly.
+  EXPECT_EQ(serve::knee_index(std::vector<double>{0.0, 100.0, 500.0}), 2);
 }
 
 }  // namespace
