@@ -143,16 +143,62 @@ void run_composition(const Composition& comp, const serve::Policy placement, boo
   }
 }
 
+// Conservative-lookahead scaling: the lockstep epoch length *is* the NIC
+// link latency, so shorter links mean more balancer/shard synchronization
+// barriers per simulated second. This mode pins one composition and rate
+// and sweeps the link latency across a 32x range, reporting simulated
+// epochs, wall clock and epochs/sec — the direct price of lookahead — plus
+// the served p99 to show the workload itself stays comparable. Wall times
+// make this output machine-dependent by design; it is a perf-tracking
+// mode, not a goldened one.
+void run_latency_sweep(const Composition& comp, bool quick, int jobs, std::uint64_t seed) {
+  const std::vector<double> lat_ns = quick
+                                         ? std::vector<double>{400.0, 1600.0}
+                                         : std::vector<double>{100.0, 200.0, 400.0, 800.0,
+                                                               1600.0, 3200.0};
+  bench::subheading(comp.name + ": lockstep epoch cost vs link latency (16 req/us, telemetry)");
+  std::printf("  %8s %10s %10s %12s %10s %10s\n", "link-ns", "epochs", "wall-ms", "epochs/sec",
+              "p99-ns", "goodput");
+  for (const double ns : lat_ns) {
+    cluster::ClusterConfig cc;
+    cc.servers = comp.servers;
+    cc.link = comp.link;
+    cc.link.latency = sim::from_ns(ns);
+    cc.lb = cluster::LbPolicy::kTelemetry;
+    cc.arrival.rate_per_us = 16.0;
+    cc.antagonist_server = 0;
+    cc.seed = exec::point_seed(seed, static_cast<std::uint64_t>(ns));
+    cc.jobs = jobs;
+    if (quick) {
+      cc.warmup = sim::from_us(25.0);
+      cc.stop = sim::from_us(100.0);
+      cc.max_drain = sim::from_ms(1.0);
+    }
+    exec::Stopwatch watch;
+    cluster::ClusterSim sim(std::move(cc));
+    sim.run();
+    const double wall_ms = watch.elapsed_ms();
+    const cluster::ClusterReport rep = sim.report();
+    const double eps = wall_ms > 0.0 ? static_cast<double>(rep.epochs) / (wall_ms / 1000.0) : 0.0;
+    std::printf("  %8.0f %10llu %10.1f %12.0f %10.1f %10.2f\n", ns,
+                static_cast<unsigned long long>(rep.epochs), wall_ms, eps, rep.p99_ns,
+                rep.goodput_per_us);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string cluster_file;
   std::string placement_arg;
+  bool latency_sweep = false;
   bench::Options opt("bench_cluster",
                      "rack-scale serving: cluster knees and front-end policy ablation");
   opt.value("--cluster", &cluster_file, "run a .scnc cluster spec instead of the default racks");
   opt.value("--placement", &placement_arg,
             "per-server placement policy (round-robin, gmi-local, telemetry)");
+  opt.flag("--latency-sweep", &latency_sweep,
+           "sweep the NIC link latency and report lockstep epochs/sec instead of the knee grid");
   opt.parse(argc, argv);
 
   serve::Policy placement = serve::Policy::kLocal;
@@ -179,6 +225,14 @@ int main(int argc, char** argv) {
   }
 
   exec::Stopwatch watch;
+  if (latency_sweep) {
+    bench::heading("Cluster: lockstep epoch cost vs NIC link latency");
+    for (const auto& comp : comps) {
+      run_latency_sweep(comp, opt.quick(), opt.jobs(), opt.seed_or(1));
+    }
+    bench::report_wallclock("latency sweeps", opt.jobs(), watch.elapsed_ms());
+    return 0;
+  }
   bench::heading("Cluster: latency vs offered load per front-end policy");
   for (const auto& comp : comps) {
     run_composition(comp, placement, opt.quick(), opt.jobs(), opt.seed_or(1));

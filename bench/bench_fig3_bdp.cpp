@@ -12,11 +12,13 @@ using namespace scn;
 using fabric::Op;
 using measure::SweepLink;
 
+bool g_fastforward = false;
+
 void panel(const char* tag, const topo::PlatformParams& params, SweepLink link, Op op, int jobs,
            const char* paper_note, int points = 7) {
   bench::subheading(std::string(tag) + "  " + params.name + "  " + to_string(link) + "  " +
                     to_string(op));
-  const auto pts = measure::latency_vs_load(params, link, op, points, jobs);
+  const auto pts = measure::latency_vs_load(params, link, op, points, jobs, g_fastforward);
   std::printf("  %12s %12s %12s %12s\n", "offered GB/s", "achieved", "avg ns", "p999 ns");
   for (const auto& pt : pts) {
     std::printf("  %12.1f %12.1f %12.1f %12.1f\n", pt.requested_gbps, pt.achieved_gbps, pt.avg_ns,
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
   opt.parse(argc, argv);
   const int jobs = opt.jobs();
   const bool quick = opt.quick();
+  g_fastforward = opt.fastforward();
   bench::heading("Figure 3: latency vs load (avg / P999)");
 
   exec::Stopwatch watch;

@@ -16,6 +16,8 @@ using fabric::Op;
 using measure::Scope;
 using measure::Target;
 
+bool g_fastforward = false;
+
 struct Cell {
   Scope scope;
   double paper_read;
@@ -30,7 +32,7 @@ void scope_table(const topo::PlatformParams& params, Target target,
     batch.push_back({params, c.scope, Op::kRead, target});
     batch.push_back({params, c.scope, Op::kWrite, target});
   }
-  const auto results = measure::max_bandwidth_batch(batch, jobs);
+  const auto results = measure::max_bandwidth_batch(batch, jobs, g_fastforward);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     bench::row(std::string("from ") + to_string(cells[i].scope) + " read", cells[i].paper_read,
                results[2 * i].gbps, "GB/s");
@@ -56,7 +58,7 @@ void custom_platform_tables(const topo::PlatformParams& params, int jobs, bool q
     }
     bench::subheading(params.name + (target == Target::kCxl ? " -> CXL" : " -> DIMM") +
                       " (read/write)");
-    const auto results = measure::max_bandwidth_batch(batch, jobs);
+    const auto results = measure::max_bandwidth_batch(batch, jobs, g_fastforward);
     for (std::size_t i = 0; i < scopes.size(); ++i) {
       bench::row(std::string("from ") + to_string(scopes[i]) + " read", results[2 * i].gbps,
                  "GB/s");
@@ -65,8 +67,8 @@ void custom_platform_tables(const topo::PlatformParams& params, int jobs, bool q
     }
   }
   bench::subheading("per-UMC service limits");
-  bench::row("UMC read", measure::single_umc_bandwidth(params, Op::kRead).gbps, "GB/s");
-  bench::row("UMC write", measure::single_umc_bandwidth(params, Op::kWrite).gbps, "GB/s");
+  bench::row("UMC read", measure::single_umc_bandwidth(params, Op::kRead, g_fastforward).gbps, "GB/s");
+  bench::row("UMC write", measure::single_umc_bandwidth(params, Op::kWrite, g_fastforward).gbps, "GB/s");
 }
 
 }  // namespace
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
   opt.parse(argc, argv);
   const int jobs = opt.jobs();
   const bool quick = opt.quick();
+  g_fastforward = opt.fastforward();
   exec::Stopwatch watch;
   bench::heading("Table 3: maximum achieved bandwidth (GB/s)");
 
@@ -95,9 +98,9 @@ int main(int argc, char** argv) {
     scope_table(topo::epyc7302(), Target::kDram, quick_cells, jobs);
     bench::subheading("per-UMC service limits (section 3.3)");
     bench::row("7302 UMC read", 21.1,
-               measure::single_umc_bandwidth(topo::epyc7302(), Op::kRead).gbps, "GB/s");
+               measure::single_umc_bandwidth(topo::epyc7302(), Op::kRead, g_fastforward).gbps, "GB/s");
     bench::row("7302 UMC write", 19.0,
-               measure::single_umc_bandwidth(topo::epyc7302(), Op::kWrite).gbps, "GB/s");
+               measure::single_umc_bandwidth(topo::epyc7302(), Op::kWrite, g_fastforward).gbps, "GB/s");
     bench::report_wallclock("table3 quick probes", jobs, watch.elapsed_ms());
     return 0;
   }
@@ -128,12 +131,12 @@ int main(int argc, char** argv) {
   bench::note("EPYC 7302 -> CXL: N/A (Table 1: no CXL module)");
 
   bench::subheading("per-UMC service limits (section 3.3)");
-  bench::row("7302 UMC read", 21.1, measure::single_umc_bandwidth(topo::epyc7302(), Op::kRead).gbps,
+  bench::row("7302 UMC read", 21.1, measure::single_umc_bandwidth(topo::epyc7302(), Op::kRead, g_fastforward).gbps,
              "GB/s");
   bench::row("7302 UMC write", 19.0,
-             measure::single_umc_bandwidth(topo::epyc7302(), Op::kWrite).gbps, "GB/s");
-  bench::row("9634 UMC read", 34.9, measure::single_umc_bandwidth(p9, Op::kRead).gbps, "GB/s");
-  bench::row("9634 UMC write", 28.3, measure::single_umc_bandwidth(p9, Op::kWrite).gbps, "GB/s");
+             measure::single_umc_bandwidth(topo::epyc7302(), Op::kWrite, g_fastforward).gbps, "GB/s");
+  bench::row("9634 UMC read", 34.9, measure::single_umc_bandwidth(p9, Op::kRead, g_fastforward).gbps, "GB/s");
+  bench::row("9634 UMC write", 28.3, measure::single_umc_bandwidth(p9, Op::kWrite, g_fastforward).gbps, "GB/s");
   bench::report_wallclock("table3 bandwidth probes", jobs, watch.elapsed_ms());
   return 0;
 }

@@ -7,6 +7,8 @@
 //   --quick                  reduced golden-test configuration
 //   --platform <name|file>   a builtin (epyc7302/epyc9634) or a .scn spec
 //   --seed S                 base RNG seed (full u64) for binaries that take one
+//   --fastforward <on|off>   analytic steady-state batch-advance (default off:
+//                            strict mode, bit-identical to the golden engine)
 //
 // plus per-binary flags registered by the caller. Malformed numbers and
 // unknown flags are hard errors: usage on stderr and exit(2) — never a
@@ -96,6 +98,20 @@ class Options {
           })) {
         continue;
       }
+      if (consume_valued(arg, "--fastforward", argc, argv, i, [&](const std::string& v) {
+            // Strict on/off vocabulary: anything else is a hard error, never
+            // a silent default — an accuracy A/B must not quietly run the
+            // wrong engine.
+            if (v == "on") {
+              fastforward_ = true;
+            } else if (v == "off") {
+              fastforward_ = false;
+            } else {
+              die(std::string("flag '--fastforward': bad value '") + v + "' (want on|off)");
+            }
+          })) {
+        continue;
+      }
       bool matched = false;
       for (const auto& s : specs_) {
         if (s.kind == Spec::kBool) {
@@ -147,6 +163,9 @@ class Options {
   [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
     return seed_ ? *seed_ : fallback;
   }
+  /// Analytic steady-state fast-forwarding (stream sweeps honour it; other
+  /// harnesses accept the flag for uniform A/B scripting and ignore it).
+  [[nodiscard]] bool fastforward() const { return fastforward_; }
   [[nodiscard]] bool has_platform() const { return platform_.has_value(); }
   [[nodiscard]] const std::string& platform_arg() const { return platform_arg_; }
 
@@ -228,7 +247,9 @@ class Options {
   }
 
   void print_usage(std::FILE* out) const {
-    std::fprintf(out, "usage: %s [--jobs N] [--quick] [--platform <name|file.scn>] [--seed S]",
+    std::fprintf(out,
+                 "usage: %s [--jobs N] [--quick] [--platform <name|file.scn>] [--seed S]"
+                 " [--fastforward on|off]",
                  prog_);
     for (const auto& s : specs_) {
       std::fprintf(out, " [%s%s]", s.name, s.kind == Spec::kBool ? "" : " V");
@@ -241,6 +262,9 @@ class Options {
     std::fprintf(out,
                  "  --platform P   builtin platform name (epyc7302, epyc9634) or .scn spec file\n");
     std::fprintf(out, "  --seed S       base RNG seed, unsigned 64-bit (default: per-binary)\n");
+    std::fprintf(out,
+                 "  --fastforward  on|off: analytic steady-state batch-advance "
+                 "(default off = strict)\n");
     for (const auto& s : specs_) {
       std::fprintf(out, "  %-14s %s\n", s.name, s.help);
     }
@@ -254,6 +278,7 @@ class Options {
   bool passthrough_unknown_ = false;
 
   bool quick_ = false;
+  bool fastforward_ = false;
   int jobs_ = 1;
   std::optional<std::uint64_t> seed_;
   std::string platform_arg_;

@@ -72,6 +72,27 @@ class Channel {
     stall_ticks_ += duration;
   }
 
+  /// Fold in traffic that was carried analytically by the co-simulation fast
+  /// path instead of being admitted message by message: byte/message totals
+  /// and serialization occupancy for a batch spanning `span` ticks. Unlike
+  /// admit(), next_free_ is untouched — the fast path only advances groups it
+  /// has drained, so the channel is genuinely idle while the batch is carried
+  /// and the first post-resume admission must not inherit phantom backlog.
+  /// The busy credit is clamped to `span` so utilization stays <= 1 even if
+  /// several flows credit the same shared channel.
+  void account_analytic(double bytes, std::uint64_t messages, sim::Tick busy,
+                        sim::Tick span) noexcept {
+    bytes_total_ += bytes;
+    messages_total_ += messages;
+    const sim::Tick headroom = span > analytic_busy_in_span_ ? span - analytic_busy_in_span_ : 0;
+    const sim::Tick credit = busy < headroom ? busy : headroom;
+    busy_ticks_ += credit;
+    analytic_busy_in_span_ += credit;
+  }
+
+  /// Open a new analytic accounting span (resets the per-span busy clamp).
+  void begin_analytic_span() noexcept { analytic_busy_in_span_ = 0; }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] double capacity_bytes_per_ns() const noexcept { return capacity_; }
   [[nodiscard]] sim::Tick propagation() const noexcept { return propagation_; }
@@ -118,6 +139,7 @@ class Channel {
   std::uint64_t messages_total_ = 0;
   sim::Tick busy_ticks_ = 0;
   sim::Tick stall_ticks_ = 0;
+  sim::Tick analytic_busy_in_span_ = 0;
   sim::Tick max_queue_delay_ = 0;
   stats::Histogram queue_delay_hist_;
 };

@@ -5,6 +5,7 @@
 
 #include "exec/sweep.hpp"
 #include "measure/experiment.hpp"
+#include "traffic/fastforward.hpp"
 #include "traffic/flow_group.hpp"
 
 namespace scn::measure {
@@ -35,7 +36,7 @@ std::vector<CoreSel> cores_for(const topo::PlatformParams& p, Scope scope) {
 }  // namespace
 
 BandwidthResult max_bandwidth(const topo::PlatformParams& params, Scope scope, fabric::Op op,
-                              Target target) {
+                              Target target, bool fastforward) {
   Experiment e(params);
   auto& platform = e.platform;
   const auto& p = platform.params();
@@ -65,7 +66,10 @@ BandwidthResult max_bandwidth(const topo::PlatformParams& params, Scope scope, f
     cfg.seed = 1000 + static_cast<std::uint64_t>(id++);
     group.add(e.simulator, std::move(cfg));
   }
+  traffic::FastForwarder forwarder(e.simulator, fastforward_config(params));
+  if (fastforward) forwarder.watch(group);
   group.start_all();
+  if (fastforward) forwarder.arm();
   e.simulator.run_until(sim::from_us(kWarmupUs + kWindowUs + 10.0));
 
   BandwidthResult r;
@@ -75,7 +79,8 @@ BandwidthResult max_bandwidth(const topo::PlatformParams& params, Scope scope, f
   return r;
 }
 
-BandwidthResult single_umc_bandwidth(const topo::PlatformParams& params, fabric::Op op) {
+BandwidthResult single_umc_bandwidth(const topo::PlatformParams& params, fabric::Op op,
+                                     bool fastforward) {
   Experiment e(params);
   auto& platform = e.platform;
   const auto& p = platform.params();
@@ -103,7 +108,10 @@ BandwidthResult single_umc_bandwidth(const topo::PlatformParams& params, fabric:
       group.add(e.simulator, std::move(cfg));
     }
   }
+  traffic::FastForwarder forwarder(e.simulator, fastforward_config(params));
+  if (fastforward) forwarder.watch(group);
   group.start_all();
+  if (fastforward) forwarder.arm();
   e.simulator.run_until(sim::from_us(kWarmupUs + kWindowUs + 10.0));
 
   BandwidthResult r;
@@ -113,11 +121,11 @@ BandwidthResult single_umc_bandwidth(const topo::PlatformParams& params, fabric:
 }
 
 std::vector<BandwidthResult> max_bandwidth_batch(const std::vector<BandwidthCase>& cases,
-                                                 int jobs) {
+                                                 int jobs, bool fastforward) {
   exec::ParallelSweep sweep(jobs);
   return sweep.map(static_cast<int>(cases.size()), [&](int i) {
     const auto& c = cases[static_cast<std::size_t>(i)];
-    return max_bandwidth(c.params, c.scope, c.op, c.target);
+    return max_bandwidth(c.params, c.scope, c.op, c.target, fastforward);
   });
 }
 

@@ -32,13 +32,17 @@ struct BandwidthResult {
 /// Saturate the chosen scope with read or non-temporal-write streams
 /// (AVX-512 analogue: max MLP per core, cacheline chunks interleaved over
 /// every reachable UMC / the CXL device) and report the achieved bandwidth.
+/// `fastforward` enables the analytic steady-state batch-advance
+/// (traffic::FastForwarder); off is strict mode, bit-identical to the
+/// pre-fast-path engine.
 [[nodiscard]] BandwidthResult max_bandwidth(const topo::PlatformParams& params, Scope scope,
-                                            fabric::Op op, Target target);
+                                            fabric::Op op, Target target,
+                                            bool fastforward = false);
 
 /// Bandwidth when every flow targets one single UMC (the paper's per-UMC
 /// 21.1/19.0 and 34.9/28.3 GB/s observation).
 [[nodiscard]] BandwidthResult single_umc_bandwidth(const topo::PlatformParams& params,
-                                                   fabric::Op op);
+                                                   fabric::Op op, bool fastforward = false);
 
 /// One cell of a bandwidth table.
 struct BandwidthCase {
@@ -52,6 +56,6 @@ struct BandwidthCase {
 /// over `jobs` worker threads (exec::resolve_jobs semantics); results are
 /// returned in case order and bit-identical for any jobs count.
 [[nodiscard]] std::vector<BandwidthResult> max_bandwidth_batch(
-    const std::vector<BandwidthCase>& cases, int jobs = 0);
+    const std::vector<BandwidthCase>& cases, int jobs = 0, bool fastforward = false);
 
 }  // namespace scn::measure

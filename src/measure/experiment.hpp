@@ -3,10 +3,12 @@
 // RNG streams never leak between data points.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/simulator.hpp"
 #include "topo/platform.hpp"
+#include "traffic/fastforward.hpp"
 
 namespace scn::measure {
 
@@ -17,5 +19,23 @@ struct Experiment {
   explicit Experiment(topo::PlatformParams params)
       : platform(simulator, std::move(params)) {}
 };
+
+/// FastForwarder tuning for a measurement on `params`: the steady sample
+/// span must cover at least one periodic-noise interval, or the analytic
+/// carry would scale up a histogram that never saw a refresh stall and the
+/// tail quantiles would come out too clean.
+[[nodiscard]] inline traffic::FastForwarder::Config fastforward_config(
+    const topo::PlatformParams& params) {
+  traffic::FastForwarder::Config c;
+  if (params.noise_interval > 0) {
+    // Slice so six windows (the certification minimum) land exactly on one
+    // noise period, and only jump on whole periods: the sample then holds
+    // exactly span/period stalls per channel, independent of stall phase.
+    c.sample_window = params.noise_interval / 6;
+    c.span_align = params.noise_interval;
+    c.min_sample_span = std::max(c.min_sample_span, params.noise_interval);
+  }
+  return c;
+}
 
 }  // namespace scn::measure

@@ -1,10 +1,14 @@
 #include "measure/loadsweep.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "exec/sweep.hpp"
 #include "measure/experiment.hpp"
 #include "measure/scenario.hpp"
+#include "traffic/fastforward.hpp"
 #include "traffic/flow_group.hpp"
 
 namespace scn::measure {
@@ -19,7 +23,7 @@ constexpr double kWindowUs = 80.0;
 /// on any ParallelSweep worker. `i` is 1-based; the last point removes the
 /// rate throttle entirely (the paper's "approaching max bandwidth").
 LoadPoint run_load_point(const topo::PlatformParams& params, SweepLink link, fabric::Op op,
-                         int i, int points) {
+                         int i, int points, bool fastforward) {
   const double per_core_max = per_core_max_gbps(params, link, op);
   const double issue_cap = scenario_issue_cap(params, link, op);
 
@@ -52,8 +56,28 @@ LoadPoint run_load_point(const topo::PlatformParams& params, SweepLink link, fab
     // flow is genuinely unthrottled.
     requested += unthrottled ? (issue_cap > 0.0 ? issue_cap : per_core_max) : rate;
   }
+  traffic::FastForwarder forwarder(e.simulator, fastforward_config(params));
+  if (fastforward) {
+    forwarder.watch(group);
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
   group.start_all();
+  if (fastforward) forwarder.arm();
   e.simulator.run_until(sim::from_us(kWarmupUs + kWindowUs + 15.0));
+  if (std::getenv("SCN_FF_DEBUG") != nullptr) {
+    const auto& st = forwarder.stats();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall0)
+            .count();
+    std::fprintf(stderr,
+                 "[ff] %s %s pt %d/%d: wall_ms=%.1f jumps=%llu skipped_us=%.1f samples=%llu "
+                 "rejected=%llu aborted=%llu\n",
+                 to_string(link), to_string(op), i, points, wall_ms,
+                 static_cast<unsigned long long>(st.jumps), sim::to_ns(st.skipped_ticks) / 1000.0,
+                 static_cast<unsigned long long>(st.samples),
+                 static_cast<unsigned long long>(st.rejected),
+                 static_cast<unsigned long long>(st.aborted_drains));
+  }
 
   LoadPoint pt;
   pt.requested_gbps = requested;
@@ -67,10 +91,11 @@ LoadPoint run_load_point(const topo::PlatformParams& params, SweepLink link, fab
 }  // namespace
 
 std::vector<LoadPoint> latency_vs_load(const topo::PlatformParams& params, SweepLink link,
-                                       fabric::Op op, int points, int jobs) {
+                                       fabric::Op op, int points, int jobs, bool fastforward) {
   exec::ParallelSweep sweep(jobs);
-  return sweep.map(points,
-                   [&](int idx) { return run_load_point(params, link, op, idx + 1, points); });
+  return sweep.map(points, [&](int idx) {
+    return run_load_point(params, link, op, idx + 1, points, fastforward);
+  });
 }
 
 }  // namespace scn::measure

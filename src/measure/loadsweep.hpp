@@ -40,8 +40,13 @@ struct LoadPoint {
 /// Points are independent Experiments fanned out over `jobs` worker threads
 /// (exec::resolve_jobs semantics: <= 0 means SCN_JOBS / hardware
 /// concurrency); results are bit-identical for any jobs count.
+/// `fastforward` enables the analytic steady-state batch-advance
+/// (traffic::FastForwarder): ~the same numbers, a fraction of the events.
+/// Off (the default) is strict mode — bit-identical to the pre-fast-path
+/// engine.
 [[nodiscard]] std::vector<LoadPoint> latency_vs_load(const topo::PlatformParams& params,
                                                      SweepLink link, fabric::Op op,
-                                                     int points = 8, int jobs = 0);
+                                                     int points = 8, int jobs = 0,
+                                                     bool fastforward = false);
 
 }  // namespace scn::measure

@@ -95,7 +95,8 @@ Prediction predict_multi(const std::vector<fabric::Path*>& paths, const Workload
   } else {
     const double rho = cap > 0.0 ? achieved / cap : 0.0;
     const double service_ns = cap > 0.0 ? w.chunk_bytes / cap : 0.0;
-    const double wait_ns = rho < 1.0 ? service_ns * rho / (2.0 * (1.0 - rho)) : 0.0;  // M/D/1 Wq
+    const double wait_ns =
+        rho < 1.0 ? service_ns * rho / (kMD1WaitDenominatorScale * (1.0 - rho)) : 0.0;  // M/D/1 Wq
     p.avg_latency_ns = p.zero_load_rtt_ns + wait_ns;
     p.utilization = rho;
   }
@@ -112,9 +113,39 @@ double loaded_latency_ns(const std::vector<fabric::Path*>& paths, double chunk_b
   if (base.capacity_gbps <= 0.0) return base.zero_load_rtt_ns;
   double rho = offered_gbps / base.capacity_gbps;
   if (rho < 0.0) rho = 0.0;
-  constexpr double kRhoCap = 0.97;
-  if (rho > kRhoCap) rho = kRhoCap;
+  if (rho > kLoadedLatencyRhoCap) rho = kLoadedLatencyRhoCap;
   return base.zero_load_rtt_ns / (1.0 - rho);
+}
+
+BatchAdvance batch_advance(const std::vector<fabric::Path*>& paths, const Workload& w,
+                           double span_ns, double measured_gbps, double measured_latency_ns,
+                           double slack) {
+  BatchAdvance b;
+  if (paths.empty() || span_ns <= 0.0 || measured_gbps < 0.0) return b;
+  b.prediction = predict_multi(paths, w);
+  b.rate_gbps = measured_gbps;
+  b.payload_bytes = measured_gbps * span_ns;
+  b.completions = static_cast<std::uint64_t>(b.payload_bytes / w.chunk_bytes + 0.5);
+  b.payload_bytes = static_cast<double>(b.completions) * w.chunk_bytes;
+  b.avg_latency_ns = measured_latency_ns > 0.0 ? measured_latency_ns : b.prediction.avg_latency_ns;
+  // Physical-consistency certificate. The measured rate embeds contention the
+  // single-flow model cannot see (other flows on shared channels), so the
+  // bounds are one-sided: a flow cannot beat the path's raw capacity or the
+  // BDP bound, and cannot see latency below the zero-load RTT.
+  bool ok = true;
+  if (b.prediction.capacity_gbps > 0.0 && measured_gbps > b.prediction.capacity_gbps * slack) {
+    ok = false;
+  }
+  if (b.prediction.window_bound_gbps > 0.0 &&
+      measured_gbps > b.prediction.window_bound_gbps * slack) {
+    ok = false;
+  }
+  if (measured_latency_ns > 0.0 &&
+      measured_latency_ns * slack < b.prediction.zero_load_rtt_ns) {
+    ok = false;
+  }
+  b.trusted = ok;
+  return b;
 }
 
 Prediction predict(const fabric::Path& path, const Workload& w) {

@@ -22,6 +22,17 @@
 
 namespace scn::model {
 
+/// M/D/1 mean-waiting-time denominator scale: Wq = service * rho /
+/// (kMD1WaitDenominatorScale * (1 - rho)). Deterministic service halves the
+/// M/M/1 queueing term; the constant is named (rather than a bare 2.0 in the
+/// formula) so the strict-mode goldens pin the exact float-op sequence.
+inline constexpr double kMD1WaitDenominatorScale = 2.0;
+
+/// loaded_latency_ns caps rho below 1 so a saturated segment scores
+/// finite-but-prohibitive instead of dividing by zero: latency inflation
+/// saturates at 1 / (1 - kLoadedLatencyRhoCap) ~ 33x the zero-load RTT.
+inline constexpr double kLoadedLatencyRhoCap = 0.97;
+
 struct Workload {
   fabric::Op op = fabric::Op::kRead;
   double chunk_bytes = fabric::kCachelineBytes;
@@ -64,5 +75,32 @@ struct Prediction {
 /// serving layer's telemetry placement policy.
 [[nodiscard]] double loaded_latency_ns(const std::vector<fabric::Path*>& paths,
                                        double chunk_bytes, double offered_gbps);
+
+/// One analytically-carried interval for the co-simulation fast path: the
+/// quantities a steady flow would have produced over `span_ns` had its
+/// transactions been simulated one by one.
+struct BatchAdvance {
+  std::uint64_t completions = 0;  ///< whole chunks carried over the span
+  double payload_bytes = 0.0;     ///< completions * chunk
+  double rate_gbps = 0.0;         ///< the rate the batch was advanced at
+  double avg_latency_ns = 0.0;    ///< modelled loaded latency at that rate
+  Prediction prediction;          ///< the underlying model evaluation
+  /// Certificate: the empirically measured rate/latency are physically
+  /// consistent with the model (rate within capacity, latency at or above
+  /// the zero-load RTT). When false the caller must stay on discrete events
+  /// — the steady-state assumption failed validation.
+  bool trusted = false;
+};
+
+/// Evaluate a batch-advance over `span_ns` for a flow whose steady state was
+/// *measured* as `measured_gbps` / `measured_latency_ns` (telemetry deltas).
+/// The measured rate drives the byte/completion counters (it already embeds
+/// every contention effect the model abstracts); the model supplies the
+/// cross-check bounds and the loaded-latency estimate. `slack` loosens the
+/// physical bounds to absorb measurement-window quantization.
+[[nodiscard]] BatchAdvance batch_advance(const std::vector<fabric::Path*>& paths,
+                                         const Workload& workload, double span_ns,
+                                         double measured_gbps, double measured_latency_ns,
+                                         double slack = 1.05);
 
 }  // namespace scn::model

@@ -47,6 +47,18 @@ class Simulator {
     queue_.push(when, std::forward<F>(fn));
   }
 
+  /// Sentinel returned by next_event_time() when the queue is empty.
+  static constexpr Tick kNoPendingEvent = -1;
+
+  /// Time of the earliest pending event, or kNoPendingEvent when drained.
+  /// The co-simulation fast path uses this to negotiate its wake-up cadence
+  /// with the timing wheel: while waiting for in-flight transactions to
+  /// drain it re-checks exactly at the next event instead of polling on a
+  /// fixed grid. (Non-const: the wheel may lazily advance its cursor.)
+  [[nodiscard]] Tick next_event_time() noexcept {
+    return queue_.empty() ? kNoPendingEvent : queue_.next_time();
+  }
+
   [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
   [[nodiscard]] std::size_t pending_count() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_count() const noexcept { return executed_; }

@@ -98,6 +98,41 @@ void Histogram::merge(const Histogram& other) noexcept {
   count_ += other.count_;
 }
 
+std::uint64_t Histogram::merge_scaled(const Histogram& other, double factor) noexcept {
+  if (other.count_ == 0 || factor <= 0.0) return 0;
+  std::uint64_t added = 0;
+  double carry = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (other.buckets_[i] == 0) continue;
+    const double scaled = static_cast<double>(other.buckets_[i]) * factor + carry;
+    const double whole = std::floor(scaled + 0.5);
+    carry = scaled - whole;
+    if (whole <= 0.0) continue;
+    const auto n = static_cast<std::uint64_t>(whole);
+    buckets_[i] += n;
+    added += n;
+  }
+  if (added == 0) return 0;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  // Chan batch update with the scaled sample treated as `added` draws from
+  // other's distribution: batch mean other.mean_, batch M2 scaled by the
+  // count ratio (M2 is linear in the sample count at fixed variance).
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(added);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ * (n2 / static_cast<double>(other.count_)) +
+         delta * delta * n1 * n2 / (n1 + n2);
+  count_ += added;
+  return added;
+}
+
 void Histogram::reset() noexcept {
   std::fill(buckets_.begin(), buckets_.end(), 0ULL);
   count_ = 0;

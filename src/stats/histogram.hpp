@@ -40,6 +40,15 @@ class Histogram {
   /// Merge another histogram into this one.
   void merge(const Histogram& other) noexcept;
 
+  /// Merge `other` scaled by `factor`: its bucket counts are multiplied by
+  /// `factor` with carry-based rounding (total added mass is round(count *
+  /// factor) up to +/-1), so a short measured sample can stand in for a long
+  /// analytically-advanced interval with the same *shape*. Moments fold in
+  /// via Chan's batch update using `other`'s exact mean/M2 (scaled), so
+  /// mean()/stddev() stay sample-exact; quantiles inherit the usual bucket
+  /// granularity. Returns the number of samples added.
+  std::uint64_t merge_scaled(const Histogram& other, double factor) noexcept;
+
   void reset() noexcept;
 
   /// One-line human-readable summary (for telemetry export).

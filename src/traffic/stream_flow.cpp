@@ -43,11 +43,17 @@ fabric::Path* StreamFlow::next_path() noexcept {
 }
 
 void StreamFlow::issue_loop() {
-  if (stopped_ || simulator_->now() >= config_.stop_at) return;
+  if (stopped_ || suspended_ || simulator_->now() >= config_.stop_at) return;
+  // The epoch guard retires continuations that straddle a suspend(): a
+  // pending rate-gap wakeup or window grant from before the suspension must
+  // not run concurrently with the loop resume() restarts (double-issue).
+  // Strict mode never bumps the epoch, so the guard is always true there.
+  const std::uint64_t epoch = loop_epoch_;
   // Acquire the core's MLP window first; this is where a too-fast issuer
   // stalls (the backpressure that makes achieved < requested).
-  window_pool_->acquire(*simulator_, [this] {
-    if (stopped_ || simulator_->now() >= config_.stop_at) {
+  window_pool_->acquire(*simulator_, [this, epoch] {
+    if (epoch != loop_epoch_ || stopped_ || suspended_ ||
+        simulator_->now() >= config_.stop_at) {
       window_pool_->release(*simulator_);
       return;
     }
@@ -56,13 +62,38 @@ void StreamFlow::issue_loop() {
     if (gap == 0) {
       issue_loop();  // unthrottled: self-clocked by window tokens
     } else {
-      simulator_->schedule(gap, [this] { issue_loop(); });
+      simulator_->schedule(gap, [this, epoch] {
+        if (epoch == loop_epoch_) issue_loop();
+      });
     }
   });
 }
 
+void StreamFlow::resume() {
+  suspended_ = false;
+  if (stopped_ || simulator_->now() >= config_.stop_at) return;
+  // Not yet started: the start() event fires the loop at start_at.
+  if (simulator_->now() < config_.start_at) return;
+  // Resuming with transactions still in flight (a drain-timeout abort) is
+  // safe: they hold their window tokens, so the loop cannot over-issue.
+  issue_loop();
+}
+
+void StreamFlow::credit_synthetic(std::uint64_t n, sim::Tick horizon,
+                                  const stats::Histogram& shape) {
+  if (n == 0) return;
+  if (first_counted_ < 0) first_counted_ = simulator_->now();
+  if (horizon > last_completion_) last_completion_ = horizon;
+  delivered_bytes_ += static_cast<double>(n) * config_.chunk_bytes;
+  completions_ += n;
+  if (config_.record_latency && !shape.empty()) {
+    latency_.merge_scaled(shape, static_cast<double>(n) / static_cast<double>(shape.count()));
+  }
+}
+
 void StreamFlow::launch_one() {
   fabric::Path* path = next_path();
+  ++inflight_;
   const sim::Tick entered = simulator_->now();
   fabric::acquire_chain(*simulator_, config_.pools, [this, path, entered] {
     fabric::run_transaction(
@@ -79,6 +110,10 @@ void StreamFlow::launch_one() {
 
 void StreamFlow::on_complete(sim::Tick entered, sim::Tick issued, sim::Tick completed) {
   const sim::Tick rtt = completed - issued;
+  if (inflight_ > 0) --inflight_;
+  ++raw_completions_;
+  raw_rtt_ticks_ += rtt;
+  if (sample_hist_ != nullptr) sample_hist_->record(rtt);
   period_rtt_sum_ += sim::to_ns(completed - entered);
   ++period_rtt_count_;
   if (timeseries_ != nullptr) timeseries_->record(completed, config_.chunk_bytes);

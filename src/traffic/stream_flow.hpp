@@ -64,6 +64,51 @@ class StreamFlow {
   /// Stop issuing immediately; in-flight transactions drain naturally.
   void stop() noexcept { stopped_ = true; }
 
+  // ---- co-simulation fast path (traffic::FastForwarder) --------------------
+  // A suspended flow stops issuing but keeps its pacing/window state; resume()
+  // re-enters the issue loop as if the intervening interval had been simulated
+  // (the forwarder credits the skipped transactions via credit_synthetic).
+
+  /// Park the issue loop. In-flight transactions drain naturally; poll
+  /// drained() to learn when the fabric no longer carries this flow.
+  /// Bumping the loop epoch retires any in-queue continuation of the old
+  /// loop, so a later resume() owns the only live issue chain.
+  void suspend() noexcept {
+    suspended_ = true;
+    ++loop_epoch_;
+  }
+
+  /// Restart the issue loop after a suspend (no-op once stopped or past
+  /// stop_at). Caller guarantees the flow was drained first — resuming with
+  /// transactions still in flight would double-issue the window.
+  void resume();
+
+  [[nodiscard]] bool suspended() const noexcept { return suspended_; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  /// True when no issued transaction is still in flight.
+  [[nodiscard]] bool drained() const noexcept { return inflight_ == 0; }
+
+  /// Completions since construction, *not* gated on the measurement window —
+  /// the steadiness detector needs rate deltas during warmup too, where
+  /// completions() is still zero.
+  [[nodiscard]] std::uint64_t raw_completions() const noexcept { return raw_completions_; }
+  /// Sum of fabric RTTs (ticks) over all raw completions.
+  [[nodiscard]] std::int64_t raw_rtt_ticks() const noexcept { return raw_rtt_ticks_; }
+
+  /// Attach a histogram that receives every completion's fabric RTT,
+  /// independent of the measurement window (the forwarder's steady-state
+  /// shape sample). Not owned; null detaches.
+  void set_sample_histogram(stats::Histogram* h) noexcept { sample_hist_ = h; }
+
+  /// Credit `n` analytically-carried completions against the measurement
+  /// window: delivered bytes, completion count and — when record_latency —
+  /// latency mass with `shape`'s distribution (scaled to n samples).
+  /// `horizon` is the end of the analytic interval, used to keep the
+  /// [first_counted_, last_completion_] bookkeeping consistent.
+  void credit_synthetic(std::uint64_t n, sim::Tick horizon, const stats::Histogram& shape);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
   // ---- results -------------------------------------------------------------
   [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
   [[nodiscard]] double delivered_bytes() const noexcept { return delivered_bytes_; }
@@ -76,6 +121,7 @@ class StreamFlow {
 
   /// Attach a per-interval byte recorder (Fig. 5 time series). Not owned.
   void set_timeseries(stats::TimeSeries* ts) noexcept { timeseries_ = ts; }
+  [[nodiscard]] bool has_timeseries() const noexcept { return timeseries_ != nullptr; }
 
   /// Replace the offered rate at runtime (bytes/ns; 0 => unthrottled).
   void set_target_rate(double bytes_per_ns) noexcept { limiter_.set_rate(bytes_per_ns); }
@@ -103,9 +149,15 @@ class StreamFlow {
   std::size_t rr_index_ = 0;
   bool stopped_ = false;
   bool loop_active_ = false;
+  bool suspended_ = false;
+  std::uint64_t inflight_ = 0;
+  std::uint64_t loop_epoch_ = 0;
 
   double delivered_bytes_ = 0.0;
   std::uint64_t completions_ = 0;
+  std::uint64_t raw_completions_ = 0;
+  std::int64_t raw_rtt_ticks_ = 0;
+  stats::Histogram* sample_hist_ = nullptr;
   sim::Tick first_counted_ = -1;
   sim::Tick last_completion_ = 0;
   stats::Histogram latency_;

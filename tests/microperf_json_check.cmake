@@ -27,7 +27,8 @@ foreach(metric
         token_chain_grants_per_sec
         queue_bimodal_items_per_sec
         serve_burst_events_per_sec
-        cluster_requests_per_sec)
+        cluster_requests_per_sec
+        fastforward_speedup)
   # Each metric key appears once per block (metrics, units, checksums).
   string(REGEX MATCHALL "\"${metric}\"" hits "${doc}")
   list(LENGTH hits n)

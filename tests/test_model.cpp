@@ -150,5 +150,155 @@ INSTANTIATE_TEST_SUITE_P(Windows, ModelVsSim,
                                   "_w" + std::to_string(std::get<1>(info.param));
                          });
 
+// ---------------------------------------------------------------------------
+// Placement-scoring constants: rho handling at and beyond saturation.
+// ---------------------------------------------------------------------------
+
+TEST(LoadedLatency, ConstantsArePinned) {
+  // These constants sit inside the exact float-op sequence the strict-mode
+  // goldens certify; moving either is a golden-regeneration event, not a
+  // tweak.
+  EXPECT_DOUBLE_EQ(kMD1WaitDenominatorScale, 2.0);
+  EXPECT_DOUBLE_EQ(kLoadedLatencyRhoCap, 0.97);
+}
+
+TEST(LoadedLatency, RhoCapPinsSaturationInflation) {
+  Experiment e(topo::epyc7302());
+  std::vector<fabric::Path*> paths{&e.platform.dram_path(0, 0, 0)};
+  Workload w;
+  w.total_window = 1;
+  const Prediction base = predict_multi(paths, w);
+  ASSERT_GT(base.capacity_gbps, 0.0);
+
+  // No background load: the score is the zero-load RTT itself.
+  EXPECT_DOUBLE_EQ(loaded_latency_ns(paths, 64.0, 0.0), base.zero_load_rtt_ns);
+  // Below saturation: the classic open-system response-time factor.
+  EXPECT_DOUBLE_EQ(loaded_latency_ns(paths, 64.0, base.capacity_gbps * 0.5),
+                   base.zero_load_rtt_ns / (1.0 - 0.5));
+
+  // rho -> 1: the cap engages before the pole, so the score saturates at a
+  // finite-but-prohibitive ~33x inflation instead of dividing by zero.
+  const double ceiling = base.zero_load_rtt_ns / (1.0 - kLoadedLatencyRhoCap);
+  EXPECT_DOUBLE_EQ(loaded_latency_ns(paths, 64.0, base.capacity_gbps), ceiling);
+  // rho > 1 (telemetry can legitimately report overload): same ceiling, no
+  // negative denominator, no infinity.
+  EXPECT_DOUBLE_EQ(loaded_latency_ns(paths, 64.0, base.capacity_gbps * 10.0), ceiling);
+}
+
+// ---------------------------------------------------------------------------
+// predict_multi edge cases.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A minimal synthetic read path: one latency hop out, one channel hop back.
+fabric::Path synthetic_path(fabric::Channel* data, fabric::Channel* service) {
+  fabric::Path p;
+  p.name = "synthetic";
+  p.outbound = {{nullptr, sim::from_ns(40.0)}};
+  p.inbound = {{data, sim::from_ns(10.0)}};
+  p.endpoint.read_service = service;
+  p.endpoint.access_latency = sim::from_ns(50.0);
+  return p;
+}
+
+}  // namespace
+
+TEST(PredictMulti, EmptyPathSetIsAllZero) {
+  Workload w;
+  const Prediction p = predict_multi({}, w);
+  EXPECT_DOUBLE_EQ(p.zero_load_rtt_ns, 0.0);
+  EXPECT_DOUBLE_EQ(p.capacity_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(p.window_bound_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(p.achieved_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(p.avg_latency_ns, 0.0);
+  EXPECT_DOUBLE_EQ(p.utilization, 0.0);
+}
+
+TEST(PredictMulti, SinglePathMatchesPredict) {
+  Experiment e(topo::epyc7302());
+  auto& path = e.platform.dram_path(0, 0, 0);
+  Workload w;
+  w.offered_gbps = 4.0;
+  const Prediction one = predict(path, w);
+  const Prediction multi = predict_multi({&path}, w);
+  EXPECT_DOUBLE_EQ(multi.zero_load_rtt_ns, one.zero_load_rtt_ns);
+  EXPECT_DOUBLE_EQ(multi.capacity_gbps, one.capacity_gbps);
+  EXPECT_DOUBLE_EQ(multi.window_bound_gbps, one.window_bound_gbps);
+  EXPECT_DOUBLE_EQ(multi.achieved_gbps, one.achieved_gbps);
+  EXPECT_DOUBLE_EQ(multi.avg_latency_ns, one.avg_latency_ns);
+  EXPECT_DOUBLE_EQ(multi.utilization, one.utilization);
+}
+
+TEST(PredictMulti, SharedChannelBindsAtRawCapacity) {
+  // Both interleaved paths cross the same data channel (count == K): the
+  // effective capacity cap * K / count collapses to the raw capacity — the
+  // "shared GMI binds at its raw capacity" case from the header comment.
+  fabric::Channel shared("shared", 16.0, 0);
+  fabric::Path a = synthetic_path(&shared, nullptr);
+  fabric::Path b = synthetic_path(&shared, nullptr);
+  Workload w;
+  const Prediction p = predict_multi({&a, &b}, w);
+  EXPECT_DOUBLE_EQ(p.capacity_gbps, 16.0);
+}
+
+TEST(PredictMulti, DisjointChannelsAggregateCapacity) {
+  // Each path has a private data channel (count == 1 of K == 2): the
+  // interleave doubles the effective capacity.
+  fabric::Channel left("left", 16.0, 0);
+  fabric::Channel right("right", 16.0, 0);
+  fabric::Path a = synthetic_path(&left, nullptr);
+  fabric::Path b = synthetic_path(&right, nullptr);
+  Workload w;
+  const Prediction p = predict_multi({&a, &b}, w);
+  EXPECT_DOUBLE_EQ(p.capacity_gbps, 32.0);
+}
+
+// ---------------------------------------------------------------------------
+// batch_advance: the fast path's physical-consistency certificate.
+// ---------------------------------------------------------------------------
+
+TEST(BatchAdvance, TrustedMeasurementCarriesWholeChunks) {
+  Experiment e(topo::epyc7302());
+  std::vector<fabric::Path*> paths{&e.platform.dram_path(0, 0, 0)};
+  Workload w;
+  const Prediction base = predict_multi(paths, w);
+  const double rate = base.capacity_gbps * 0.5;
+  const double span_ns = 10000.0;
+  const auto b = batch_advance(paths, w, span_ns, rate, base.zero_load_rtt_ns * 1.5);
+  EXPECT_TRUE(b.trusted);
+  EXPECT_EQ(b.completions, static_cast<std::uint64_t>(rate * span_ns / w.chunk_bytes + 0.5));
+  EXPECT_DOUBLE_EQ(b.payload_bytes, static_cast<double>(b.completions) * w.chunk_bytes);
+}
+
+TEST(BatchAdvance, RejectsRateBeyondCapacity) {
+  Experiment e(topo::epyc7302());
+  std::vector<fabric::Path*> paths{&e.platform.dram_path(0, 0, 0)};
+  Workload w;
+  const Prediction base = predict_multi(paths, w);
+  const auto b = batch_advance(paths, w, 10000.0, base.capacity_gbps * 2.0,
+                               base.zero_load_rtt_ns * 1.5);
+  EXPECT_FALSE(b.trusted);
+}
+
+TEST(BatchAdvance, RejectsLatencyBelowZeroLoadRtt) {
+  Experiment e(topo::epyc7302());
+  std::vector<fabric::Path*> paths{&e.platform.dram_path(0, 0, 0)};
+  Workload w;
+  const Prediction base = predict_multi(paths, w);
+  const auto b = batch_advance(paths, w, 10000.0, base.capacity_gbps * 0.25,
+                               base.zero_load_rtt_ns * 0.5);
+  EXPECT_FALSE(b.trusted);
+}
+
+TEST(BatchAdvance, DegenerateInputsAreUntrusted) {
+  Experiment e(topo::epyc7302());
+  std::vector<fabric::Path*> paths{&e.platform.dram_path(0, 0, 0)};
+  Workload w;
+  EXPECT_FALSE(batch_advance({}, w, 10000.0, 1.0, 100.0).trusted);
+  EXPECT_FALSE(batch_advance(paths, w, 0.0, 1.0, 100.0).trusted);
+  EXPECT_FALSE(batch_advance(paths, w, 10000.0, -1.0, 100.0).trusted);
+}
+
 }  // namespace
 }  // namespace scn::model

@@ -85,6 +85,56 @@ TEST(Histogram, MergeEmptyIsNoop) {
   EXPECT_EQ(b.max(), 42);
 }
 
+TEST(Histogram, MergeScaledMultipliesMass) {
+  // The fast path synthesizes N completions from a measured sample of n by
+  // merging the sample shape at factor N/n: counts scale, the shape doesn't.
+  Histogram sample;
+  for (int i = 0; i < 100; ++i) sample.record(100 + (i % 10));
+  Histogram out;
+  const std::uint64_t added = out.merge_scaled(sample, 3.0);
+  EXPECT_EQ(added, 300u);
+  EXPECT_EQ(out.count(), 300u);
+  EXPECT_EQ(out.min(), sample.min());
+  EXPECT_EQ(out.max(), sample.max());
+  EXPECT_NEAR(out.mean(), sample.mean(), 1e-9);
+  EXPECT_EQ(out.quantile(0.5), sample.quantile(0.5));
+  EXPECT_EQ(out.p999(), sample.p999());
+}
+
+TEST(Histogram, MergeScaledFractionalFactorConservesTotal) {
+  // Rounding carries across buckets: the total added mass lands within one
+  // sample of factor * count even when every bucket individually rounds.
+  Histogram sample;
+  for (int i = 0; i < 999; ++i) sample.record(50 + 7 * (i % 23));
+  Histogram out;
+  const std::uint64_t added = out.merge_scaled(sample, 0.37);
+  EXPECT_NEAR(static_cast<double>(added), 0.37 * 999.0, 1.0);
+  EXPECT_EQ(out.count(), added);
+}
+
+TEST(Histogram, MergeScaledDegenerateInputsAreNoops) {
+  Histogram sample;
+  sample.record(10);
+  Histogram out;
+  EXPECT_EQ(out.merge_scaled(Histogram{}, 2.0), 0u);  // empty source
+  EXPECT_EQ(out.merge_scaled(sample, 0.0), 0u);       // zero factor
+  EXPECT_EQ(out.merge_scaled(sample, -1.0), 0u);      // negative factor
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Histogram, MergeScaledIntoExistingCombines) {
+  Histogram existing;
+  existing.record(10);
+  Histogram tail;
+  tail.record(5000);
+  existing.merge_scaled(tail, 2.0);
+  EXPECT_EQ(existing.count(), 3u);
+  EXPECT_EQ(existing.min(), 10);
+  EXPECT_EQ(existing.max(), 5000);
+  // Mean tracks the batch update: (10 + 2 * 5000) / 3.
+  EXPECT_NEAR(existing.mean(), (10.0 + 2.0 * 5000.0) / 3.0, existing.mean() * 0.01);
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.record(5);

@@ -10,6 +10,7 @@
 #include "stats/timeseries.hpp"
 #include "traffic/flow_group.hpp"
 #include "traffic/pointer_chase.hpp"
+#include "traffic/fastforward.hpp"
 #include "traffic/rate_limiter.hpp"
 #include "traffic/stream_flow.hpp"
 
@@ -353,6 +354,142 @@ TEST(FlowGroup, EmptyGroupAggregatesToZero) {
   EXPECT_TRUE(group.merged_latency().empty());
   group.start_all();  // no-ops, must not crash
   group.stop_all();
+}
+
+// ---------------------------------------------------------------------------
+// FastForwarder: the analytic steady-state batch-advance co-simulation.
+// ---------------------------------------------------------------------------
+
+/// Small-everything forwarder config so a unit-scale flow certifies quickly.
+FastForwarder::Config tiny_ff_config() {
+  FastForwarder::Config c;
+  c.sample_window = from_us(1.0);
+  c.steady_windows = 3;
+  c.min_sample_span = from_us(5.0);
+  c.min_samples = 200;
+  c.min_flow_samples = 16;
+  c.min_jump = from_us(2.0);
+  return c;
+}
+
+StreamFlow::Config steady_flow_config(MiniFabric& f, double rate_gbps, double stop_us) {
+  StreamFlow::Config cfg;
+  cfg.paths = {&f.path};
+  cfg.window = 8;
+  cfg.target_rate = rate_gbps;
+  cfg.record_latency = true;
+  cfg.stop_at = from_us(stop_us);
+  return cfg;
+}
+
+TEST(FastForwarder, StrictModeIsBitForBitIdentical) {
+  // An armed-but-never-watched forwarder must not schedule a single event:
+  // the strict run's event count and results are exactly the control's.
+  std::uint64_t control_events = 0;
+  std::uint64_t control_completions = 0;
+  {
+    sim::Simulator s;
+    MiniFabric f;
+    StreamFlow flow(s, steady_flow_config(f, 4.0, 50.0));
+    flow.start();
+    s.run();
+    control_events = s.executed_count();
+    control_completions = flow.completions();
+  }
+  {
+    sim::Simulator s;
+    MiniFabric f;
+    StreamFlow flow(s, steady_flow_config(f, 4.0, 50.0));
+    FastForwarder fwd(s, tiny_ff_config());  // constructed, never watch()/arm()
+    flow.start();
+    s.run();
+    EXPECT_EQ(s.executed_count(), control_events);
+    EXPECT_EQ(flow.completions(), control_completions);
+    EXPECT_EQ(fwd.stats().samples, 0u);
+    EXPECT_EQ(fwd.stats().jumps, 0u);
+  }
+}
+
+TEST(FastForwarder, RefusesAdaptiveWindows) {
+  sim::Simulator s;
+  MiniFabric f;
+  StreamFlow::Config cfg = steady_flow_config(f, 4.0, 50.0);
+  cfg.adaptive = fabric::AdaptiveWindowPolicy{};
+  StreamFlow flow(s, std::move(cfg));
+  FastForwarder fwd(s, tiny_ff_config());
+  fwd.watch(&flow);
+  fwd.arm();
+  EXPECT_FALSE(fwd.armed());
+  EXPECT_FALSE(fwd.eligible());
+  flow.start();
+  s.run();  // the refused forwarder must not have scheduled anything
+  EXPECT_EQ(fwd.stats().samples, 0u);
+}
+
+TEST(FastForwarder, JumpsOnSteadyFlowAndPreservesRate) {
+  // Strict control.
+  double strict_gbps = 0.0;
+  double strict_mean = 0.0;
+  std::uint64_t strict_events = 0;
+  {
+    sim::Simulator s;
+    MiniFabric f;
+    StreamFlow flow(s, steady_flow_config(f, 4.0, 200.0));
+    flow.start();
+    s.run();
+    strict_gbps = flow.achieved_gbps();
+    strict_mean = flow.latency_histogram().mean();
+    strict_events = s.executed_count();
+  }
+  // Fast-forwarded run of the same flow.
+  sim::Simulator s;
+  MiniFabric f;
+  StreamFlow flow(s, steady_flow_config(f, 4.0, 200.0));
+  FastForwarder fwd(s, tiny_ff_config());
+  fwd.watch(&flow);
+  flow.start();
+  fwd.arm();
+  ASSERT_TRUE(fwd.armed());
+  s.run();
+  EXPECT_GE(fwd.stats().jumps, 1u);
+  EXPECT_GT(fwd.stats().skipped_ticks, 0);
+  EXPECT_GT(fwd.stats().synthetic_completions, 0u);
+  // The analytic carry must reproduce the discrete run's steady results...
+  EXPECT_NEAR(flow.achieved_gbps(), strict_gbps, strict_gbps * 0.05);
+  EXPECT_NEAR(flow.latency_histogram().mean(), strict_mean, strict_mean * 0.05);
+  // ...while actually skipping the event work it replaced.
+  EXPECT_LT(s.executed_count(), strict_events / 2);
+}
+
+TEST(FastForwarder, JumpNeverSkipsADemandChange) {
+  // The rate doubles mid-run: the horizon negotiation must wake the flow at
+  // the schedule entry, so the total byte count reflects both phases.
+  const double lo = 2.0;
+  const double hi = 4.0;
+  auto make_cfg = [&](MiniFabric& f) {
+    StreamFlow::Config cfg = steady_flow_config(f, lo, 400.0);
+    cfg.rate_schedule = {{from_us(200.0), hi}};
+    return cfg;
+  };
+  double strict_gbps = 0.0;
+  {
+    sim::Simulator s;
+    MiniFabric f;
+    StreamFlow flow(s, make_cfg(f));
+    flow.start();
+    s.run();
+    strict_gbps = flow.achieved_gbps();
+  }
+  sim::Simulator s;
+  MiniFabric f;
+  StreamFlow flow(s, make_cfg(f));
+  FastForwarder fwd(s, tiny_ff_config());
+  fwd.watch(&flow);
+  flow.start();
+  fwd.arm();
+  s.run();
+  EXPECT_GE(fwd.stats().jumps, 1u);
+  EXPECT_NEAR(flow.achieved_gbps(), strict_gbps, strict_gbps * 0.05);
 }
 
 TEST(FlowGroup, MergedLatencyCombines) {

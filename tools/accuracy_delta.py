@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Accuracy harness for the analytic fast-forward path.
+
+Two modes:
+
+  file compare     accuracy_delta.py strict.txt fast.txt [options]
+  self-driving     accuracy_delta.py --bench ./bench_fig3_bdp [arg ...] [options]
+
+The file mode compares two already-captured reports number by number: every
+numeric token in the fast output must lie within --tolerance (relative) of
+the matching strict token, with an absolute floor of --abs-floor below which
+differences never count (a 0.3 ns wobble on a 2 ns number is measurement
+noise, not an accuracy loss). Non-numeric text must match exactly — a fast
+path that changes the shape of the report is a failure, not a rounding
+difference.
+
+The bench mode runs the given command twice — `--fastforward off` then
+`--fastforward on` — wall-clocks both, applies the same numeric comparison
+to their stdout, and additionally enforces --min-speedup. This is what the
+ctest accuracy gates run.
+
+Exit status: 0 = within tolerance (and fast enough), 1 = accuracy or
+speedup violation, 2 = usage/operational error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+
+NUMBER = re.compile(r"[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?")
+
+
+def split_tokens(line: str) -> tuple[list[float], str]:
+    """Numeric tokens of a line, plus the line's non-numeric skeleton."""
+    numbers = [float(m.group(0)) for m in NUMBER.finditer(line)]
+    skeleton = NUMBER.sub("#", line)
+    return numbers, skeleton
+
+
+def compare_texts(strict: str, fast: str, tolerance: float, abs_floor: float):
+    """Yield one finding dict per mismatch between the two reports."""
+    strict_lines = strict.splitlines()
+    fast_lines = fast.splitlines()
+    if len(strict_lines) != len(fast_lines):
+        yield {
+            "line": 0,
+            "kind": "shape",
+            "detail": f"line count {len(strict_lines)} vs {len(fast_lines)}",
+        }
+        return
+    for lineno, (a, b) in enumerate(zip(strict_lines, fast_lines), start=1):
+        nums_a, skel_a = split_tokens(a)
+        nums_b, skel_b = split_tokens(b)
+        if skel_a != skel_b or len(nums_a) != len(nums_b):
+            yield {"line": lineno, "kind": "shape", "detail": f"{a!r} vs {b!r}"}
+            continue
+        for col, (x, y) in enumerate(zip(nums_a, nums_b), start=1):
+            err = abs(y - x)
+            if err <= abs_floor:
+                continue
+            rel = err / abs(x) if x != 0.0 else float("inf")
+            if rel > tolerance:
+                yield {
+                    "line": lineno,
+                    "kind": "value",
+                    "column": col,
+                    "strict": x,
+                    "fast": y,
+                    "rel_error": rel,
+                }
+
+
+def run_timed(cmd: list[str]) -> tuple[str, float]:
+    start = time.monotonic()
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, check=False)
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.stderr.write(f"accuracy_delta: {' '.join(cmd)} exited {proc.returncode}\n")
+        sys.exit(2)
+    return proc.stdout.decode(), elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="*", help="strict.txt fast.txt (file mode)")
+    parser.add_argument("--bench", nargs=argparse.REMAINDER, default=None,
+                        help="command to run with --fastforward off/on appended")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative per-number tolerance (default 0.10)")
+    parser.add_argument("--abs-floor", type=float, default=2.0,
+                        help="absolute difference below which numbers always match")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="bench mode: required strict/fast wall-clock ratio")
+    parser.add_argument("--report", default=None, help="write a JSON report here")
+    args = parser.parse_args()
+
+    speedup = None
+    if args.bench is not None:
+        if args.inputs or not args.bench:
+            parser.error("--bench takes the command; no positional files")
+        strict_out, strict_s = run_timed(args.bench + ["--fastforward", "off"])
+        fast_out, fast_s = run_timed(args.bench + ["--fastforward", "on"])
+        speedup = strict_s / fast_s if fast_s > 0 else float("inf")
+        print(f"strict {strict_s:.2f}s  fast {fast_s:.2f}s  speedup {speedup:.2f}x")
+    else:
+        if len(args.inputs) != 2:
+            parser.error("file mode needs exactly two files (strict, fast)")
+        with open(args.inputs[0]) as f:
+            strict_out = f.read()
+        with open(args.inputs[1]) as f:
+            fast_out = f.read()
+
+    findings = list(compare_texts(strict_out, fast_out, args.tolerance, args.abs_floor))
+    values = [f for f in findings if f["kind"] == "value"]
+    shapes = [f for f in findings if f["kind"] == "shape"]
+    worst = max(values, key=lambda f: f["rel_error"], default=None)
+
+    for f in shapes:
+        print(f"SHAPE line {f['line']}: {f['detail']}")
+    for f in sorted(values, key=lambda f: -f["rel_error"])[:20]:
+        print(f"VALUE line {f['line']} col {f['column']}: strict {f['strict']} "
+              f"fast {f['fast']} rel {f['rel_error'] * 100:.1f}%")
+
+    ok = not findings
+    if speedup is not None and args.min_speedup > 0 and speedup < args.min_speedup:
+        print(f"SPEEDUP {speedup:.2f}x below required {args.min_speedup:.2f}x")
+        ok = False
+
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(
+                {
+                    "ok": ok,
+                    "tolerance": args.tolerance,
+                    "abs_floor": args.abs_floor,
+                    "speedup": speedup,
+                    "min_speedup": args.min_speedup or None,
+                    "violations": findings,
+                    "worst_rel_error": worst["rel_error"] if worst else 0.0,
+                },
+                f,
+                indent=2,
+            )
+            f.write("\n")
+
+    if ok:
+        extra = f", speedup {speedup:.2f}x" if speedup is not None else ""
+        print(f"OK: outputs agree within {args.tolerance * 100:.0f}%{extra}")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
