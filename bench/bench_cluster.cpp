@@ -32,6 +32,11 @@ struct Composition {
   std::string name;
   std::vector<topo::PlatformParams> servers;
   cluster::LinkConfig link;
+  /// GTM policy bundle and arrival schedule, from the .scnc spec's
+  /// [gtm]/[arrivals] sections plus any CLI overrides. Defaults reproduce
+  /// the pre-GTM bench byte-for-byte.
+  gtm::TrafficPolicy gtm;
+  serve::ArrivalConfig arrival;
 };
 
 std::vector<Composition> default_compositions(bool quick) {
@@ -82,6 +87,8 @@ void run_composition(const Composition& comp, const serve::Policy placement, boo
       cc.link = comp.link;
       cc.lb = lb;
       cc.placement = placement;
+      cc.gtm = comp.gtm;
+      cc.arrival = comp.arrival;
       cc.arrival.rate_per_us = rates[ri];
       cc.antagonist_server = 0;
       cc.seed = exec::point_seed(seed, static_cast<std::uint64_t>(ri));
@@ -143,6 +150,102 @@ void run_composition(const Composition& comp, const serve::Policy placement, boo
   }
 }
 
+// The cluster-level GTM mitigation ablation: every bundle replays the
+// identical front-end arrival sequence through cluster round-robin with
+// round-robin placement inside each box (mixed-class worker queues are the
+// regime where queue ordering matters; gmi-local leaves single-class queues
+// where priority and EDF degenerate to FIFO), so the columns isolate what
+// the mitigation itself buys. Printed only under --mitigations.
+void run_mitigations(const Composition& comp, bool quick, int jobs, std::uint64_t seed) {
+  const serve::Policy placement = serve::Policy::kRoundRobin;
+  struct Bundle {
+    const char* name;
+    gtm::TrafficPolicy p;
+  };
+  std::vector<Bundle> bundles;
+  bundles.push_back({"fifo", {}});
+  {
+    gtm::TrafficPolicy p;
+    p.discipline = gtm::Discipline::kEdf;
+    bundles.push_back({"edf", p});
+  }
+  {
+    gtm::TrafficPolicy p;
+    p.admission.mode = gtm::AdmissionMode::kTokenBucket;
+    bundles.push_back({"admit-tb", p});
+  }
+  {
+    gtm::TrafficPolicy p;
+    p.hedge.pct = 95.0;
+    bundles.push_back({"hedge-95", p});
+  }
+  {
+    gtm::TrafficPolicy p;
+    p.discipline = gtm::Discipline::kEdf;
+    p.admission.mode = gtm::AdmissionMode::kTokenBucket;
+    p.hedge.pct = 95.0;
+    bundles.push_back({"edf+tb+hedge", p});
+  }
+  const auto rates = rate_grid(comp, quick);
+
+  bench::subheading(comp.name + " GTM mitigations (cluster-rr, round-robin inside)");
+  std::vector<std::vector<cluster::ClusterReport>> curves;
+  for (const auto& b : bundles) {
+    std::vector<cluster::ClusterReport> curve;
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+      cluster::ClusterConfig cc;
+      cc.servers = comp.servers;
+      cc.link = comp.link;
+      cc.lb = cluster::LbPolicy::kRoundRobin;
+      cc.placement = placement;
+      cc.gtm = b.p;
+      cc.arrival = comp.arrival;
+      cc.arrival.rate_per_us = rates[ri];
+      cc.antagonist_server = 0;
+      cc.seed = exec::point_seed(seed, static_cast<std::uint64_t>(ri));
+      cc.jobs = jobs;
+      if (quick) {
+        cc.warmup = sim::from_us(25.0);
+        cc.stop = sim::from_us(100.0);
+        cc.max_drain = sim::from_ms(1.0);
+      }
+      cluster::ClusterSim sim(std::move(cc));
+      sim.run();
+      curve.push_back(sim.report());
+    }
+    std::printf("  gtm %-13s %6s %8s %10s %7s %6s %7s\n", b.name, "rate", "goodput", "p99",
+                "viol%", "rej%", "hedge");
+    std::vector<double> p99;
+    for (std::size_t ri = 0; ri < curve.size(); ++ri) {
+      const auto& rep = curve[ri];
+      std::printf("    %-13s  %6.1f %8.2f %10.1f %6.1f%% %5.1f%% %7llu\n", "", rates[ri],
+                  rep.goodput_per_us, rep.p99_ns, rep.slo_violation_frac * 100.0,
+                  rep.rejected_frac * 100.0, static_cast<unsigned long long>(rep.hedges));
+      p99.push_back(rep.p99_ns);
+    }
+    const int knee = serve::knee_index(std::span<const double>(p99));
+    if (knee >= 0) {
+      std::printf("    knee: %.1f req/us (p99 %.1f ns)\n", rates[static_cast<std::size_t>(knee)],
+                  p99[static_cast<std::size_t>(knee)]);
+    } else {
+      std::printf("    knee: none (p99 never exceeded 3x baseline)\n");
+    }
+    curves.push_back(std::move(curve));
+  }
+
+  std::vector<double> fifo_p99;
+  for (const auto& rep : curves.front()) fifo_p99.push_back(rep.p99_ns);
+  const int knee = serve::knee_index(std::span<const double>(fifo_p99));
+  const auto at = static_cast<std::size_t>(knee >= 0 ? knee : static_cast<int>(rates.size()) - 1);
+  std::printf("  at fifo %s (%.1f req/us):\n", knee >= 0 ? "knee" : "top rate", rates[at]);
+  for (std::size_t b = 0; b < bundles.size(); ++b) {
+    const auto& rep = curves[b][at];
+    std::printf("    %-13s p99 %10.1f ns  goodput %6.2f req/us  viol %5.1f%%  rej %5.1f%%\n",
+                bundles[b].name, rep.p99_ns, rep.goodput_per_us,
+                rep.slo_violation_frac * 100.0, rep.rejected_frac * 100.0);
+  }
+}
+
 // Conservative-lookahead scaling: the lockstep epoch length *is* the NIC
 // link latency, so shorter links mean more balancer/shard synchronization
 // barriers per simulated second. This mode pins one composition and rate
@@ -165,6 +268,8 @@ void run_latency_sweep(const Composition& comp, bool quick, int jobs, std::uint6
     cc.link = comp.link;
     cc.link.latency = sim::from_ns(ns);
     cc.lb = cluster::LbPolicy::kTelemetry;
+    cc.gtm = comp.gtm;
+    cc.arrival = comp.arrival;
     cc.arrival.rate_per_us = 16.0;
     cc.antagonist_server = 0;
     cc.seed = exec::point_seed(seed, static_cast<std::uint64_t>(ns));
@@ -190,23 +295,20 @@ void run_latency_sweep(const Composition& comp, bool quick, int jobs, std::uint6
 
 int main(int argc, char** argv) {
   std::string cluster_file;
-  std::string placement_arg;
   bool latency_sweep = false;
+  bool mitigations = false;
   bench::Options opt("bench_cluster",
                      "rack-scale serving: cluster knees and front-end policy ablation");
   opt.value("--cluster", &cluster_file, "run a .scnc cluster spec instead of the default racks");
-  opt.value("--placement", &placement_arg,
-            "per-server placement policy (round-robin, gmi-local, telemetry)");
   opt.flag("--latency-sweep", &latency_sweep,
            "sweep the NIC link latency and report lockstep epochs/sec instead of the knee grid");
+  opt.flag("--mitigations", &mitigations,
+           "append the GTM mitigation ablation (discipline x admission x hedging)");
   opt.parse(argc, argv);
 
-  serve::Policy placement = serve::Policy::kLocal;
-  if (!placement_arg.empty()) {
-    const auto parsed = serve::parse_policy(placement_arg);
-    if (!parsed) opt.die("--placement: unknown policy '" + placement_arg + "'");
-    placement = *parsed;
-  }
+  // `--placement` is a strict built-in flag now (exit 2 on garbage); the
+  // historical default inside each box stays gmi-local.
+  const serve::Policy placement = opt.placement_or(serve::Policy::kLocal);
 
   std::vector<Composition> comps;
   if (!cluster_file.empty()) {
@@ -216,12 +318,18 @@ int main(int argc, char** argv) {
       comp.name = cluster_file;
       comp.servers = std::move(cs.servers);
       comp.link = cs.link;
+      comp.gtm = opt.gtm_or(gtm::to_policy(cs.gtm));
+      const std::size_t slash = cluster_file.find_last_of('/');
+      const std::string base_dir =
+          slash == std::string::npos ? "" : cluster_file.substr(0, slash);
+      comp.arrival = gtm::to_arrival(cs.gtm, base_dir);
       comps.push_back(std::move(comp));
     } catch (const spec::Error& e) {
       opt.die(std::string("--cluster: ") + e.what());
     }
   } else {
     comps = default_compositions(opt.quick());
+    for (auto& comp : comps) comp.gtm = opt.gtm_or();
   }
 
   exec::Stopwatch watch;
@@ -236,6 +344,12 @@ int main(int argc, char** argv) {
   bench::heading("Cluster: latency vs offered load per front-end policy");
   for (const auto& comp : comps) {
     run_composition(comp, placement, opt.quick(), opt.jobs(), opt.seed_or(1));
+  }
+  if (mitigations) {
+    bench::heading("Cluster: GTM mitigation ablation");
+    for (const auto& comp : comps) {
+      run_mitigations(comp, opt.quick(), opt.jobs(), opt.seed_or(1));
+    }
   }
   bench::report_wallclock("cluster sweeps", opt.jobs(), watch.elapsed_ms());
   return 0;

@@ -44,10 +44,12 @@
 #include "fabric/runner.hpp"
 #include "fabric/token_chain.hpp"
 #include "fabric/token_pool.hpp"
+#include "measure/experiment.hpp"
 #include "measure/loadsweep.hpp"
 #include "noc/network.hpp"
 #include "spec/spec.hpp"
 #include "noc/traffic.hpp"
+#include "serve/server.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -429,6 +431,59 @@ struct ClusterHarness {
   }
 };
 
+/// The Global Traffic Manager's mechanism cost: the identical serving
+/// workload is simulated twice on one 4-CCD box — default policy (FIFO
+/// deque, no admission, no hedging: the exact pre-GTM fast path) and the
+/// full mitigation bundle (EDF heap, token buckets, hedge timers). The
+/// reported rate is the wall-clock ratio plain/GTM, i.e. the fraction of
+/// baseline simulation throughput retained with every mitigation on: 1.0
+/// means the policy layer is free, and a drop means its bookkeeping got
+/// more expensive per request. bench_delta.py gates it like any rate.
+struct GtmOverheadHarness {
+  static void simulate(std::uint64_t requests, const gtm::TrafficPolicy& policy, double* secs,
+                       sim::Tick* checksum) {
+    measure::Experiment e(spec::lookup("epyc7302"));
+    serve::ServerConfig sc;
+    sc.policy = serve::Policy::kRoundRobin;  // mixed-class queues: heaps do real work
+    sc.gtm = policy;
+    sc.arrival.kind = serve::ArrivalKind::kDeterministic;
+    sc.arrival.rate_per_us = 8.0;
+    sc.warmup = sim::from_us(2.0);
+    sc.stop = sc.warmup + sim::from_us(static_cast<double>(requests) / sc.arrival.rate_per_us);
+    sc.seed = 11;
+    serve::ServerSim server(e.simulator, e.platform, std::move(sc));
+    const auto t0 = std::chrono::steady_clock::now();
+    server.start();
+    server.run(sim::from_ms(1.0));
+    *secs = seconds_since(t0);
+    const serve::Report rep = server.report();
+    *checksum = static_cast<sim::Tick>(rep.completed ^ (rep.rejected << 20) ^
+                                       (rep.hedges << 40) ^ rep.in_slo);
+  }
+
+  static std::uint64_t requests;  ///< 16384 full-size, 1024 under --quick
+
+  static void run(std::uint64_t /*units*/, double* secs, sim::Tick* checksum) {
+    gtm::TrafficPolicy bundle;
+    bundle.discipline = gtm::Discipline::kEdf;
+    bundle.admission.mode = gtm::AdmissionMode::kTokenBucket;
+    bundle.admission.rate_per_us = 16.0;
+    bundle.hedge.pct = 95.0;
+    double plain_s = 0.0;
+    double gtm_s = 0.0;
+    sim::Tick plain_cks = 0;
+    sim::Tick gtm_cks = 0;
+    simulate(requests, gtm::TrafficPolicy{}, &plain_s, &plain_cks);
+    simulate(requests, bundle, &gtm_s, &gtm_cks);
+    // Metric rate = units / secs with units == 1: report GTM-per-plain wall
+    // time so best_per_sec lands on the retained-throughput ratio itself.
+    *secs = plain_s > 0.0 ? gtm_s / plain_s : 1.0;
+    *checksum = gtm_cks;
+  }
+};
+
+std::uint64_t GtmOverheadHarness::requests = 16384;
+
 /// Strict-vs-analytic co-simulation on the most expensive fig3 panel (the
 /// P-Link/CXL read sweep, whose 32 flows make it the costliest to simulate
 /// discretely). Both modes run to completion; the "rate" reported is the
@@ -505,6 +560,7 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
   Metric queue_bimodal{"queue_bimodal_items_per_sec", (2u << 20) / scale, 0.0, 0};
   Metric serve_burst{"serve_burst_events_per_sec", (1u << 20) / scale, 0.0, 0};
   Metric cluster_path{"cluster_requests_per_sec", 4096 / scale, 0.0, 0};
+  Metric gtm_overhead{"gtm_retained_throughput", 1, 0.0, 0};
   Metric fastforward{"fastforward_speedup", 1, 0.0, 0};
 
   measure<EventLoopHarness>(event_loop, repeats);
@@ -514,6 +570,10 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
   measure<QueueBimodalHarness>(queue_bimodal, repeats);
   measure<ServeBurstHarness>(serve_burst, repeats);
   measure<ClusterHarness>(cluster_path, repeats);
+  // The request count rides the scale knob via the static, not Metric::units,
+  // because units == 1 is what turns best_per_sec into the ratio.
+  GtmOverheadHarness::requests = 16384 / scale;
+  measure<GtmOverheadHarness>(gtm_overhead, repeats);
   FastForwardHarness::points = quick ? 3 : 7;
   // Two sweeps per repeat make this the priciest metric; a fixed 3 repeats
   // keeps its share of the harness bounded while still shedding one-off
@@ -529,8 +589,9 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
     EventLoopHarness::run(event_loop.units, &secs, &cks, &qstats);
   }
 
-  const Metric* all[] = {&event_loop,   &queue_churn, &transactions, &token_chain,
-                         &queue_bimodal, &serve_burst, &cluster_path, &fastforward};
+  const Metric* all[] = {&event_loop,   &queue_churn, &transactions,
+                         &token_chain,  &queue_bimodal, &serve_burst,
+                         &cluster_path, &gtm_overhead, &fastforward};
   constexpr std::size_t kCount = sizeof(all) / sizeof(all[0]);
   std::printf("%-28s %14s %12s\n", "metric", "per_sec", "units/run");
   for (const Metric* m : all) {

@@ -33,9 +33,14 @@ std::vector<double> rate_grid(const topo::PlatformParams& params, bool quick) {
   return rates;
 }
 
-void run_platform(const topo::PlatformParams& params, bool quick, int jobs, std::uint64_t seed) {
+serve::SweepConfig base_sweep(const topo::PlatformParams& params, bool quick, int jobs,
+                              std::uint64_t seed, const serve::ArrivalConfig& arrival,
+                              const gtm::TrafficPolicy& policy) {
   serve::SweepConfig sc;
   sc.rates_per_us = rate_grid(params, quick);
+  sc.arrival = arrival.kind;
+  sc.arrival_template = arrival;
+  sc.gtm = policy;
   sc.antagonist = true;
   sc.jobs = jobs;
   sc.seed = seed;
@@ -44,6 +49,12 @@ void run_platform(const topo::PlatformParams& params, bool quick, int jobs, std:
     sc.stop = sim::from_us(100.0);
     sc.max_drain = sim::from_ms(1.0);
   }
+  return sc;
+}
+
+void run_platform(const topo::PlatformParams& params, bool quick, int jobs, std::uint64_t seed,
+                  const serve::ArrivalConfig& arrival, const gtm::TrafficPolicy& policy) {
+  serve::SweepConfig sc = base_sweep(params, quick, jobs, seed, arrival, policy);
   const auto points = serve::sweep(params, sc);
 
   bench::subheading(params.name + " (requests/us vs ns; antagonist on CCD 0)");
@@ -86,17 +97,115 @@ void run_platform(const topo::PlatformParams& params, bool quick, int jobs, std:
   }
 }
 
+/// The GTM mitigation ablation: queue discipline x admission control x
+/// hedging, every bundle replaying the identical arrival sequence. Placement
+/// is fixed to round-robin: it mixes every class into every worker queue,
+/// which is the regime where queue *ordering* can matter at all (gmi-local
+/// homes each tenant on its own quadrant, leaving single-class queues where
+/// priority and EDF degenerate to FIFO). Printed only under --mitigations so
+/// the default output stays byte-identical to the pre-GTM bench.
+void run_mitigations(const topo::PlatformParams& params, bool quick, int jobs,
+                     std::uint64_t seed, const serve::ArrivalConfig& arrival) {
+  struct Bundle {
+    const char* name;
+    gtm::TrafficPolicy p;
+  };
+  std::vector<Bundle> bundles;
+  bundles.push_back({"fifo", {}});
+  {
+    gtm::TrafficPolicy p;
+    p.discipline = gtm::Discipline::kPriority;
+    bundles.push_back({"priority", p});
+  }
+  {
+    gtm::TrafficPolicy p;
+    p.discipline = gtm::Discipline::kEdf;
+    bundles.push_back({"edf", p});
+  }
+  {
+    gtm::TrafficPolicy p;
+    p.admission.mode = gtm::AdmissionMode::kTokenBucket;
+    bundles.push_back({"admit-tb", p});
+  }
+  {
+    gtm::TrafficPolicy p;
+    p.hedge.pct = 95.0;
+    bundles.push_back({"hedge-95", p});
+  }
+  {
+    gtm::TrafficPolicy p;
+    p.discipline = gtm::Discipline::kEdf;
+    p.admission.mode = gtm::AdmissionMode::kTokenBucket;
+    p.hedge.pct = 95.0;
+    bundles.push_back({"edf+tb+hedge", p});
+  }
+
+  bench::subheading(params.name + " GTM mitigations (round-robin placement)");
+  std::vector<std::vector<serve::LoadPoint>> curves;
+  for (const auto& b : bundles) {
+    serve::SweepConfig sc = base_sweep(params, quick, jobs, seed, arrival, b.p);
+    sc.policies = {serve::Policy::kRoundRobin};
+    curves.push_back(serve::sweep(params, sc));
+    const auto& curve = curves.back();
+    std::printf("  gtm %-13s %6s %8s %10s %7s %6s %7s\n", b.name, "rate", "goodput", "p99",
+                "viol%", "rej%", "hedge");
+    for (const auto& pt : curve) {
+      std::printf("    %-13s  %6.1f %8.2f %10.1f %6.1f%% %5.1f%% %7llu\n", "", pt.rate_per_us,
+                  pt.report.goodput_per_us, pt.report.p99_ns,
+                  pt.report.slo_violation_frac * 100.0, pt.report.rejected_frac * 100.0,
+                  static_cast<unsigned long long>(pt.report.hedges));
+    }
+    const int knee = serve::knee_index(curve);
+    if (knee >= 0) {
+      std::printf("    knee: %.1f req/us (p99 %.1f ns)\n",
+                  curve[static_cast<std::size_t>(knee)].rate_per_us,
+                  curve[static_cast<std::size_t>(knee)].report.p99_ns);
+    } else {
+      std::printf("    knee: none (p99 never exceeded 3x baseline)\n");
+    }
+  }
+
+  // Summary at the FIFO baseline's knee rate (or top rate): the paired
+  // comparison each mitigation is supposed to win.
+  const auto& fifo = curves.front();
+  const int knee = serve::knee_index(fifo);
+  const auto at = static_cast<std::size_t>(knee >= 0 ? knee : static_cast<int>(fifo.size()) - 1);
+  std::printf("  at fifo %s (%.1f req/us):\n", knee >= 0 ? "knee" : "top rate",
+              fifo[at].rate_per_us);
+  for (std::size_t b = 0; b < bundles.size(); ++b) {
+    const auto& pt = curves[b][at];
+    std::printf("    %-13s p99 %10.1f ns  goodput %6.2f req/us  viol %5.1f%%  rej %5.1f%%\n",
+                bundles[b].name, pt.report.p99_ns, pt.report.goodput_per_us,
+                pt.report.slo_violation_frac * 100.0, pt.report.rejected_frac * 100.0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool mitigations = false;
   bench::Options opt("bench_serving",
                      "serving workloads: latency-vs-QPS knees and placement-policy ablation");
+  opt.flag("--mitigations", &mitigations,
+           "append the GTM mitigation ablation (discipline x admission x hedging)");
   opt.parse(argc, argv);
+
+  // [gtm]/[arrivals] sections in a --platform spec file configure the sweep;
+  // --discipline/--admission/--hedge-pct override the file.
+  const bench::GtmSpec gs = bench::load_gtm_spec(opt.platform_arg());
+  const gtm::TrafficPolicy policy = opt.gtm_or(gtm::to_policy(gs.params));
+  const serve::ArrivalConfig arrival = gtm::to_arrival(gs.params, gs.base_dir);
 
   exec::Stopwatch watch;
   bench::heading("Serving: latency vs offered load per placement policy");
   for (const auto& params : opt.platforms()) {
-    run_platform(params, opt.quick(), opt.jobs(), opt.seed_or(1));
+    run_platform(params, opt.quick(), opt.jobs(), opt.seed_or(1), arrival, policy);
+  }
+  if (mitigations) {
+    bench::heading("Serving: GTM mitigation ablation");
+    for (const auto& params : opt.platforms()) {
+      run_mitigations(params, opt.quick(), opt.jobs(), opt.seed_or(1), arrival);
+    }
   }
   bench::report_wallclock("serving sweeps", opt.jobs(), watch.elapsed_ms());
   return 0;

@@ -9,6 +9,11 @@
 //   --seed S                 base RNG seed (full u64) for binaries that take one
 //   --fastforward <on|off>   analytic steady-state batch-advance (default off:
 //                            strict mode, bit-identical to the golden engine)
+//   --placement P            per-server worker placement (round-robin,
+//                            gmi-local, telemetry)
+//   --discipline D           GTM worker-queue order (fifo, priority, edf)
+//   --admission A            GTM admission control (none, token-bucket)
+//   --hedge-pct X            GTM hedge percentile in [0, 100); 0 disables
 //
 // plus per-binary flags registered by the caller. Malformed numbers and
 // unknown flags are hard errors: usage on stderr and exit(2) — never a
@@ -27,6 +32,8 @@
 #include <vector>
 
 #include "exec/sweep.hpp"
+#include "gtm/policy.hpp"
+#include "serve/placement.hpp"
 #include "spec/spec.hpp"
 #include "topo/params.hpp"
 
@@ -95,6 +102,45 @@ class Options {
       }
       if (consume_valued(arg, "--seed", argc, argv, i, [&](const std::string& v) {
             seed_ = parse_u64(v, "--seed");
+          })) {
+        continue;
+      }
+      if (consume_valued(arg, "--placement", argc, argv, i, [&](const std::string& v) {
+            const auto p = serve::parse_policy(v);
+            if (!p) {
+              die(std::string("flag '--placement': bad value '") + v +
+                  "' (want round-robin|gmi-local|telemetry)");
+            }
+            placement_ = *p;
+          })) {
+        continue;
+      }
+      if (consume_valued(arg, "--discipline", argc, argv, i, [&](const std::string& v) {
+            const auto d = gtm::parse_discipline(v);
+            if (!d) {
+              die(std::string("flag '--discipline': bad value '") + v +
+                  "' (want fifo|priority|edf)");
+            }
+            discipline_ = *d;
+          })) {
+        continue;
+      }
+      if (consume_valued(arg, "--admission", argc, argv, i, [&](const std::string& v) {
+            const auto m = gtm::parse_admission_mode(v);
+            if (!m) {
+              die(std::string("flag '--admission': bad value '") + v +
+                  "' (want none|token-bucket)");
+            }
+            admission_ = *m;
+          })) {
+        continue;
+      }
+      if (consume_valued(arg, "--hedge-pct", argc, argv, i, [&](const std::string& v) {
+            const double pct = parse_double(v, "--hedge-pct");
+            if (pct < 0.0 || pct >= 100.0) {
+              die(std::string("flag '--hedge-pct': bad value '") + v + "' (want [0, 100))");
+            }
+            hedge_pct_ = pct;
           })) {
         continue;
       }
@@ -169,6 +215,26 @@ class Options {
   [[nodiscard]] bool has_platform() const { return platform_.has_value(); }
   [[nodiscard]] const std::string& platform_arg() const { return platform_arg_; }
 
+  // ---- GTM / placement flags ----------------------------------------------
+  [[nodiscard]] bool has_placement() const { return placement_.has_value(); }
+  /// The `--placement` policy; `fallback` (the binary's historical default)
+  /// when absent.
+  [[nodiscard]] serve::Policy placement_or(serve::Policy fallback) const {
+    return placement_ ? *placement_ : fallback;
+  }
+  /// True when any of --discipline/--admission/--hedge-pct was given.
+  [[nodiscard]] bool has_gtm() const {
+    return discipline_.has_value() || admission_.has_value() || hedge_pct_.has_value();
+  }
+  /// `base` with the CLI GTM overrides applied on top. Pass a spec-derived
+  /// bundle to get flag-over-file precedence; pass {} for flags-only.
+  [[nodiscard]] gtm::TrafficPolicy gtm_or(gtm::TrafficPolicy base = {}) const {
+    if (discipline_) base.discipline = *discipline_;
+    if (admission_) base.admission.mode = *admission_;
+    if (hedge_pct_) base.hedge.pct = *hedge_pct_;
+    return base;
+  }
+
   /// The `--platform` parameters; `default_name` (a builtin) when absent.
   [[nodiscard]] topo::PlatformParams platform_or(const char* default_name) const {
     return platform_ ? *platform_ : spec::lookup(default_name);
@@ -230,6 +296,17 @@ class Options {
     return static_cast<int>(parsed);
   }
 
+  /// strtod with the same rigor: full consumption, no overflow, no NaN text.
+  [[nodiscard]] double parse_double(const std::string& v, const char* name) const {
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+      die(std::string("flag '") + name + "': bad value '" + v + "'");
+    }
+    return parsed;
+  }
+
   /// strtoull with the same rigor: full consumption, no sign (strtoull would
   /// silently wrap `-1` to 2^64-1), overflow is an error. Any u64 is a valid
   /// seed, so there is no range cap beyond the type's.
@@ -249,7 +326,8 @@ class Options {
   void print_usage(std::FILE* out) const {
     std::fprintf(out,
                  "usage: %s [--jobs N] [--quick] [--platform <name|file.scn>] [--seed S]"
-                 " [--fastforward on|off]",
+                 " [--fastforward on|off] [--placement P] [--discipline D] [--admission A]"
+                 " [--hedge-pct X]",
                  prog_);
     for (const auto& s : specs_) {
       std::fprintf(out, " [%s%s]", s.name, s.kind == Spec::kBool ? "" : " V");
@@ -265,6 +343,12 @@ class Options {
     std::fprintf(out,
                  "  --fastforward  on|off: analytic steady-state batch-advance "
                  "(default off = strict)\n");
+    std::fprintf(out,
+                 "  --placement P  worker placement: round-robin|gmi-local|telemetry\n");
+    std::fprintf(out, "  --discipline D GTM queue order: fifo|priority|edf\n");
+    std::fprintf(out, "  --admission A  GTM admission control: none|token-bucket\n");
+    std::fprintf(out,
+                 "  --hedge-pct X  GTM hedge percentile in [0, 100); 0 disables hedging\n");
     for (const auto& s : specs_) {
       std::fprintf(out, "  %-14s %s\n", s.name, s.help);
     }
@@ -280,6 +364,10 @@ class Options {
   bool quick_ = false;
   bool fastforward_ = false;
   int jobs_ = 1;
+  std::optional<serve::Policy> placement_;
+  std::optional<gtm::Discipline> discipline_;
+  std::optional<gtm::AdmissionMode> admission_;
+  std::optional<double> hedge_pct_;
   std::optional<std::uint64_t> seed_;
   std::string platform_arg_;
   std::optional<topo::PlatformParams> platform_;

@@ -5,6 +5,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -184,6 +185,7 @@ ClusterSim::ClusterSim(ClusterConfig config) : cfg_(std::move(config)), class_rn
     Instance* inst = instances_[static_cast<std::size_t>(i)].get();
     serve::ServerConfig sc;
     sc.policy = cfg_.placement;
+    sc.gtm = cfg_.gtm;
     sc.arrival = cfg_.arrival;
     sc.classes = catalog_;
     sc.worker_slots = cfg_.worker_slots;
@@ -303,6 +305,10 @@ void ClusterSim::route_epoch(sim::Tick from, sim::Tick to) {
   (void)from;
   while (next_arrival_ < to) {
     forward(pick_server(), pick_class(), next_arrival_);
+    if (arrivals_->exhausted()) {  // finite trace ran dry: no more forwards
+      next_arrival_ = std::numeric_limits<sim::Tick>::max() / 2;
+      break;
+    }
     next_arrival_ += arrivals_->next_gap();
   }
 }
@@ -342,7 +348,10 @@ void ClusterSim::run() {
   if (ran_) return;
   ran_ = true;
 
-  if (!cfg_.local_arrivals) next_arrival_ = arrivals_->next_gap();
+  if (!cfg_.local_arrivals) {
+    next_arrival_ = arrivals_->exhausted() ? std::numeric_limits<sim::Tick>::max() / 2
+                                           : arrivals_->next_gap();
+  }
 
   // Arrival phase: route, then advance, in lockstep epochs. Routing for
   // [now, boundary) happens strictly before any instance executes the epoch,
@@ -382,6 +391,9 @@ ClusterReport ClusterSim::report() const {
     rep.arrivals += r.arrivals;
     rep.completed += r.completed;
     rep.in_slo += r.in_slo;
+    rep.rejected += r.rejected;
+    rep.hedges += r.hedges;
+    rep.hedge_wins += r.hedge_wins;
     shares.push_back(static_cast<double>(r.in_slo));
     drained_end = std::max(drained_end, inst.server->measured_end());
     for (int cls = 0; cls < static_cast<int>(catalog_.size()); ++cls) {
@@ -405,8 +417,15 @@ ClusterReport ClusterSim::report() const {
     rep.p999_ns = static_cast<double>(all.p999()) / 1000.0;
   }
   if (rep.arrivals > 0) {
-    rep.slo_violation_frac =
-        1.0 - static_cast<double>(rep.in_slo) / static_cast<double>(rep.arrivals);
+    // Rejections are a distinct outcome, not violations: the violation
+    // fraction is over admitted requests only (== arrivals when admission
+    // control is off, so the pre-GTM formula is unchanged).
+    const std::uint64_t admitted = rep.arrivals - rep.rejected;
+    if (admitted > 0) {
+      rep.slo_violation_frac =
+          1.0 - static_cast<double>(rep.in_slo) / static_cast<double>(admitted);
+    }
+    rep.rejected_frac = static_cast<double>(rep.rejected) / static_cast<double>(rep.arrivals);
   }
   rep.jain_server_fairness = stats::jain_index(shares);
   if (rep.forwarded > 0) {

@@ -82,6 +82,10 @@ struct ClusterConfig {
   LbPolicy lb = LbPolicy::kRoundRobin;
   /// Per-server (CCX-level) placement policy, the existing axis.
   serve::Policy placement = serve::Policy::kLocal;
+  /// Global Traffic Manager policy bundle, applied identically on every
+  /// server (queue discipline, admission control, hedging). The default
+  /// bundle reproduces the pre-GTM cluster exactly.
+  gtm::TrafficPolicy gtm;
   /// Cluster-wide offered load (ignored when local_arrivals is set).
   serve::ArrivalConfig arrival;
   /// Shared request catalog; empty selects a default catalog valid on every
@@ -108,6 +112,9 @@ struct ClusterReport {
   std::uint64_t arrivals = 0;  ///< measured (post-warmup) cluster arrivals
   std::uint64_t completed = 0;
   std::uint64_t in_slo = 0;
+  std::uint64_t rejected = 0;    ///< admission refusals summed over servers
+  std::uint64_t hedges = 0;      ///< hedge duplicates issued, summed
+  std::uint64_t hedge_wins = 0;  ///< completions the duplicate won, summed
   std::uint64_t forwarded = 0;  ///< requests routed by the front end (all, incl. warmup)
   std::uint64_t epochs = 0;     ///< lockstep epochs executed
   double offered_per_us = 0.0;
@@ -118,6 +125,7 @@ struct ClusterReport {
   double p99_ns = 0.0;
   double p999_ns = 0.0;
   double slo_violation_frac = 0.0;
+  double rejected_frac = 0.0;  ///< rejected / arrivals
   /// Jain index over per-server SLO-compliant completions: did the balancer
   /// spread the work, or pile it on one box?
   double jain_server_fairness = 1.0;

@@ -1,12 +1,23 @@
 #include "cluster/spec.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 namespace scn::cluster {
 namespace {
+
+[[nodiscard]] std::string format_double(double v) {
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
 
 [[nodiscard]] std::string_view trim(std::string_view s) {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
@@ -42,6 +53,7 @@ ClusterSpec parse_cluster(std::string_view text, const std::string& source,
                           const std::string& base_dir) {
   ClusterSpec out;
   bool in_cluster = false;
+  bool in_gtm = false;
   bool seen_cluster = false;
   int lineno = 0;
 
@@ -57,9 +69,14 @@ ClusterSpec parse_cluster(std::string_view text, const std::string& source,
       if (body.back() != ']') throw spec::Error(where + ": unterminated section header");
       const std::string_view section = trim(body.substr(1, body.size() - 2));
       in_cluster = section == "cluster";
+      in_gtm = section == "gtm" || section == "arrivals";
       if (in_cluster) seen_cluster = true;
+      if (!in_cluster && !in_gtm) {
+        throw spec::Error(where + ": unknown section [" + std::string(section) + "]");
+      }
       continue;
     }
+    if (in_gtm) continue;  // validated by gtm::parse_gtm over the same text
     if (!in_cluster) {
       throw spec::Error(where + ": key outside the [cluster] section");
     }
@@ -81,6 +98,7 @@ ClusterSpec parse_cluster(std::string_view text, const std::string& source,
         } catch (const spec::Error& e) {
           throw spec::Error(where + ": server '" + token + "': " + e.what());
         }
+        out.server_tokens.push_back(token);
       }
     } else if (key == "link_latency_ns") {
       const double ns = parse_double(value, where);
@@ -99,6 +117,7 @@ ClusterSpec parse_cluster(std::string_view text, const std::string& source,
 
   if (!seen_cluster) throw spec::Error(source + ": missing [cluster] section");
   if (out.servers.empty()) throw spec::Error(source + ": no servers listed");
+  out.gtm = gtm::parse_gtm(text, source);
   return out;
 }
 
@@ -110,6 +129,57 @@ ClusterSpec load_cluster(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::string base_dir = slash == std::string::npos ? "" : path.substr(0, slash);
   return parse_cluster(text.str(), path, base_dir);
+}
+
+std::string dump_cluster(const ClusterSpec& spec) {
+  std::string out = "[cluster]\n";
+  out += "# builtin platform names or .scn paths, one token per server\n";
+  out += "servers =";
+  for (const auto& token : spec.server_tokens) {
+    out += " ";
+    out += token;
+  }
+  out += "\n";
+  out += "# inter-server ingress link: one-way propagation delay\n";
+  out += "link_latency_ns = " + format_double(sim::to_ns(spec.link.latency)) + "\n";
+  out += "# NIC serialization bandwidth; <= 0 disables serialization\n";
+  out += "link_bytes_per_ns = " + format_double(spec.link.bytes_per_ns) + "\n";
+  out += "# on-wire size of one forwarded request\n";
+  out += "request_bytes = " + format_double(spec.link.request_bytes) + "\n";
+  out += "\n";
+  out += gtm::dump_gtm(spec.gtm);
+  return out;
+}
+
+std::vector<std::string> diff_cluster(const ClusterSpec& a, const ClusterSpec& b) {
+  std::vector<std::string> out;
+  if (a.server_tokens != b.server_tokens) {
+    auto join = [](const std::vector<std::string>& v) {
+      std::string s;
+      for (const auto& t : v) {
+        if (!s.empty()) s += " ";
+        s += t;
+      }
+      return s;
+    };
+    out.push_back("[cluster] servers: " + join(a.server_tokens) + " != " +
+                  join(b.server_tokens));
+  }
+  if (a.link.latency != b.link.latency) {
+    out.push_back("[cluster] link_latency_ns: " + format_double(sim::to_ns(a.link.latency)) +
+                  " != " + format_double(sim::to_ns(b.link.latency)));
+  }
+  if (a.link.bytes_per_ns != b.link.bytes_per_ns) {
+    out.push_back("[cluster] link_bytes_per_ns: " + format_double(a.link.bytes_per_ns) +
+                  " != " + format_double(b.link.bytes_per_ns));
+  }
+  if (a.link.request_bytes != b.link.request_bytes) {
+    out.push_back("[cluster] request_bytes: " + format_double(a.link.request_bytes) + " != " +
+                  format_double(b.link.request_bytes));
+  }
+  const auto gtm_diffs = gtm::diff_gtm(a.gtm, b.gtm);
+  out.insert(out.end(), gtm_diffs.begin(), gtm_diffs.end());
+  return out;
 }
 
 }  // namespace scn::cluster

@@ -12,6 +12,11 @@
 //   link_bytes_per_ns = 12.5
 //   request_bytes = 512
 //
+// A cluster spec may also carry the Global Traffic Manager sections ([gtm]
+// and [arrivals], same grammar as in platform .scn files); they configure
+// the queue discipline, admission control, hedging, and the front-end
+// arrival schedule for every server in the rack.
+//
 // Tick-valued keys are nanoseconds and bandwidths bytes/ns (GB/s), matching
 // the platform spec conventions. Malformed input throws spec::Error with
 // file:line context, like the platform parser.
@@ -22,13 +27,20 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "gtm/spec.hpp"
 #include "spec/spec.hpp"
 
 namespace scn::cluster {
 
 struct ClusterSpec {
   std::vector<topo::PlatformParams> servers;
+  /// The raw server tokens as written (builtin names / .scn paths), kept so
+  /// dump_cluster can round-trip the spec without inventing file names.
+  std::vector<std::string> server_tokens;
   LinkConfig link;
+  /// GTM + arrivals sections; defaults (FIFO, no admission, no hedging,
+  /// Poisson) when the spec omits them.
+  gtm::GtmParams gtm;
 };
 
 /// Parse cluster spec text. `source` names the origin for diagnostics;
@@ -38,5 +50,13 @@ struct ClusterSpec {
 
 /// Read and parse a `.scnc` file; server paths resolve relative to it.
 [[nodiscard]] ClusterSpec load_cluster(const std::string& path);
+
+/// Canonical text form: [cluster] followed by the GTM sections. Parsing the
+/// dump yields an equal spec (assuming the server tokens still resolve).
+[[nodiscard]] std::string dump_cluster(const ClusterSpec& spec);
+
+/// Human-readable field-by-field differences ("[section] key: a != b"),
+/// empty when the specs match.
+[[nodiscard]] std::vector<std::string> diff_cluster(const ClusterSpec& a, const ClusterSpec& b);
 
 }  // namespace scn::cluster

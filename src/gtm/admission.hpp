@@ -1,0 +1,79 @@
+// Per-class admission control: token buckets plus queue-depth rejection.
+//
+// Overload protection at the front door. Each request class owns a token
+// bucket refilled continuously at its weight-share of the configured
+// admission rate; an arrival that finds no whole token — or finds the
+// server's outstanding-request count at the depth cap — is rejected before
+// it touches a worker queue. Rejections are a *distinct* serving outcome:
+// the accounting layer reports them separately from SLO violations, because
+// "we said no in 0 ns" and "we said yes and blew the deadline" are opposite
+// operating points on the same overload curve.
+//
+// Refill is a pure function of simulated time (tokens = min(burst,
+// tokens + dt * rate)), so admission decisions are deterministic, identical
+// across --jobs, and independent of host wall clock.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gtm/policy.hpp"
+#include "sim/time.hpp"
+
+namespace scn::gtm {
+
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+
+  /// `class_weights` are the serving mix weights; each class's refill rate is
+  /// its weight share of `cfg.rate_per_us` and its depth is the same share of
+  /// `cfg.burst` (floor 1 token so light classes can still admit).
+  void configure(const AdmissionConfig& cfg, const std::vector<double>& class_weights) {
+    cfg_ = cfg;
+    buckets_.clear();
+    if (cfg_.mode == AdmissionMode::kNone) return;
+    double total = 0.0;
+    for (const double w : class_weights) total += w;
+    if (total <= 0.0) total = 1.0;
+    buckets_.reserve(class_weights.size());
+    for (const double w : class_weights) {
+      const double share = w / total;
+      Bucket b;
+      b.burst = std::max(1.0, cfg_.burst * share);
+      b.tokens = b.burst;  // start full: no spurious rejections at t=0
+      b.rate_per_tick = cfg_.rate_per_us * share / static_cast<double>(sim::kTicksPerUs);
+      buckets_.push_back(b);
+    }
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.mode != AdmissionMode::kNone; }
+
+  /// Admit or reject the arrival of one `cls` request at simulated time
+  /// `now`, with `outstanding` requests currently admitted-not-completed.
+  [[nodiscard]] bool admit(std::size_t cls, sim::Tick now, int outstanding) {
+    if (!enabled()) return true;
+    if (cfg_.max_queue > 0 && outstanding >= cfg_.max_queue) return false;
+    Bucket& b = buckets_[cls];
+    const double dt = static_cast<double>(now - b.last);
+    b.tokens = std::min(b.burst, b.tokens + dt * b.rate_per_tick);
+    b.last = now;
+    if (b.tokens < 1.0) return false;
+    b.tokens -= 1.0;
+    return true;
+  }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double burst = 1.0;
+    double rate_per_tick = 0.0;
+    sim::Tick last = 0;
+  };
+
+  AdmissionConfig cfg_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace scn::gtm

@@ -1,0 +1,233 @@
+// Open-loop request arrival processes — the GTM's traffic sources.
+//
+// A serving experiment is open-loop: requests arrive on their own clock
+// whether or not the system keeps up (that is what makes the latency-vs-QPS
+// knee visible — a closed loop would just slow its own offered load down).
+// Five schedules cover the workloads a serving stack is sized against:
+//
+//   kPoisson        memoryless arrivals at a fixed mean rate
+//   kDeterministic  a perfectly paced arrival every 1/rate
+//   kMmpp           a 2-state Markov-modulated Poisson process: the rate
+//                   alternates between a calm and a burst phase (exponential
+//                   sojourns), preserving the configured long-run mean —
+//                   the classic bursty-traffic model for tail studies
+//   kDiurnal        a Poisson process whose rate follows a deterministic
+//                   sinusoidal day/night cycle, discretized into
+//                   piecewise-constant phases (the MMPP overrun machinery
+//                   with a fixed rota instead of random sojourns); the
+//                   per-cycle mean factor is exactly 1, so the long-run
+//                   rate equals the configured one
+//   kTrace          replay absolute arrival timestamps from a file:
+//                   "millions of users" as data, not a distribution
+//
+// All random draws come from scn::sim::Rng, so a schedule is exactly
+// reproducible from its seed and independent of everything else in the
+// experiment; trace replay uses no randomness at all.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace scn::gtm {
+
+enum class ArrivalKind : std::uint8_t { kPoisson, kDeterministic, kMmpp, kDiurnal, kTrace };
+
+[[nodiscard]] constexpr const char* to_string(ArrivalKind k) noexcept {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kDeterministic: return "deterministic";
+    case ArrivalKind::kMmpp: return "mmpp";
+    case ArrivalKind::kDiurnal: return "diurnal";
+    case ArrivalKind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_per_us = 1.0;  ///< mean request rate (requests per simulated us)
+  /// MMPP-2 shape. With equal mean sojourns the long-run rate equals
+  /// `rate_per_us` when (burst_factor + calm_factor) / 2 == 1.
+  double burst_factor = 1.7;
+  double calm_factor = 0.3;
+  sim::Tick mean_sojourn = sim::from_us(20.0);
+  /// kDiurnal: one full day/night cycle lasts `diurnal_period_us`,
+  /// discretized into `diurnal_phases` equal piecewise-constant segments
+  /// whose rate factors sample 1 + amplitude * sin at segment centers.
+  double diurnal_period_us = 50.0;
+  double diurnal_amplitude = 0.6;
+  int diurnal_phases = 8;
+  /// kTrace: absolute arrival times in nanoseconds, non-decreasing. The
+  /// schedule ends when the trace does (exhausted() turns true).
+  std::vector<double> trace_ns;
+};
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalConfig config, std::uint64_t seed)
+      : config_(std::move(config)), rng_(seed) {
+    switch (config_.kind) {
+      case ArrivalKind::kMmpp:
+        phase_left_ = sojourn();
+        break;
+      case ArrivalKind::kDiurnal: {
+        if (config_.diurnal_phases < 2) {
+          throw std::invalid_argument("arrivals: diurnal_phases must be >= 2");
+        }
+        if (config_.diurnal_period_us <= 0.0) {
+          throw std::invalid_argument("arrivals: diurnal_period_us must be > 0");
+        }
+        if (config_.diurnal_amplitude < 0.0 || config_.diurnal_amplitude >= 1.0) {
+          throw std::invalid_argument("arrivals: diurnal_amplitude must be in [0, 1)");
+        }
+        const int n = config_.diurnal_phases;
+        diurnal_factors_.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          // Segment-center samples of the sinusoid: their sum over a full
+          // cycle is exactly zero, so the cycle-mean factor is exactly 1 and
+          // the long-run rate cannot drift from the configured mean.
+          const double theta = 2.0 * 3.14159265358979323846 *
+                               (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+          diurnal_factors_.push_back(1.0 + config_.diurnal_amplitude * std::sin(theta));
+        }
+        segment_len_ = std::max<sim::Tick>(
+            sim::from_us(config_.diurnal_period_us / static_cast<double>(n)), 1);
+        phase_left_ = segment_len_;
+        break;
+      }
+      case ArrivalKind::kTrace: {
+        double prev = 0.0;
+        for (const double t : config_.trace_ns) {
+          if (t < 0.0 || t < prev) {
+            throw std::invalid_argument(
+                "arrivals: trace timestamps must be non-negative and non-decreasing");
+          }
+          prev = t;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  /// True when the schedule has no further arrivals (a finished trace).
+  /// Distribution-driven kinds never exhaust. Callers must check this before
+  /// drawing the next gap.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return config_.kind == ArrivalKind::kTrace && cursor_ >= config_.trace_ns.size();
+  }
+
+  /// Ticks until the next arrival. Always >= 1 so an arrival loop cannot
+  /// livelock the event queue at extreme rates; the fractional-tick residue
+  /// (including the sub-tick debt a clamp creates) carries into later draws,
+  /// so the long-run mean rate is exact rather than biased low at high rates.
+  /// On an exhausted trace, returns a far-future sentinel.
+  [[nodiscard]] sim::Tick next_gap() {
+    sim::Tick gap = 0;
+    switch (config_.kind) {
+      case ArrivalKind::kDeterministic:
+        gap = quantize(1000.0 / config_.rate_per_us);
+        break;
+      case ArrivalKind::kPoisson:
+        gap = quantize(rng_.exponential(1000.0 / config_.rate_per_us));
+        break;
+      case ArrivalKind::kMmpp: {
+        // Draw within the current phase; if the draw overruns the phase, the
+        // elapsed portion is kept and the residual is redrawn at the new
+        // phase's rate (valid by memorylessness of the exponential).
+        for (;;) {
+          const double factor = burst_ ? config_.burst_factor : config_.calm_factor;
+          const sim::Tick draw =
+              quantize(rng_.exponential(1000.0 / (config_.rate_per_us * factor)));
+          if (draw <= phase_left_) {
+            phase_left_ -= draw;
+            gap += draw;
+            break;
+          }
+          gap += phase_left_;
+          burst_ = !burst_;
+          phase_left_ = sojourn();
+        }
+        break;
+      }
+      case ArrivalKind::kDiurnal: {
+        // Same overrun machinery as MMPP, but the phase rota is the fixed
+        // diurnal schedule instead of exponential sojourns — each segment
+        // lasts exactly period/phases and the factors cycle deterministically.
+        for (;;) {
+          const double factor = diurnal_factors_[static_cast<std::size_t>(diurnal_at_)];
+          const sim::Tick draw =
+              quantize(rng_.exponential(1000.0 / (config_.rate_per_us * factor)));
+          if (draw <= phase_left_) {
+            phase_left_ -= draw;
+            gap += draw;
+            break;
+          }
+          gap += phase_left_;
+          diurnal_at_ = (diurnal_at_ + 1) % static_cast<int>(diurnal_factors_.size());
+          phase_left_ = segment_len_;
+        }
+        break;
+      }
+      case ArrivalKind::kTrace: {
+        if (exhausted()) return std::numeric_limits<sim::Tick>::max() / 2;
+        const double at_ns = config_.trace_ns[cursor_++];
+        gap = quantize(at_ns - trace_prev_ns_);
+        trace_prev_ns_ = at_ns;
+        break;
+      }
+    }
+    if (gap < 1) {
+      // Borrow from future gaps so the clamp does not inflate the mean.
+      residue_ += static_cast<double>(gap) - 1.0;
+      gap = 1;
+    }
+    return gap;
+  }
+
+  [[nodiscard]] const ArrivalConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool in_burst() const noexcept { return burst_; }
+
+ private:
+  /// Floor-quantize a nanosecond interval to ticks, carrying the fractional
+  /// tick into the next draw. Over n draws the emitted total differs from the
+  /// exact sum by less than one tick, so the schedule cannot drift from its
+  /// nominal rate no matter how coarse each individual gap is.
+  [[nodiscard]] sim::Tick quantize(double ns) {
+    const double want = ns * static_cast<double>(sim::kTicksPerNs) + residue_;
+    if (want < 0.0) {
+      residue_ = want;
+      return 0;
+    }
+    const auto t = static_cast<sim::Tick>(want);
+    residue_ = want - static_cast<double>(t);
+    return t;
+  }
+
+  [[nodiscard]] sim::Tick sojourn() {
+    const sim::Tick s = sim::from_ns(rng_.exponential(sim::to_ns(config_.mean_sojourn)));
+    return s > 0 ? s : 1;
+  }
+
+  ArrivalConfig config_;
+  sim::Rng rng_;
+  bool burst_ = false;
+  sim::Tick phase_left_ = 0;
+  double residue_ = 0.0;  ///< fractional ticks owed to the schedule
+  // kDiurnal
+  std::vector<double> diurnal_factors_;
+  sim::Tick segment_len_ = 0;
+  int diurnal_at_ = 0;
+  // kTrace
+  std::size_t cursor_ = 0;
+  double trace_prev_ns_ = 0.0;
+};
+
+}  // namespace scn::gtm

@@ -1,0 +1,61 @@
+// Hedged-request delay tracking: "defer to the tail you actually observe".
+//
+// The tail-at-scale hedge duplicates a request to a second execution site
+// once it has waited past the P-th percentile of its class's completion
+// latency — late enough that most requests never hedge (bounding the extra
+// load to ~(100-P)%), early enough to cut the far tail. The percentile is
+// tracked online per class with the same log-bucketed histogram the report
+// layer uses, fed by *every* completion (warmup included — the estimator
+// wants data, the report does not). Until a class has seen `min_samples`
+// completions the hedge fires at the class SLO, a stable and semantically
+// sensible stand-in ("if the deadline passed, try elsewhere").
+//
+// Everything here is a pure function of completed-request history, which is
+// itself deterministic, so hedge timing is identical across --jobs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtm/policy.hpp"
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+
+namespace scn::gtm {
+
+class HedgeTracker {
+ public:
+  HedgeTracker() = default;
+
+  /// `slos` holds one absolute SLO (ticks) per request class — the fallback
+  /// hedge delay before `min_samples` completions have been observed.
+  void configure(const HedgeConfig& cfg, const std::vector<sim::Tick>& slos) {
+    cfg_ = cfg;
+    slo_ = slos;
+    latency_.assign(slos.size(), stats::Histogram{});
+    observed_.assign(slos.size(), 0);
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.pct > 0.0; }
+
+  /// Record one completed request's end-to-end latency (ticks).
+  void observe(std::size_t cls, sim::Tick e2e) {
+    latency_[cls].record(e2e);
+    ++observed_[cls];
+  }
+
+  /// Ticks after arrival at which a still-running `cls` request hedges.
+  [[nodiscard]] sim::Tick delay(std::size_t cls) const {
+    if (observed_[cls] < static_cast<std::uint64_t>(cfg_.min_samples)) return slo_[cls];
+    const sim::Tick t = latency_[cls].quantile(cfg_.pct / 100.0);
+    return t > 0 ? t : 1;
+  }
+
+ private:
+  HedgeConfig cfg_;
+  std::vector<sim::Tick> slo_;
+  std::vector<stats::Histogram> latency_;
+  std::vector<std::uint64_t> observed_;
+};
+
+}  // namespace scn::gtm

@@ -1,0 +1,101 @@
+// Global Traffic Manager policy knobs.
+//
+// The paper's Section 4 argues for one software enforcement point — a
+// global traffic manager — owning the policy decisions that the serve and
+// cluster layers previously hard-coded: how worker queues are ordered, which
+// requests are admitted at all, and when a straggler is hedged to a second
+// execution site. This header is the shared vocabulary; `ServerSim` and
+// `ClusterSim` both consume a `TrafficPolicy` rather than growing parallel
+// policy code paths. Defaults reproduce the pre-GTM behavior exactly (FIFO,
+// admit everything, never hedge), which is what keeps the seed goldens
+// byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace scn::gtm {
+
+/// Ordering of a worker's pending-request queue.
+enum class Discipline : std::uint8_t {
+  kFifo,      ///< arrival order (the pre-GTM behavior)
+  kPriority,  ///< strict priority by request class, FIFO within a class
+  kEdf,       ///< earliest SLO deadline first (arrival + class SLO)
+};
+
+[[nodiscard]] constexpr const char* to_string(Discipline d) noexcept {
+  switch (d) {
+    case Discipline::kFifo: return "fifo";
+    case Discipline::kPriority: return "priority";
+    case Discipline::kEdf: return "edf";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<Discipline> parse_discipline(std::string_view s) {
+  if (s == "fifo") return Discipline::kFifo;
+  if (s == "priority" || s == "prio") return Discipline::kPriority;
+  if (s == "edf" || s == "deadline") return Discipline::kEdf;
+  return std::nullopt;
+}
+
+enum class AdmissionMode : std::uint8_t {
+  kNone,         ///< admit everything (the pre-GTM behavior)
+  kTokenBucket,  ///< per-class token bucket + optional queue-depth rejection
+};
+
+[[nodiscard]] constexpr const char* to_string(AdmissionMode m) noexcept {
+  switch (m) {
+    case AdmissionMode::kNone: return "none";
+    case AdmissionMode::kTokenBucket: return "token-bucket";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<AdmissionMode> parse_admission_mode(std::string_view s) {
+  if (s == "none" || s == "off") return AdmissionMode::kNone;
+  if (s == "token-bucket" || s == "tb") return AdmissionMode::kTokenBucket;
+  return std::nullopt;
+}
+
+struct AdmissionConfig {
+  AdmissionMode mode = AdmissionMode::kNone;
+  /// Total admitted load across classes (requests per us); each class gets a
+  /// share proportional to its configured weight.
+  double rate_per_us = 16.0;
+  /// Bucket depth in requests (shared shape; scaled per class by weight
+  /// share, floor 1 so light classes can still burst one request).
+  double burst = 16.0;
+  /// Reject arrivals while this many requests are outstanding server-wide
+  /// (admitted-not-completed). 0 disables the depth check.
+  int max_queue = 0;
+};
+
+struct HedgeConfig {
+  /// Percentile (of observed end-to-end latency, per class) after which an
+  /// un-completed request is duplicated to a worker on another CCD. 0
+  /// disables hedging; 95 is the classic tail-at-scale setting.
+  double pct = 0.0;
+  /// Until a class has this many completions observed, hedge at the class
+  /// SLO instead of an (unstable) empirical percentile.
+  int min_samples = 32;
+};
+
+/// The full per-server policy bundle the GTM enforces.
+struct TrafficPolicy {
+  Discipline discipline = Discipline::kFifo;
+  AdmissionConfig admission;
+  HedgeConfig hedge;
+
+  [[nodiscard]] bool hedging() const noexcept { return hedge.pct > 0.0; }
+  [[nodiscard]] bool admitting() const noexcept { return admission.mode != AdmissionMode::kNone; }
+  /// True when every knob is at its pre-GTM default — the byte-identity path.
+  [[nodiscard]] bool is_default() const noexcept {
+    return discipline == Discipline::kFifo && !admitting() && !hedging();
+  }
+};
+
+}  // namespace scn::gtm

@@ -1,0 +1,84 @@
+// Per-worker pending queue with a pluggable service discipline.
+//
+// FIFO is a plain deque — the exact structure (and therefore the exact pop
+// order) the serve layer used before the GTM existed, so the default
+// discipline perturbs nothing. Priority and EDF share one binary min-heap
+// keyed on (key, seq): the caller computes the key (class priority or
+// absolute deadline) and `seq` is the request's globally unique admission
+// id, which makes the comparator a total order — equal-key requests pop in
+// arrival order on every platform and at every --jobs, never in pointer or
+// hash order. That total order is what lets EDF and priority scheduling
+// coexist with the cluster's bit-identical lockstep contract.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "gtm/policy.hpp"
+
+namespace scn::gtm {
+
+template <typename T>
+class WorkerQueue {
+ public:
+  WorkerQueue() = default;
+  explicit WorkerQueue(Discipline d) : discipline_(d) {}
+
+  /// Must be called before any push (queues are configured at server build).
+  void set_discipline(Discipline d) noexcept { discipline_ = d; }
+  [[nodiscard]] Discipline discipline() const noexcept { return discipline_; }
+
+  /// `key` orders the heap disciplines (lower pops first); ignored by FIFO.
+  /// `seq` breaks key ties deterministically (lower = earlier arrival).
+  void push(T* item, std::uint64_t key, std::uint64_t seq) {
+    if (discipline_ == Discipline::kFifo) {
+      fifo_.push_back(item);
+      return;
+    }
+    heap_.push_back(Entry{key, seq, item});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Remove and return the next request per the discipline; nullptr if empty.
+  [[nodiscard]] T* pop() {
+    if (discipline_ == Discipline::kFifo) {
+      if (fifo_.empty()) return nullptr;
+      T* item = fifo_.front();
+      fifo_.pop_front();
+      return item;
+    }
+    if (heap_.empty()) return nullptr;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    T* item = heap_.back().item;
+    heap_.pop_back();
+    return item;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return discipline_ == Discipline::kFifo ? fifo_.size() : heap_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t seq;
+    T* item;
+  };
+  // std::push_heap builds a max-heap; "later" on (key, seq) puts the
+  // smallest pair at the root.
+  struct Later {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.key != b.key) return a.key > b.key;
+      return a.seq > b.seq;
+    }
+  };
+
+  Discipline discipline_ = Discipline::kFifo;
+  std::deque<T*> fifo_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace scn::gtm

@@ -1,128 +1,18 @@
-// Open-loop request arrival processes for the serving subsystem.
-//
-// A serving experiment is open-loop: requests arrive on their own clock
-// whether or not the system keeps up (that is what makes the latency-vs-QPS
-// knee visible — a closed loop would just slow its own offered load down).
-// Three schedules cover the workloads a serving stack is sized against:
-//
-//   kPoisson        memoryless arrivals at a fixed mean rate
-//   kDeterministic  a perfectly paced arrival every 1/rate
-//   kMmpp           a 2-state Markov-modulated Poisson process: the rate
-//                   alternates between a calm and a burst phase (exponential
-//                   sojourns), preserving the configured long-run mean —
-//                   the classic bursty-traffic model for tail studies
-//
-// All draws come from scn::sim::Rng, so a schedule is exactly reproducible
-// from its seed and independent of everything else in the experiment.
+// Arrival processes moved to the GTM layer (src/gtm/arrival.hpp): the
+// Global Traffic Manager owns traffic *sources* as well as traffic policy,
+// and the cluster front end shares the exact same machinery (including the
+// new trace-replay and diurnal schedules). These aliases keep the
+// serve-layer spelling (`serve::ArrivalProcess` etc.) working for existing
+// callers and tests.
 #pragma once
 
-#include <cstdint>
-
-#include "sim/random.hpp"
-#include "sim/time.hpp"
+#include "gtm/arrival.hpp"
 
 namespace scn::serve {
 
-enum class ArrivalKind : std::uint8_t { kPoisson, kDeterministic, kMmpp };
-
-[[nodiscard]] constexpr const char* to_string(ArrivalKind k) noexcept {
-  switch (k) {
-    case ArrivalKind::kPoisson: return "poisson";
-    case ArrivalKind::kDeterministic: return "deterministic";
-    case ArrivalKind::kMmpp: return "mmpp";
-  }
-  return "?";
-}
-
-struct ArrivalConfig {
-  ArrivalKind kind = ArrivalKind::kPoisson;
-  double rate_per_us = 1.0;  ///< mean request rate (requests per simulated us)
-  /// MMPP-2 shape. With equal mean sojourns the long-run rate equals
-  /// `rate_per_us` when (burst_factor + calm_factor) / 2 == 1.
-  double burst_factor = 1.7;
-  double calm_factor = 0.3;
-  sim::Tick mean_sojourn = sim::from_us(20.0);
-};
-
-class ArrivalProcess {
- public:
-  ArrivalProcess(ArrivalConfig config, std::uint64_t seed)
-      : config_(config), rng_(seed) {
-    if (config_.kind == ArrivalKind::kMmpp) {
-      phase_left_ = sojourn();
-    }
-  }
-
-  /// Ticks until the next arrival. Always >= 1 so an arrival loop cannot
-  /// livelock the event queue at extreme rates; the fractional-tick residue
-  /// (including the sub-tick debt a clamp creates) carries into later draws,
-  /// so the long-run mean rate is exact rather than biased low at high rates.
-  [[nodiscard]] sim::Tick next_gap() {
-    sim::Tick gap = 0;
-    switch (config_.kind) {
-      case ArrivalKind::kDeterministic:
-        gap = quantize(1000.0 / config_.rate_per_us);
-        break;
-      case ArrivalKind::kPoisson:
-        gap = quantize(rng_.exponential(1000.0 / config_.rate_per_us));
-        break;
-      case ArrivalKind::kMmpp: {
-        // Draw within the current phase; if the draw overruns the phase, the
-        // elapsed portion is kept and the residual is redrawn at the new
-        // phase's rate (valid by memorylessness of the exponential).
-        for (;;) {
-          const double factor = burst_ ? config_.burst_factor : config_.calm_factor;
-          const sim::Tick draw =
-              quantize(rng_.exponential(1000.0 / (config_.rate_per_us * factor)));
-          if (draw <= phase_left_) {
-            phase_left_ -= draw;
-            gap += draw;
-            break;
-          }
-          gap += phase_left_;
-          burst_ = !burst_;
-          phase_left_ = sojourn();
-        }
-        break;
-      }
-    }
-    if (gap < 1) {
-      // Borrow from future gaps so the clamp does not inflate the mean.
-      residue_ += static_cast<double>(gap) - 1.0;
-      gap = 1;
-    }
-    return gap;
-  }
-
-  [[nodiscard]] const ArrivalConfig& config() const noexcept { return config_; }
-  [[nodiscard]] bool in_burst() const noexcept { return burst_; }
-
- private:
-  /// Floor-quantize a nanosecond interval to ticks, carrying the fractional
-  /// tick into the next draw. Over n draws the emitted total differs from the
-  /// exact sum by less than one tick, so the schedule cannot drift from its
-  /// nominal rate no matter how coarse each individual gap is.
-  [[nodiscard]] sim::Tick quantize(double ns) {
-    const double want = ns * static_cast<double>(sim::kTicksPerNs) + residue_;
-    if (want < 0.0) {
-      residue_ = want;
-      return 0;
-    }
-    const auto t = static_cast<sim::Tick>(want);
-    residue_ = want - static_cast<double>(t);
-    return t;
-  }
-
-  [[nodiscard]] sim::Tick sojourn() {
-    const sim::Tick s = sim::from_ns(rng_.exponential(sim::to_ns(config_.mean_sojourn)));
-    return s > 0 ? s : 1;
-  }
-
-  ArrivalConfig config_;
-  sim::Rng rng_;
-  bool burst_ = false;
-  sim::Tick phase_left_ = 0;
-  double residue_ = 0.0;  ///< fractional ticks owed to the schedule
-};
+using ArrivalKind = gtm::ArrivalKind;
+using ArrivalConfig = gtm::ArrivalConfig;
+using ArrivalProcess = gtm::ArrivalProcess;
+using gtm::to_string;
 
 }  // namespace scn::serve

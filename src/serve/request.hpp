@@ -52,6 +52,11 @@ struct RequestClass {
   double weight = 1.0;  ///< share of the arrival mix
   sim::Tick slo = sim::from_us(2.0);
   std::vector<Stage> stages;
+  /// Scheduling priority under the GTM's strict-priority discipline: lower
+  /// serves first, ties fall back to arrival order. Unused (and harmless)
+  /// under FIFO/EDF. Declared after `stages` so existing five-element
+  /// brace initializers keep compiling unchanged.
+  int priority = 0;
 };
 
 /// The default serving catalog: a latency-sensitive point lookup, a
@@ -68,6 +73,7 @@ struct RequestClass {
   point.tenant = "alpha";
   point.weight = 3.0;
   point.slo = sim::from_us(2.0);
+  point.priority = 0;  // tightest SLO serves first under strict priority
   point.stages = {
       {"compute", StageKind::kCompute, 16, 64.0, 1, {}},
       {"lookup", StageKind::kDramRead, 8, 64.0, 8, {0}},
@@ -80,6 +86,7 @@ struct RequestClass {
   scan.tenant = "beta";
   scan.weight = 2.0;
   scan.slo = sim::from_us(4.0);
+  scan.priority = 1;
   scan.stages = {
       {"compute", StageKind::kCompute, 8, 64.0, 1, {}},
       {"scan", StageKind::kDramRead, 48, 64.0, 12, {0}},
@@ -93,6 +100,7 @@ struct RequestClass {
     tiered.tenant = "gamma";
     tiered.weight = 1.0;
     tiered.slo = sim::from_us(5.0);
+    tiered.priority = 2;
     tiered.stages = {
         {"compute", StageKind::kCompute, 8, 64.0, 1, {}},
         {"hot", StageKind::kDramRead, 8, 64.0, 8, {0}},

@@ -44,6 +44,9 @@ ServerSim::ServerSim(sim::Simulator& simulator, topo::Platform& platform, Server
     // in report(); fail loudly like the catalog validator does.
     throw std::invalid_argument("serve: warmup must be earlier than stop");
   }
+  if (cfg_.gtm.hedge.pct < 0.0 || cfg_.gtm.hedge.pct >= 100.0) {
+    throw std::invalid_argument("serve: hedge_pct must be in [0, 100)");
+  }
   validate_classes();
 
   for (const auto& cls : classes_) {
@@ -87,6 +90,23 @@ ServerSim::ServerSim(sim::Simulator& simulator, topo::Platform& platform, Server
   pred_ns_.assign(static_cast<std::size_t>(ccds), 0.0);
   last_gmi_bytes_.assign(static_cast<std::size_t>(ccds), 0.0);
 
+  // GTM wiring: queue discipline per worker, per-class admission buckets,
+  // per-class hedge-delay estimators. The default policy (FIFO / none / off)
+  // configures nothing that changes behavior.
+  for (auto& w : workers_) w.queue.set_discipline(cfg_.gtm.discipline);
+  {
+    std::vector<double> weights;
+    std::vector<sim::Tick> slos;
+    weights.reserve(classes_.size());
+    slos.reserve(classes_.size());
+    for (const auto& cls : classes_) {
+      weights.push_back(cls.weight);
+      slos.push_back(cls.slo);
+    }
+    admission_.configure(cfg_.gtm.admission, weights);
+    hedge_.configure(cfg_.gtm.hedge, slos);
+  }
+
   // Scheduler warm-up hints (performance only, never ordering): size the
   // event queue and this thread's walk pool for the serving concurrency
   // bound — every worker slot can hold a request with a handful of fabric
@@ -110,6 +130,9 @@ void ServerSim::validate_classes() const {
     }
     if (cls.weight <= 0.0) {
       throw std::invalid_argument("serve: class '" + cls.name + "' weight must be > 0");
+    }
+    if (cls.priority < 0) {
+      throw std::invalid_argument("serve: class '" + cls.name + "' priority must be >= 0");
     }
     for (std::size_t j = 0; j < cls.stages.size(); ++j) {
       const Stage& st = cls.stages[j];
@@ -165,7 +188,8 @@ void ServerSim::start() {
     sim_->schedule(cfg_.telemetry_epoch, [this] { telemetry_tick(); });
   }
 
-  if (!cfg_.external_arrivals) {
+  // A trace that is already exhausted (an empty trace file) offers nothing.
+  if (!cfg_.external_arrivals && !arrivals_.exhausted()) {
     sim_->schedule(arrivals_.next_gap(), [this] { on_arrival(); });
   }
 }
@@ -187,6 +211,7 @@ void ServerSim::on_arrival() {
   const sim::Tick now = sim_->now();
   if (now >= cfg_.stop) return;
   admit(pick_class(), now);
+  if (arrivals_.exhausted()) return;  // trace ran out: the schedule is over
   sim_->schedule(arrivals_.next_gap(), [this] { on_arrival(); });
 }
 
@@ -198,10 +223,26 @@ void ServerSim::inject(int cls, sim::Tick origin) {
 }
 
 void ServerSim::admit(int cls, sim::Tick origin) {
-  const std::uint64_t id = next_id_++;
+  const bool measured = origin >= cfg_.warmup;
+  if (measured) ++class_acc_[static_cast<std::size_t>(cls)].arrivals;
+
+  // Admission is the GTM's front door: a rejected request costs nothing
+  // downstream and is accounted as its own outcome, not an SLO violation.
+  if (!admission_.admit(static_cast<std::size_t>(cls), sim_->now(), outstanding_)) {
+    if (measured) ++class_acc_[static_cast<std::size_t>(cls)].rejected;
+    return;
+  }
+
+  Request* r = make_request(cls, origin);
+  ++outstanding_;
+  enqueue(r, place(cls));
+  if (hedge_.enabled()) arm_hedge(r);
+}
+
+ServerSim::Request* ServerSim::make_request(int cls, sim::Tick origin) {
   auto owned = std::make_unique<Request>();
   Request* r = owned.get();
-  r->id = id;
+  r->id = next_id_++;
   r->cls = cls;
   r->arrived = origin;
   r->measured = origin >= cfg_.warmup;
@@ -212,16 +253,30 @@ void ServerSim::admit(int cls, sim::Tick origin) {
     r->runs[j].deps_left = static_cast<int>(stages[j].deps.size());
   }
   requests_.push_back(std::move(owned));
+  return r;
+}
 
-  if (r->measured) ++class_acc_[static_cast<std::size_t>(cls)].arrivals;
-  ++outstanding_;
+std::uint64_t ServerSim::queue_key(const Request* r) const {
+  switch (cfg_.gtm.discipline) {
+    case gtm::Discipline::kFifo:
+      return 0;  // the deque fast path ignores keys entirely
+    case gtm::Discipline::kPriority:
+      return static_cast<std::uint64_t>(classes_[static_cast<std::size_t>(r->cls)].priority);
+    case gtm::Discipline::kEdf:
+      // Absolute deadline: arrival (front-end origin for injected requests,
+      // shared by a hedged pair) plus the class SLO. Ticks are non-negative.
+      return static_cast<std::uint64_t>(r->arrived +
+                                        classes_[static_cast<std::size_t>(r->cls)].slo);
+  }
+  return 0;
+}
 
-  const int wi = place(cls);
+void ServerSim::enqueue(Request* r, int wi) {
   Worker& w = workers_[static_cast<std::size_t>(wi)];
   r->worker = &w;
   ++w.served;
-  if (cfg_.on_placed) cfg_.on_placed(id, wi);
-  w.queue.push_back(r);
+  if (cfg_.on_placed) cfg_.on_placed(r->id, wi);
+  w.queue.push(r, queue_key(r), r->id);
   dispatch(w);
 }
 
@@ -267,9 +322,15 @@ int ServerSim::place(int cls) {
 
 void ServerSim::dispatch(Worker& worker) {
   while (worker.in_flight < cfg_.worker_slots && !worker.queue.empty()) {
-    Request* r = worker.queue.front();
-    worker.queue.pop_front();
+    Request* r = worker.queue.pop();
+    if (r->cancelled) {
+      // Mate completed while this copy was still queued: it never took a
+      // slot, so it just retires here.
+      release_cancelled(r);
+      continue;
+    }
     ++worker.in_flight;
+    r->in_service = true;
     begin_service(r);
   }
 }
@@ -287,13 +348,18 @@ void ServerSim::start_stage(Request* r, int si) {
     // A chain of dependent L3 hits: pure on-chiplet latency, no fabric
     // traffic and no token-pool pressure.
     const sim::Tick d = static_cast<sim::Tick>(st.chunks) * platform_->params().l3_lat;
-    sim_->schedule(d, [this, r, si] { finish_stage(r, si); });
+    ++r->pending_ops;
+    sim_->schedule(d, [this, r, si] {
+      if (op_done_cancelled(r)) return;
+      finish_stage(r, si);
+    });
     return;
   }
   stage_issue(r, si);
 }
 
 void ServerSim::stage_issue(Request* r, int si) {
+  if (r->cancelled) return;  // a cancelled request stops issuing new work
   const Stage& st = classes_[static_cast<std::size_t>(r->cls)].stages[static_cast<std::size_t>(si)];
   auto& run = r->runs[static_cast<std::size_t>(si)];
   const int window = st.window > 0 ? static_cast<int>(st.window) : 1;
@@ -322,11 +388,19 @@ void ServerSim::issue_one(Request* r, int si) {
   const fabric::Op op =
       st.kind == StageKind::kDramWrite ? fabric::Op::kWrite : fabric::Op::kRead;
   const auto* pools = op == fabric::Op::kWrite ? &w->write_pools : &w->read_pools;
+  ++r->pending_ops;
   fabric::acquire_chain(
       *sim_, *pools, [this, r, si, path, op, bytes = st.chunk_bytes, pools] {
         // `pools` points at the worker (owned by this ServerSim, outlives
         // every transaction); the release closure must not reference `r`,
         // which may already be finalized when the tokens come back.
+        if (r->cancelled) {
+          // Cancelled while waiting for tokens: hand them straight back
+          // instead of running a transaction nobody will consume.
+          fabric::release_chain(*sim_, *pools);
+          (void)op_done_cancelled(r);
+          return;
+        }
         fabric::run_transaction(
             *sim_, *path, op, bytes, &fabric_rng_,
             [this, r, si](const fabric::Completion&) { on_txn_done(r, si); },
@@ -335,6 +409,7 @@ void ServerSim::issue_one(Request* r, int si) {
 }
 
 void ServerSim::on_txn_done(Request* r, int si) {
+  if (op_done_cancelled(r)) return;
   const Stage& st = classes_[static_cast<std::size_t>(r->cls)].stages[static_cast<std::size_t>(si)];
   auto& run = r->runs[static_cast<std::size_t>(si)];
   --run.inflight;
@@ -365,10 +440,83 @@ void ServerSim::finish_stage(Request* r, int si) {
   }
 }
 
+// ---- hedging ---------------------------------------------------------------
+
+void ServerSim::arm_hedge(Request* r) {
+  // One timer per admitted request; at the configured percentile of the
+  // class's observed latency the request is duplicated to another CCD.
+  // Requests_ entries are never freed while the server lives, so capturing
+  // the raw pointer is safe even if the request finishes first.
+  sim_->schedule(hedge_.delay(static_cast<std::size_t>(r->cls)), [this, r] { maybe_hedge(r); });
+}
+
+void ServerSim::maybe_hedge(Request* r) {
+  if (r->finished || r->cancelled || r->mate != nullptr) return;
+  const int wi = pick_hedge_worker(r->worker->ccd);
+  if (wi < 0) return;  // single-CCD platform: no second site to hedge to
+  Request* dup = make_request(r->cls, r->arrived);
+  dup->duplicate = true;
+  dup->mate = r;
+  r->mate = dup;
+  if (r->measured) ++hedges_;
+  ++outstanding_;
+  enqueue(dup, wi);
+}
+
+int ServerSim::pick_hedge_worker(int avoid_ccd) const {
+  // Least-loaded worker on any *other* CCD, ties to the lowest index: a
+  // deterministic choice that lands the duplicate off the congested chiplet
+  // regardless of the placement policy in force.
+  int best_index = -1;
+  std::uint64_t best_load = 0;
+  for (const Worker& w : workers_) {
+    if (w.ccd == avoid_ccd) continue;
+    const std::uint64_t load = static_cast<std::uint64_t>(w.in_flight) + w.queue.size();
+    if (best_index < 0 || load < best_load) {
+      best_load = load;
+      best_index = w.index;
+    }
+  }
+  return best_index;
+}
+
+void ServerSim::cancel(Request* r) {
+  r->cancelled = true;
+  if (!r->in_service) return;          // still queued: retired lazily at pop
+  if (r->pending_ops == 0) release_cancelled(r);
+  // Otherwise in-flight fabric legs / timers drain through
+  // op_done_cancelled(), which retires the request on the last one.
+}
+
+void ServerSim::release_cancelled(Request* r) {
+  r->finished = true;
+  --outstanding_;
+  if (r->in_service) {
+    Worker& w = *r->worker;
+    --w.in_flight;
+    r->in_service = false;
+    dispatch(w);
+  }
+}
+
+bool ServerSim::op_done_cancelled(Request* r) {
+  --r->pending_ops;
+  if (!r->cancelled) return false;
+  if (r->pending_ops == 0) release_cancelled(r);
+  return true;
+}
+
+// ----------------------------------------------------------------------------
+
 void ServerSim::complete(Request* r) {
+  r->finished = true;
   Worker& w = *r->worker;
   --w.in_flight;
+  r->in_service = false;
   --outstanding_;
+  // First completion wins: the mate (if any) is cancelled before accounting,
+  // so a hedged pair contributes exactly one completion.
+  if (r->mate != nullptr && !r->mate->finished) cancel(r->mate);
   if (r->measured) {
     auto& acc = class_acc_[static_cast<std::size_t>(r->cls)];
     const sim::Tick e2e = sim_->now() - r->arrived;
@@ -376,6 +524,12 @@ void ServerSim::complete(Request* r) {
     acc.e2e.record(e2e);
     if (e2e <= classes_[static_cast<std::size_t>(r->cls)].slo) ++acc.in_slo;
     if (sim_->now() > completed_end_) completed_end_ = sim_->now();
+    if (r->duplicate) ++hedge_wins_;
+  }
+  // Feed the hedge-delay estimator with every completion (warmup included):
+  // the estimator wants samples, only the report excludes the warmup.
+  if (hedge_.enabled()) {
+    hedge_.observe(static_cast<std::size_t>(r->cls), sim_->now() - r->arrived);
   }
   dispatch(w);
 }
@@ -419,21 +573,30 @@ Report ServerSim::report() const {
     c.arrivals = acc.arrivals;
     c.completed = acc.completed;
     c.in_slo = acc.in_slo;
+    c.rejected = acc.rejected;
     if (!acc.e2e.empty()) {
       c.mean_ns = acc.e2e.mean() / 1000.0;
       c.p50_ns = static_cast<double>(acc.e2e.p50()) / 1000.0;
       c.p99_ns = static_cast<double>(acc.e2e.p99()) / 1000.0;
       c.p999_ns = static_cast<double>(acc.e2e.p999()) / 1000.0;
     }
-    if (acc.arrivals > 0) {
+    // Violations are judged over *admitted* requests: a rejection is its own
+    // outcome (rejected_frac), not a missed deadline. With admission off the
+    // formulas coincide with the pre-GTM ones exactly.
+    const std::uint64_t admitted = acc.arrivals - acc.rejected;
+    if (admitted > 0) {
       c.slo_violation_frac =
-          1.0 - static_cast<double>(acc.in_slo) / static_cast<double>(acc.arrivals);
+          1.0 - static_cast<double>(acc.in_slo) / static_cast<double>(admitted);
+    }
+    if (acc.arrivals > 0) {
+      c.rejected_frac = static_cast<double>(acc.rejected) / static_cast<double>(acc.arrivals);
     }
     if (drained_us > 0.0) c.goodput_per_us = static_cast<double>(acc.in_slo) / drained_us;
 
     rep.arrivals += acc.arrivals;
     rep.completed += acc.completed;
     rep.in_slo += acc.in_slo;
+    rep.rejected += acc.rejected;
     all.merge(acc.e2e);
     const auto t = static_cast<std::size_t>(tenant_of_class_[i]);
     tenant_goodput[t] += static_cast<double>(acc.in_slo);
@@ -454,10 +617,16 @@ Report ServerSim::report() const {
     rep.p99_ns = static_cast<double>(all.p99()) / 1000.0;
     rep.p999_ns = static_cast<double>(all.p999()) / 1000.0;
   }
-  if (rep.arrivals > 0) {
+  const std::uint64_t admitted_total = rep.arrivals - rep.rejected;
+  if (admitted_total > 0) {
     rep.slo_violation_frac =
-        1.0 - static_cast<double>(rep.in_slo) / static_cast<double>(rep.arrivals);
+        1.0 - static_cast<double>(rep.in_slo) / static_cast<double>(admitted_total);
   }
+  if (rep.arrivals > 0) {
+    rep.rejected_frac = static_cast<double>(rep.rejected) / static_cast<double>(rep.arrivals);
+  }
+  rep.hedges = hedges_;
+  rep.hedge_wins = hedge_wins_;
 
   // Fairness over weight-normalized tenant goodput: a tenant with twice the
   // arrival weight is entitled to twice the goodput.

@@ -16,12 +16,15 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "gtm/admission.hpp"
+#include "gtm/hedge.hpp"
+#include "gtm/policy.hpp"
+#include "gtm/queue.hpp"
 #include "serve/arrival.hpp"
 #include "serve/placement.hpp"
 #include "serve/request.hpp"
@@ -34,6 +37,10 @@ namespace scn::serve {
 struct ServerConfig {
   Policy policy = Policy::kRoundRobin;
   ArrivalConfig arrival;
+  /// Global Traffic Manager policy bundle (queue discipline, admission
+  /// control, hedging). The default bundle reproduces the pre-GTM server
+  /// exactly: FIFO queues, admit everything, never hedge.
+  gtm::TrafficPolicy gtm;
   /// Request catalog; empty selects default_classes(platform params).
   std::vector<RequestClass> classes;
   /// Concurrent requests a worker serves; beyond this, requests queue.
@@ -66,11 +73,13 @@ struct ClassReport {
   std::uint64_t arrivals = 0;   ///< measured arrivals (after warmup)
   std::uint64_t completed = 0;
   std::uint64_t in_slo = 0;
+  std::uint64_t rejected = 0;  ///< admission-control refusals (distinct outcome)
   double mean_ns = 0.0;
   double p50_ns = 0.0;
   double p99_ns = 0.0;
   double p999_ns = 0.0;
-  double slo_violation_frac = 0.0;  ///< never-completed requests count
+  double slo_violation_frac = 0.0;  ///< never-completed *admitted* requests count
+  double rejected_frac = 0.0;       ///< rejected / arrivals
   double goodput_per_us = 0.0;      ///< SLO-compliant completions per us
 };
 
@@ -78,6 +87,9 @@ struct Report {
   std::uint64_t arrivals = 0;
   std::uint64_t completed = 0;
   std::uint64_t in_slo = 0;
+  std::uint64_t rejected = 0;    ///< admission refusals (measured window)
+  std::uint64_t hedges = 0;      ///< hedge duplicates issued (measured)
+  std::uint64_t hedge_wins = 0;  ///< completions where the duplicate finished first
   double offered_per_us = 0.0;
   double achieved_per_us = 0.0;
   double goodput_per_us = 0.0;
@@ -86,6 +98,7 @@ struct Report {
   double p99_ns = 0.0;
   double p999_ns = 0.0;
   double slo_violation_frac = 0.0;
+  double rejected_frac = 0.0;  ///< rejected / arrivals
   /// Jain index over per-tenant goodput normalized by tenant weight.
   double jain_tenant_fairness = 1.0;
   std::vector<ClassReport> classes;
@@ -124,6 +137,8 @@ class ServerSim {
   [[nodiscard]] int worker_count() const noexcept { return static_cast<int>(workers_.size()); }
   [[nodiscard]] int worker_ccd(int worker) const noexcept { return workers_[worker].ccd; }
   [[nodiscard]] int outstanding_requests() const noexcept { return outstanding_; }
+  /// Requests created (admitted arrivals + hedge duplicates; rejected
+  /// arrivals never materialize a request).
   [[nodiscard]] std::uint64_t arrivals_total() const noexcept { return next_id_; }
   [[nodiscard]] const std::vector<RequestClass>& classes() const noexcept { return classes_; }
   /// End of the measured window: `stop`, or the last measured completion
@@ -157,6 +172,16 @@ class ServerSim {
     bool measured = false;
     int stages_left = 0;
     std::vector<StageRun> runs;
+    // Hedging state. A hedged pair shares `arrived` (and thus the EDF
+    // deadline); whichever side completes first does the accounting and
+    // cancels its mate, which drains in-flight fabric legs and releases its
+    // slot without completing.
+    Request* mate = nullptr;   ///< hedge partner (primary <-> duplicate)
+    bool duplicate = false;    ///< this side is the hedge copy
+    bool cancelled = false;    ///< mate finished first; stop issuing, drain
+    bool finished = false;     ///< completed or fully cancelled
+    bool in_service = false;   ///< popped from the queue, holds a worker slot
+    int pending_ops = 0;       ///< fabric legs + compute timers in flight
   };
 
   struct Worker {
@@ -169,14 +194,15 @@ class ServerSim {
     std::vector<fabric::TokenPool*> read_pools;
     std::vector<fabric::TokenPool*> write_pools;
     std::uint32_t in_flight = 0;
-    std::deque<Request*> queue;
-    std::uint64_t served = 0;  ///< requests placed here
+    gtm::WorkerQueue<Request> queue;  ///< discipline set at server build
+    std::uint64_t served = 0;         ///< requests placed here
   };
 
   struct ClassAccum {
     std::uint64_t arrivals = 0;
     std::uint64_t completed = 0;
     std::uint64_t in_slo = 0;
+    std::uint64_t rejected = 0;
     stats::Histogram e2e;  ///< end-to-end latency, ticks
   };
 
@@ -185,6 +211,19 @@ class ServerSim {
   void admit(int cls, sim::Tick origin);
   [[nodiscard]] int pick_class();
   [[nodiscard]] int place(int cls);
+  [[nodiscard]] Request* make_request(int cls, sim::Tick origin);
+  void enqueue(Request* r, int wi);
+  [[nodiscard]] std::uint64_t queue_key(const Request* r) const;
+  void arm_hedge(Request* r);
+  void maybe_hedge(Request* r);
+  [[nodiscard]] int pick_hedge_worker(int avoid_ccd) const;
+  void cancel(Request* r);
+  void release_cancelled(Request* r);
+  /// Every async op (fabric leg, compute timer, token grant) funnels its
+  /// completion through this: decrements pending_ops and, when the request
+  /// was cancelled, retires it once the last op drains. Returns true when
+  /// the caller must unwind (the request is cancelled).
+  [[nodiscard]] bool op_done_cancelled(Request* r);
   void dispatch(Worker& worker);
   void begin_service(Request* r);
   void start_stage(Request* r, int si);
@@ -211,6 +250,11 @@ class ServerSim {
   sim::Rng class_rng_;
   sim::Rng fabric_rng_;
   std::uint64_t antagonist_seed_ = 0;
+
+  gtm::AdmissionController admission_;
+  gtm::HedgeTracker hedge_;
+  std::uint64_t hedges_ = 0;      ///< measured hedge duplicates issued
+  std::uint64_t hedge_wins_ = 0;  ///< measured completions won by the duplicate
 
   std::vector<std::unique_ptr<Request>> requests_;  ///< owns every request
   std::vector<ClassAccum> class_acc_;

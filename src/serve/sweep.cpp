@@ -18,8 +18,10 @@ std::vector<LoadPoint> sweep(const topo::PlatformParams& params, const SweepConf
     measure::Experiment e(params);
     ServerConfig sc;
     sc.policy = config.policies[static_cast<std::size_t>(p)];
+    sc.arrival = config.arrival_template;
     sc.arrival.kind = config.arrival;
     sc.arrival.rate_per_us = config.rates_per_us[static_cast<std::size_t>(r)];
+    sc.gtm = config.gtm;
     sc.classes = config.classes;
     sc.worker_slots = config.worker_slots;
     sc.warmup = config.warmup;

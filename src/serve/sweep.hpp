@@ -27,6 +27,12 @@ struct SweepConfig {
   std::vector<double> rates_per_us;
   std::vector<Policy> policies = {Policy::kRoundRobin, Policy::kLocal, Policy::kTelemetry};
   ArrivalKind arrival = ArrivalKind::kPoisson;
+  /// Shape knobs for the arrival schedule (MMPP factors, diurnal cycle,
+  /// trace). `arrival` overrides its kind and the grid overrides its rate,
+  /// so the default template changes nothing.
+  ArrivalConfig arrival_template;
+  /// GTM policy bundle applied to every server in the sweep.
+  gtm::TrafficPolicy gtm;
   std::vector<RequestClass> classes;  ///< empty => default catalog
   bool antagonist = true;
   std::uint32_t worker_slots = 4;

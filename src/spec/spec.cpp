@@ -315,7 +315,9 @@ topo::PlatformParams parse(std::string_view text, const std::string& source) {
     if (line.front() == '[') {
       if (line.back() != ']') fail(source, line_no, "unterminated section header");
       section = std::string(trim(line.substr(1, line.size() - 2)));
-      if (!section_exists(section)) {
+      // [gtm] and [arrivals] belong to the Global Traffic Manager schema; a
+      // platform spec may carry them (gtm::parse_gtm validates those keys).
+      if (!section_exists(section) && section != "gtm" && section != "arrivals") {
         fail(source, line_no, "unknown section [" + section + "]");
       }
       if (!seen_sections.insert(section).second) {
@@ -323,6 +325,7 @@ topo::PlatformParams parse(std::string_view text, const std::string& source) {
       }
       continue;
     }
+    if (section == "gtm" || section == "arrivals") continue;
 
     const std::size_t eq = line.find('=');
     if (eq == std::string_view::npos) {

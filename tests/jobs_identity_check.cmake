@@ -1,0 +1,25 @@
+# Self-referential bit-identity harness: runs BENCH with ARGS at --jobs 1
+# and --jobs 4 and fails if the two stdouts differ by even one byte. Unlike
+# golden_check.cmake there is no committed reference — the two runs are each
+# other's golden — so this works for configurations whose output is expected
+# to change as the model grows (e.g. mitigations-on GTM runs), while still
+# pinning the determinism contract: worker count must never leak into
+# results.
+#
+# Invoke: cmake -DBENCH=<exe> "-DARGS=<;-separated args>"
+#         -P jobs_identity_check.cmake
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+foreach(jobs 1 4)
+  execute_process(COMMAND "${BENCH}" ${arg_list} --jobs ${jobs}
+                  OUTPUT_VARIABLE got_${jobs}
+                  ERROR_VARIABLE stderr_ignored
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} ${ARGS} --jobs ${jobs} failed (exit ${rc})")
+  endif()
+endforeach()
+if(NOT got_1 STREQUAL got_4)
+  message(FATAL_ERROR "stdout of ${BENCH} ${ARGS} differs between --jobs 1 "
+                      "and --jobs 4\n--- jobs 1 ---\n${got_1}"
+                      "--- jobs 4 ---\n${got_4}")
+endif()

@@ -28,6 +28,7 @@ foreach(metric
         queue_bimodal_items_per_sec
         serve_burst_events_per_sec
         cluster_requests_per_sec
+        gtm_retained_throughput
         fastforward_speedup)
   # Each metric key appears once per block (metrics, units, checksums).
   string(REGEX MATCHALL "\"${metric}\"" hits "${doc}")

@@ -135,6 +135,9 @@ void expect_same_cluster_report(const cluster::ClusterReport& a,
   EXPECT_EQ(a.arrivals, b.arrivals);
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.in_slo, b.in_slo);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.hedges, b.hedges);
+  EXPECT_EQ(a.hedge_wins, b.hedge_wins);
   EXPECT_EQ(a.forwarded, b.forwarded);
   EXPECT_EQ(a.epochs, b.epochs);
   EXPECT_DOUBLE_EQ(a.achieved_per_us, b.achieved_per_us);
@@ -296,6 +299,192 @@ TEST(ClusterSpec, LoadsTheCommittedRackExample) {
   cluster::ClusterSim c(cc);
   c.run();
   EXPECT_GT(c.report().completed, 0u);
+}
+
+TEST(ClusterSpec, GtmSectionsRoundTripThroughDump) {
+  const char* text =
+      "[cluster]\n"
+      "servers = epyc7302 epyc7302\n"
+      "link_latency_ns = 800\n"
+      "[gtm]\n"
+      "discipline = edf\n"
+      "admission = token-bucket\n"
+      "hedge_pct = 95\n"
+      "[arrivals]\n"
+      "kind = mmpp\n"
+      "rate_per_us = 16\n";
+  const auto spec = cluster::parse_cluster(text, "inline");
+  EXPECT_EQ(spec.gtm.discipline, "edf");
+  EXPECT_EQ(spec.gtm.admission, "token-bucket");
+  EXPECT_DOUBLE_EQ(spec.gtm.hedge_pct, 95.0);
+  EXPECT_EQ(spec.gtm.arrival_kind, "mmpp");
+  EXPECT_DOUBLE_EQ(spec.gtm.rate_per_us, 16.0);
+
+  // Canonical-form fixpoint, the same contract the platform schema honors:
+  // dump(parse(dump(x))) == dump(x), and a re-parsed dump diffs clean.
+  const auto dumped = cluster::dump_cluster(spec);
+  const auto back = cluster::parse_cluster(dumped, "dump");
+  EXPECT_TRUE(spec.gtm == back.gtm);
+  EXPECT_EQ(spec.server_tokens, back.server_tokens);
+  EXPECT_EQ(cluster::dump_cluster(back), dumped);
+  EXPECT_TRUE(cluster::diff_cluster(spec, back).empty());
+
+  auto changed = back;
+  changed.gtm.discipline = "fifo";
+  const auto d = cluster::diff_cluster(spec, changed);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], "[gtm] discipline: edf != fifo");
+}
+
+TEST(ClusterSpec, LoadsTheCommittedGtmRack) {
+  const auto spec =
+      cluster::load_cluster(std::string(SCN_SPECS_DIR) + "/rack-2x7302-gtm.scnc");
+  ASSERT_EQ(spec.servers.size(), 2u);
+  EXPECT_EQ(spec.servers[0].name, topo::epyc7302().name);
+  EXPECT_EQ(spec.gtm.discipline, "edf");
+  EXPECT_EQ(spec.gtm.admission, "token-bucket");
+  EXPECT_DOUBLE_EQ(spec.gtm.admission_rate_per_us, 24.0);
+  EXPECT_DOUBLE_EQ(spec.gtm.hedge_pct, 95.0);
+  EXPECT_EQ(spec.gtm.arrival_kind, "mmpp");
+
+  // And the declarative form converts to a runnable policy bundle.
+  const auto policy = gtm::to_policy(spec.gtm);
+  EXPECT_EQ(policy.discipline, gtm::Discipline::kEdf);
+  EXPECT_TRUE(policy.admitting());
+  EXPECT_TRUE(policy.hedging());
+  const auto arrival = gtm::to_arrival(spec.gtm);
+  EXPECT_EQ(arrival.kind, serve::ArrivalKind::kMmpp);
+}
+
+// ---- GTM policy plumbing ---------------------------------------------------
+
+TEST(ClusterGtm, RejectionAccountingSumsOverServers) {
+  // Admission-controlled overload: the cluster totals must be exactly the
+  // per-server sums, the violation denominator must exclude rejections, and
+  // everything the bucket admitted must drain to completion.
+  cluster::ClusterConfig cc = base_cluster(2, 48.0);
+  cc.gtm.admission.mode = gtm::AdmissionMode::kTokenBucket;
+  cc.gtm.admission.rate_per_us = 12.0;  // per server: far under box capacity
+  cluster::ClusterSim c(cc);
+  c.run();
+  const auto rep = c.report();
+  ASSERT_GT(rep.arrivals, 0u);
+  EXPECT_GT(rep.rejected, 0u);
+  std::uint64_t per_server_rejected = 0;
+  for (const auto& r : rep.per_server) per_server_rejected += r.rejected;
+  EXPECT_EQ(per_server_rejected, rep.rejected);
+  EXPECT_DOUBLE_EQ(rep.rejected_frac,
+                   static_cast<double>(rep.rejected) / static_cast<double>(rep.arrivals));
+  EXPECT_EQ(rep.completed, rep.arrivals - rep.rejected);
+  // The violation denominator is admitted = arrivals - rejected: a shed
+  // request is not a missed deadline.
+  EXPECT_DOUBLE_EQ(rep.slo_violation_frac,
+                   1.0 - static_cast<double>(rep.in_slo) /
+                             static_cast<double>(rep.arrivals - rep.rejected));
+}
+
+TEST(ClusterGtm, JobsBitIdenticalWithFullBundle) {
+  // The lockstep contract under the whole mitigation stack at once — EDF
+  // heaps, token buckets, hedge timers, bursty MMPP arrivals — at any shard
+  // count. This is the in-process twin of the serve.hedge.determinism ctest.
+  auto run_once = [](int jobs) {
+    cluster::ClusterConfig cc = base_cluster(2, 60.0);
+    cc.lb = cluster::LbPolicy::kRoundRobin;
+    cc.placement = serve::Policy::kRoundRobin;
+    cc.antagonist_server = 0;
+    cc.arrival.kind = serve::ArrivalKind::kMmpp;
+    cc.gtm.discipline = gtm::Discipline::kEdf;
+    cc.gtm.admission.mode = gtm::AdmissionMode::kTokenBucket;
+    // Admit above box capacity but below the offered rate: the bucket still
+    // sheds MMPP bursts (rejected > 0) while the admitted stream overloads
+    // the workers, pushing residence past the class SLOs so the hedge timers
+    // fire too (hedges > 0). Both mitigations must be live for the
+    // determinism claim to mean anything.
+    cc.gtm.admission.rate_per_us = 24.0;
+    cc.gtm.hedge.pct = 50.0;
+    // Keep the estimator cold so every hedge uses the SLO fallback: under
+    // overload plenty of requests outlive SLO + link latency, which makes
+    // hedges fire unconditionally — this test pins determinism, not hedge
+    // efficacy (the quantile path is covered by ServeGtm and the ablation).
+    cc.gtm.hedge.min_samples = 1000000;
+    cc.jobs = jobs;
+    cluster::ClusterSim c(cc);
+    c.run();
+    return c.report();
+  };
+  const auto serial = run_once(1);
+  const auto threaded = run_once(2);
+  ASSERT_GT(serial.completed, 50u);
+  EXPECT_GT(serial.hedges, 0u);
+  EXPECT_GT(serial.rejected, 0u);
+  expect_same_cluster_report(serial, threaded);
+}
+
+TEST(ClusterGtm, TraceExhaustionDoesNotStallLockstep) {
+  // A two-entry trace that runs dry inside warmup: the front end must stop
+  // routing (no livelock on a far-future sentinel), the drain loop must
+  // still terminate, and the measured window must be empty.
+  cluster::ClusterConfig cc = base_cluster(2);
+  cc.arrival.kind = serve::ArrivalKind::kTrace;
+  cc.arrival.trace_ns = {100.0, 5000.0};
+  cluster::ClusterSim c(cc);
+  c.run();
+  const auto rep = c.report();
+  EXPECT_EQ(rep.arrivals, 0u);
+  EXPECT_EQ(rep.completed, 0u);
+  EXPECT_EQ(rep.forwarded, 2u);  // both warmup entries were still routed
+
+  cluster::ClusterConfig empty = base_cluster(2);
+  empty.arrival.kind = serve::ArrivalKind::kTrace;
+  empty.arrival.trace_ns = {};
+  cluster::ClusterSim c2(empty);
+  c2.run();
+  EXPECT_EQ(c2.report().forwarded, 0u);
+}
+
+TEST(ClusterGtm, CommittedBundleCutsOverloadTailVsFifo) {
+  // The ablation acceptance criterion, enforced: on the committed
+  // rack-2x7302-gtm.scnc bundle (EDF + token bucket + P95 hedging), driving
+  // the rack well past its knee must yield a far lower P99 than the
+  // unmitigated FIFO baseline on the identical arrival sequence — admission
+  // sheds the excess instead of letting queues grow without bound.
+  const auto spec =
+      cluster::load_cluster(std::string(SCN_SPECS_DIR) + "/rack-2x7302-gtm.scnc");
+  auto run_once = [&spec](const gtm::TrafficPolicy& policy) {
+    cluster::ClusterConfig cc;
+    cc.servers = spec.servers;
+    cc.link = spec.link;
+    // At the spec's 12.5 B/ns the 512 B ingress serialization caps each
+    // server at ~24.4 req/us, so past that rate the NIC queue dominates P99
+    // identically for every policy — admission happens at the server, after
+    // the link. Open the link so the ablation isolates server-side queueing
+    // (the link regime itself is covered by the ClusterLink tests).
+    cc.link.bytes_per_ns = 125.0;
+    cc.lb = cluster::LbPolicy::kRoundRobin;
+    cc.placement = serve::Policy::kRoundRobin;
+    cc.gtm = policy;
+    cc.arrival = gtm::to_arrival(spec.gtm);
+    cc.arrival.rate_per_us = 96.0;  // ~3x the admitted budget
+    cc.warmup = sim::from_us(25.0);
+    cc.stop = sim::from_us(100.0);
+    cc.max_drain = sim::from_ms(1.0);
+    cc.seed = 1;
+    cluster::ClusterSim c(cc);
+    c.run();
+    return c.report();
+  };
+  const auto fifo = run_once(gtm::TrafficPolicy{});
+  const auto bundle = run_once(gtm::to_policy(spec.gtm));
+  ASSERT_GT(fifo.arrivals, 1000u);
+  EXPECT_EQ(fifo.rejected, 0u);
+  EXPECT_GT(bundle.rejected, 0u);
+  // The headline: the mitigation bundle cuts the overload-knee P99 by a
+  // wide margin (measured ~15x; assert a conservative 2x).
+  ASSERT_GT(fifo.p99_ns, 0.0);
+  ASSERT_GT(bundle.p99_ns, 0.0);
+  EXPECT_LT(bundle.p99_ns, 0.5 * fifo.p99_ns);
+  // And it converts the freed capacity into SLO compliance.
+  EXPECT_LT(bundle.slo_violation_frac, fifo.slo_violation_frac);
 }
 
 }  // namespace

@@ -565,4 +565,150 @@ TEST(ServeSweep, KneeIndexContract) {
   EXPECT_EQ(serve::knee_index(std::vector<double>{0.0, 100.0, 500.0}), 2);
 }
 
+// ---- GTM: admission, hedging, trace arrivals -------------------------------
+
+TEST(ServeGtm, RejectionsAreADistinctOutcomeNotViolations) {
+  // Overload one box behind a tight token bucket. Rejections must land in
+  // their own counters (total and per class, summing exactly), and the
+  // violation fraction must be computed over *admitted* requests only —
+  // "we said no in 0 ns" is the opposite operating point from "we said yes
+  // and blew the deadline".
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config(32.0);
+  cfg.gtm.admission.mode = gtm::AdmissionMode::kTokenBucket;
+  cfg.gtm.admission.rate_per_us = 8.0;
+  cfg.gtm.admission.burst = 8.0;
+  serve::ServerSim s(e.simulator, e.platform, cfg);
+  s.start();
+  s.run(sim::from_ms(1.0));
+  const auto rep = s.report();
+  ASSERT_GT(rep.arrivals, 0u);
+  EXPECT_GT(rep.rejected, 0u);
+  EXPECT_LT(rep.rejected, rep.arrivals);
+  std::uint64_t by_class_rejected = 0;
+  std::uint64_t by_class_arrivals = 0;
+  for (const auto& c : rep.classes) {
+    by_class_rejected += c.rejected;
+    by_class_arrivals += c.arrivals;
+  }
+  EXPECT_EQ(by_class_rejected, rep.rejected);
+  EXPECT_EQ(by_class_arrivals, rep.arrivals);
+  EXPECT_DOUBLE_EQ(rep.rejected_frac,
+                   static_cast<double>(rep.rejected) / static_cast<double>(rep.arrivals));
+  // The admitted trickle is far inside capacity: everything admitted
+  // completes, and having shed 3/4 of the load the SLO miss rate is tiny.
+  EXPECT_EQ(rep.completed, rep.arrivals - rep.rejected);
+  EXPECT_LT(rep.slo_violation_frac, 0.05);
+}
+
+TEST(ServeGtm, HedgingDuplicatesWithoutDoubleCounting) {
+  // An aggressive hedge (P50, warm after 8 samples) under antagonist
+  // contention: duplicates must actually be issued, some must win, and
+  // first-completion-wins must keep exactly one completion per arrival.
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config(16.0);
+  cfg.antagonist = true;
+  cfg.gtm.hedge.pct = 50.0;
+  cfg.gtm.hedge.min_samples = 8;
+  serve::ServerSim s(e.simulator, e.platform, cfg);
+  s.start();
+  s.run(sim::from_ms(1.0));
+  const auto rep = s.report();
+  ASSERT_GT(rep.arrivals, 100u);
+  EXPECT_GT(rep.hedges, 0u);
+  EXPECT_LE(rep.hedge_wins, rep.hedges);
+  EXPECT_EQ(rep.completed, rep.arrivals);
+  EXPECT_EQ(rep.rejected, 0u);
+}
+
+TEST(ServeGtm, SweepBitIdenticalAcrossJobsWithFullBundle) {
+  // The lockstep/threading contract must survive every mitigation at once:
+  // EDF heap ordering, token-bucket rejections and hedge timers all have to
+  // be pure functions of simulated time, never of shard scheduling.
+  auto run_once = [](int jobs) {
+    serve::SweepConfig sc;
+    sc.rates_per_us = {24.0};
+    sc.policies = {serve::Policy::kRoundRobin};
+    sc.antagonist = true;
+    sc.warmup = sim::from_us(25.0);
+    sc.stop = sim::from_us(100.0);
+    sc.max_drain = sim::from_ms(1.0);
+    sc.seed = 1;
+    sc.jobs = jobs;
+    sc.gtm.discipline = gtm::Discipline::kEdf;
+    sc.gtm.admission.mode = gtm::AdmissionMode::kTokenBucket;
+    sc.gtm.admission.rate_per_us = 16.0;
+    sc.gtm.hedge.pct = 90.0;
+    sc.gtm.hedge.min_samples = 16;
+    return serve::sweep(topo::epyc7302(), sc);
+  };
+  const auto serial = run_once(1);
+  const auto threaded = run_once(4);
+  ASSERT_EQ(serial.size(), 1u);
+  ASSERT_EQ(threaded.size(), 1u);
+  const auto& a = serial[0].report;
+  const auto& b = threaded[0].report;
+  ASSERT_GT(a.arrivals, 0u);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.in_slo, b.in_slo);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.hedges, b.hedges);
+  EXPECT_EQ(a.hedge_wins, b.hedge_wins);
+  EXPECT_DOUBLE_EQ(a.p99_ns, b.p99_ns);
+  EXPECT_DOUBLE_EQ(a.mean_ns, b.mean_ns);
+  EXPECT_EQ(a.served_per_worker, b.served_per_worker);
+}
+
+TEST(ServeGtm, EmptyTraceRunsAndMeasuresNothing) {
+  // kTrace with no entries: the arrival loop must never arm, and the run
+  // must terminate normally (the platform's periodic noise cannot hold the
+  // drain loop open) with an all-zero measured window.
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config();
+  cfg.arrival.kind = serve::ArrivalKind::kTrace;
+  cfg.arrival.trace_ns = {};
+  serve::ServerSim s(e.simulator, e.platform, cfg);
+  s.start();
+  s.run(sim::from_ms(1.0));
+  const auto rep = s.report();
+  EXPECT_EQ(rep.arrivals, 0u);
+  EXPECT_EQ(rep.completed, 0u);
+  EXPECT_DOUBLE_EQ(rep.slo_violation_frac, 0.0);
+}
+
+TEST(ServeGtm, TraceEndingBeforeWarmupMeasuresNothing) {
+  // Both timestamps land inside the 10 us warmup: the requests run (they
+  // load the system) but the measured window must stay empty — exercising
+  // the exhausted-schedule path while requests are still in flight.
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config();
+  cfg.arrival.kind = serve::ArrivalKind::kTrace;
+  cfg.arrival.trace_ns = {100.0, 5000.0};
+  serve::ServerSim s(e.simulator, e.platform, cfg);
+  s.start();
+  s.run(sim::from_ms(1.0));
+  const auto rep = s.report();
+  EXPECT_EQ(rep.arrivals, 0u);
+  EXPECT_EQ(rep.completed, 0u);
+}
+
+TEST(ServeGtm, TraceArrivalCountIsExact) {
+  // A trace spanning the measured window: every post-warmup timestamp is one
+  // measured arrival, no more, no fewer — replay is data, not a distribution.
+  measure::Experiment e(topo::epyc7302());
+  auto cfg = base_config();
+  cfg.arrival.kind = serve::ArrivalKind::kTrace;
+  for (int i = 0; i < 100; ++i) {
+    cfg.arrival.trace_ns.push_back(5000.0 + 500.0 * i);  // 5 us .. 54.5 us
+  }
+  serve::ServerSim s(e.simulator, e.platform, cfg);
+  s.start();
+  s.run(sim::from_ms(1.0));
+  const auto rep = s.report();
+  // warmup 10 us: entries 0..9 (5.0..9.5 us) load only; 10..99 are measured.
+  EXPECT_EQ(rep.arrivals, 90u);
+  EXPECT_EQ(rep.completed, 90u);
+}
+
 }  // namespace

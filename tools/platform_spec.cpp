@@ -1,9 +1,13 @@
-// platform_spec — the .scn spec toolbox:
+// platform_spec — the .scn / .scnc spec toolbox:
 //
 //   platform_spec list                      the builtin platform names
 //   platform_spec dump <name|file> [out]    canonical spec text (stdout or out)
 //   platform_spec validate <name|file>...   parse + validate, report per input
 //   platform_spec diff <a> <b>              field-level diff of two specs
+//
+// Arguments ending in `.scnc` dispatch to the cluster-spec schema (rack
+// composition + link + GTM sections); everything else is a platform spec or
+// builtin name. `diff` requires both sides to be the same schema.
 //
 // `dump` emits the canonical form: dump(parse(dump(x))) == dump(x), which is
 // what the round-trip golden test in CI relies on.
@@ -12,6 +16,7 @@
 #include <fstream>
 #include <string>
 
+#include "cluster/spec.hpp"
 #include "spec/spec.hpp"
 
 namespace {
@@ -19,11 +24,15 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s list\n"
-               "       %s dump <name|file.scn> [out.scn]\n"
-               "       %s validate <name|file.scn>...\n"
-               "       %s diff <name|file.scn> <name|file.scn>\n",
+               "       %s dump <name|file.scn|file.scnc> [out]\n"
+               "       %s validate <name|file.scn|file.scnc>...\n"
+               "       %s diff <a> <b>   (both .scnc, or both platform specs)\n",
                prog, prog, prog, prog);
   return 2;
+}
+
+bool is_cluster_path(const std::string& s) {
+  return s.size() >= 5 && s.compare(s.size() - 5, 5, ".scnc") == 0;
 }
 
 }  // namespace
@@ -46,7 +55,9 @@ int main(int argc, char** argv) {
   if (cmd == "dump") {
     if (argc != 3 && argc != 4) return usage(argv[0]);
     try {
-      const auto text = spec::dump(spec::resolve(argv[2]));
+      const std::string arg = argv[2];
+      const auto text = is_cluster_path(arg) ? cluster::dump_cluster(cluster::load_cluster(arg))
+                                             : spec::dump(spec::resolve(arg));
       if (argc == 4) {
         std::ofstream out(argv[3]);
         if (!out) {
@@ -67,10 +78,17 @@ int main(int argc, char** argv) {
   if (cmd == "diff") {
     // git-diff-style exit codes: 0 identical, 1 differs, 2 usage/parse error.
     if (argc != 4) return usage(argv[0]);
+    const bool a_cluster = is_cluster_path(argv[2]);
+    const bool b_cluster = is_cluster_path(argv[3]);
+    if (a_cluster != b_cluster) {
+      std::fprintf(stderr, "platform_spec: cannot diff a cluster spec against a platform spec\n");
+      return 2;
+    }
     try {
-      const auto a = spec::resolve(argv[2]);
-      const auto b = spec::resolve(argv[3]);
-      const auto lines = spec::diff(a, b);
+      const auto lines = a_cluster
+                             ? cluster::diff_cluster(cluster::load_cluster(argv[2]),
+                                                     cluster::load_cluster(argv[3]))
+                             : spec::diff(spec::resolve(argv[2]), spec::resolve(argv[3]));
       for (const auto& line : lines) std::printf("%s\n", line.c_str());
       return lines.empty() ? 0 : 1;
     } catch (const spec::Error& e) {
@@ -84,8 +102,13 @@ int main(int argc, char** argv) {
     int failures = 0;
     for (int i = 2; i < argc; ++i) {
       try {
-        const auto p = spec::resolve(argv[i]);
-        std::printf("%s: OK (%s)\n", argv[i], p.name.c_str());
+        if (is_cluster_path(argv[i])) {
+          const auto cs = cluster::load_cluster(argv[i]);
+          std::printf("%s: OK (%d servers)\n", argv[i], static_cast<int>(cs.servers.size()));
+        } else {
+          const auto p = spec::resolve(argv[i]);
+          std::printf("%s: OK (%s)\n", argv[i], p.name.c_str());
+        }
       } catch (const spec::Error& e) {
         std::printf("%s: FAIL\n  %s\n", argv[i], e.what());
         ++failures;
