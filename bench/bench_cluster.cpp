@@ -37,6 +37,9 @@ struct Composition {
   /// the pre-GTM bench byte-for-byte.
   gtm::TrafficPolicy gtm;
   serve::ArrivalConfig arrival;
+  /// Tiered-memory config from the spec's [tier] section plus CLI overrides;
+  /// the kOff default adds nothing to the output.
+  tier::TierConfig tier;
 };
 
 std::vector<Composition> default_compositions(bool quick) {
@@ -88,6 +91,7 @@ void run_composition(const Composition& comp, const serve::Policy placement, boo
       cc.lb = lb;
       cc.placement = placement;
       cc.gtm = comp.gtm;
+      cc.tier = comp.tier;
       cc.arrival = comp.arrival;
       cc.arrival.rate_per_us = rates[ri];
       cc.antagonist_server = 0;
@@ -148,6 +152,18 @@ void run_composition(const Composition& comp, const serve::Policy placement, boo
                                         static_cast<double>(rep.forwarded)
                                   : 0.0);
   }
+  // Cluster-wide tiering line, printed only when the tier is live so the
+  // default output stays byte-identical.
+  if (comp.tier.mode != tier::Mode::kOff) {
+    for (std::size_t li = 0; li < lbs.size(); ++li) {
+      const auto& rep = curves[li][at];
+      std::printf("    %-17s tier hit %5.1f%%  promo %llu  demo %llu  moved %.1f KB\n",
+                  cluster::to_string(lbs[li]), rep.tier_hit_ratio * 100.0,
+                  static_cast<unsigned long long>(rep.tier_promotions),
+                  static_cast<unsigned long long>(rep.tier_demotions),
+                  static_cast<double>(rep.tier_migrated_bytes) / 1024.0);
+    }
+  }
 }
 
 // The cluster-level GTM mitigation ablation: every bundle replays the
@@ -199,6 +215,7 @@ void run_mitigations(const Composition& comp, bool quick, int jobs, std::uint64_
       cc.lb = cluster::LbPolicy::kRoundRobin;
       cc.placement = placement;
       cc.gtm = b.p;
+      cc.tier = comp.tier;
       cc.arrival = comp.arrival;
       cc.arrival.rate_per_us = rates[ri];
       cc.antagonist_server = 0;
@@ -269,6 +286,7 @@ void run_latency_sweep(const Composition& comp, bool quick, int jobs, std::uint6
     cc.link.latency = sim::from_ns(ns);
     cc.lb = cluster::LbPolicy::kTelemetry;
     cc.gtm = comp.gtm;
+    cc.tier = comp.tier;
     cc.arrival = comp.arrival;
     cc.arrival.rate_per_us = 16.0;
     cc.antagonist_server = 0;
@@ -323,13 +341,19 @@ int main(int argc, char** argv) {
       const std::string base_dir =
           slash == std::string::npos ? "" : cluster_file.substr(0, slash);
       comp.arrival = gtm::to_arrival(cs.gtm, base_dir);
+      // [tier] in the .scnc configures the rack's tier; --tier-spec replaces
+      // it and --tier overrides the mode.
+      comp.tier = opt.tier_or(tier::to_config(cs.tier));
       comps.push_back(std::move(comp));
     } catch (const spec::Error& e) {
       opt.die(std::string("--cluster: ") + e.what());
     }
   } else {
     comps = default_compositions(opt.quick());
-    for (auto& comp : comps) comp.gtm = opt.gtm_or();
+    for (auto& comp : comps) {
+      comp.gtm = opt.gtm_or();
+      comp.tier = opt.tier_or();
+    }
   }
 
   exec::Stopwatch watch;

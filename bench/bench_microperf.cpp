@@ -21,6 +21,10 @@
 //                  by quiet gaps the queue fully drains across
 //   cluster        the rack-scale path end to end: two servers behind the
 //                  front-end balancer, lockstep epochs, link forwarding
+//   tier_migrations  the CXL tiering loop at full churn: epoch planning,
+//                  candidate sorts and fabric page copies per wall second
+//   tier_hit_ratio   steady-state DRAM hit ratio against a drifting working
+//                  set (a quality ratio gated like a rate)
 // Each metric is the best rate over --repeat runs (min wall time), which is
 // robust against scheduler noise on shared machines. --quick shrinks every
 // workload (for CI smoke checks of the JSON shape); tracked baselines always
@@ -55,6 +59,7 @@
 #include "sim/simulator.hpp"
 #include "stats/countmin.hpp"
 #include "stats/histogram.hpp"
+#include "tier/tier.hpp"
 
 namespace {
 
@@ -525,6 +530,92 @@ struct FastForwardHarness {
 
 int FastForwardHarness::points = 7;
 
+/// The tiering subsystem's migration engine at full churn: a drifting hot
+/// working set on the CXL segment forces continuous promotion (plus the
+/// demotions that refill the capacity reserve), and every page move is a
+/// chained read+write transaction on the real fabric. The rate is completed
+/// migrations per wall second — the cost of the epoch planner, the candidate
+/// sorts and the copy machinery together. The checksum digests the stats, so
+/// a planner change surfaces as drift rather than as noise.
+struct TierMigrationHarness {
+  struct Driver {
+    tier::TieredMemory* tiered;
+    sim::Simulator* simulator;
+    sim::Tick period;
+    sim::Tick stop;
+    std::uint64_t n = 0;
+
+    void tick() {
+      std::uint64_t mix = 0x9e3779b97f4a7c15ull * (n++ + 1);
+      (void)tiered->access(tiered->map_region(true, sim::splitmix64(mix), simulator->now()));
+      if (simulator->now() + period <= stop) {
+        simulator->schedule(period, [this] { tick(); });
+      }
+    }
+  };
+
+  static void run(std::uint64_t migrations, double* secs, sim::Tick* checksum) {
+    measure::Experiment e(spec::lookup("epyc9634"));
+    tier::TierConfig cfg;
+    cfg.mode = tier::Mode::kMigrate;
+    cfg.epoch = sim::from_us(1.0);
+    cfg.regions = 512;
+    cfg.dram_pages = 128;
+    cfg.migrate_gbps = 64.0;
+    cfg.ws_pages = 32;
+    cfg.drift = sim::from_ns(250.0);  // 4 pages/epoch: the loop never settles
+    tier::TieredMemory tiered(e.simulator, e.platform, cfg);
+    const sim::Tick horizon = cfg.epoch * static_cast<sim::Tick>(migrations + 64);
+    tiered.start(horizon);
+    Driver driver{&tiered, &e.simulator, sim::from_ns(10.0), horizon};
+    e.simulator.schedule(0, [&driver] { driver.tick(); });
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::Tick at = 0;
+    while (tiered.stats().promotions + tiered.stats().demotions < migrations && at < horizon) {
+      at += cfg.epoch;
+      e.simulator.run_until(at);
+    }
+    *secs = seconds_since(t0);
+    const tier::TierStats& st = tiered.stats();
+    *checksum = static_cast<sim::Tick>(st.promotions ^ (st.demotions << 20) ^
+                                       (st.dram_hits << 40) ^ st.epochs);
+  }
+};
+
+/// Steady-state quality of the tiering loop, tracked like a rate: the DRAM
+/// hit ratio migrate mode sustains against that same drifting working set
+/// over a fixed horizon. units == 1 with *secs = 1 / ratio, so best_per_sec
+/// lands on the hit ratio itself and tools/bench_delta.py gates a placement
+/// regression exactly like a throughput regression.
+struct TierHitRatioHarness {
+  static std::uint64_t horizon_us;  ///< 512 full-size, 32 under --quick
+
+  static void run(std::uint64_t /*units*/, double* secs, sim::Tick* checksum) {
+    measure::Experiment e(spec::lookup("epyc9634"));
+    tier::TierConfig cfg;
+    cfg.mode = tier::Mode::kMigrate;
+    cfg.epoch = sim::from_us(2.0);
+    cfg.regions = 512;
+    cfg.dram_pages = 128;
+    cfg.migrate_gbps = 32.0;
+    cfg.ws_pages = 48;
+    cfg.drift = sim::from_us(2.5);
+    tier::TieredMemory tiered(e.simulator, e.platform, cfg);
+    const sim::Tick horizon = sim::from_us(static_cast<double>(horizon_us));
+    tiered.start(horizon);
+    TierMigrationHarness::Driver driver{&tiered, &e.simulator, sim::from_ns(10.0), horizon};
+    e.simulator.schedule(0, [&driver] { driver.tick(); });
+    e.simulator.run_until(horizon);
+    const tier::TierStats& st = tiered.stats();
+    const double ratio = st.hit_ratio();
+    *secs = ratio > 0.0 ? 1.0 / ratio : 1e9;
+    *checksum = static_cast<sim::Tick>(st.accesses ^ (st.dram_hits << 16) ^
+                                       (st.promotions << 40) ^ (st.demotions << 52));
+  }
+};
+
+std::uint64_t TierHitRatioHarness::horizon_us = 512;
+
 struct Metric {
   const char* key;
   std::uint64_t units;     ///< events / items / transactions / chains per run
@@ -562,6 +653,8 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
   Metric cluster_path{"cluster_requests_per_sec", 4096 / scale, 0.0, 0};
   Metric gtm_overhead{"gtm_retained_throughput", 1, 0.0, 0};
   Metric fastforward{"fastforward_speedup", 1, 0.0, 0};
+  Metric tier_migrations{"tier_migrations_per_sec", 4096 / scale, 0.0, 0};
+  Metric tier_hit{"tier_hit_ratio", 1, 0.0, 0};
 
   measure<EventLoopHarness>(event_loop, repeats);
   measure<QueueChurnHarness>(queue_churn, repeats);
@@ -579,6 +672,11 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
   // keeps its share of the harness bounded while still shedding one-off
   // scheduler noise (the ratio is already self-normalizing).
   measure<FastForwardHarness>(fastforward, repeats < 3 ? repeats : 3);
+  measure<TierMigrationHarness>(tier_migrations, repeats);
+  // The horizon rides the scale knob via the static because units == 1 is
+  // what turns best_per_sec into the ratio (same trick as gtm_overhead).
+  TierHitRatioHarness::horizon_us = quick ? 32 : 512;
+  measure<TierHitRatioHarness>(tier_hit, repeats);
 
   // One untimed pass with introspection on: what the scheduler's bookkeeping
   // did for the flagship workload (counters are mechanism cost, not ordering).
@@ -589,9 +687,10 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
     EventLoopHarness::run(event_loop.units, &secs, &cks, &qstats);
   }
 
-  const Metric* all[] = {&event_loop,   &queue_churn, &transactions,
+  const Metric* all[] = {&event_loop,   &queue_churn,  &transactions,
                          &token_chain,  &queue_bimodal, &serve_burst,
-                         &cluster_path, &gtm_overhead, &fastforward};
+                         &cluster_path, &gtm_overhead,  &fastforward,
+                         &tier_migrations, &tier_hit};
   constexpr std::size_t kCount = sizeof(all) / sizeof(all[0]);
   std::printf("%-28s %14s %12s\n", "metric", "per_sec", "units/run");
   for (const Metric* m : all) {

@@ -180,6 +180,74 @@ void run_mitigations(const topo::PlatformParams& params, bool quick, int jobs,
   }
 }
 
+/// The tiering scenario family (--tier track|migrate): a CXL-heavy request
+/// mix under the CCD0 antagonist, swept once with placement frozen (track —
+/// the migration-off ablation, telemetry still live) and once with the
+/// migration engine on. Both modes replay the identical arrival sequence at
+/// every rate, so the knee-point shift is a paired comparison. Placement is
+/// gmi-local: the tier question is *where the bytes live*, not which CCX
+/// serves the request.
+void run_tiering(const topo::PlatformParams& params, bool quick, int jobs, std::uint64_t seed,
+                 const serve::ArrivalConfig& arrival, const gtm::TrafficPolicy& policy,
+                 const tier::TierConfig& tier_cfg) {
+  if (!params.has_cxl()) {
+    bench::subheading(params.name + " (no CXL tier: nothing to tier, skipped)");
+    return;
+  }
+
+  const tier::Mode modes[] = {tier::Mode::kTrack, tier::Mode::kMigrate};
+  std::vector<std::vector<serve::LoadPoint>> curves;
+  bench::subheading(params.name + " (far-memory mix; antagonist on CCD 0)");
+  for (const tier::Mode mode : modes) {
+    serve::SweepConfig sc = base_sweep(params, quick, jobs, seed, arrival, policy);
+    sc.policies = {serve::Policy::kLocal};
+    sc.classes = serve::tiering_classes(params);
+    sc.tier = tier_cfg;
+    sc.tier.mode = mode;
+    curves.push_back(serve::sweep(params, sc));
+    const auto& curve = curves.back();
+    std::printf("  tier %-8s %6s %8s %10s %7s %6s %7s %7s\n", tier::to_string(mode), "rate",
+                "goodput", "p99", "viol%", "hit%", "promo", "demo");
+    for (const auto& pt : curve) {
+      std::printf("    %-10s %6.1f %8.2f %10.1f %6.1f%% %5.1f%% %7llu %7llu\n", "",
+                  pt.rate_per_us, pt.report.goodput_per_us, pt.report.p99_ns,
+                  pt.report.slo_violation_frac * 100.0, pt.report.tier_hit_ratio * 100.0,
+                  static_cast<unsigned long long>(pt.report.tier_promotions),
+                  static_cast<unsigned long long>(pt.report.tier_demotions));
+    }
+    const int knee = serve::knee_index(curve);
+    if (knee >= 0) {
+      std::printf("    knee: %.1f req/us (p99 %.1f ns)\n",
+                  curve[static_cast<std::size_t>(knee)].rate_per_us,
+                  curve[static_cast<std::size_t>(knee)].report.p99_ns);
+    } else {
+      std::printf("    knee: none (p99 never exceeded 3x baseline)\n");
+    }
+  }
+
+  // Summary at the migration-off knee rate (or top rate): how much latency
+  // does moving the hot working set DRAM-ward buy at the point where the
+  // static placement saturates?
+  const auto& off = curves.front();
+  const int knee = serve::knee_index(off);
+  const auto at = static_cast<std::size_t>(knee >= 0 ? knee : static_cast<int>(off.size()) - 1);
+  std::printf("  at track %s (%.1f req/us):\n", knee >= 0 ? "knee" : "top rate",
+              off[at].rate_per_us);
+  for (std::size_t m = 0; m < curves.size(); ++m) {
+    const auto& pt = curves[m][at];
+    std::printf("    %-8s p99 %10.1f ns  goodput %6.2f req/us  hit %5.1f%%  moved %llu pages\n",
+                tier::to_string(modes[m]), pt.report.p99_ns, pt.report.goodput_per_us,
+                pt.report.tier_hit_ratio * 100.0,
+                static_cast<unsigned long long>(pt.report.tier_promotions +
+                                                pt.report.tier_demotions));
+  }
+  const double off_p99 = off[at].report.p99_ns;
+  const double mig_p99 = curves.back()[at].report.p99_ns;
+  if (mig_p99 > 0.0) {
+    std::printf("  migration p99 speedup at that rate: %.2fx\n", off_p99 / mig_p99);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,8 +263,23 @@ int main(int argc, char** argv) {
   const bench::GtmSpec gs = bench::load_gtm_spec(opt.platform_arg());
   const gtm::TrafficPolicy policy = opt.gtm_or(gtm::to_policy(gs.params));
   const serve::ArrivalConfig arrival = gtm::to_arrival(gs.params, gs.base_dir);
+  // [tier] in the --platform spec file configures the tier; --tier-spec
+  // replaces it and --tier overrides the mode.
+  const tier::TierConfig tier_cfg =
+      opt.tier_or(tier::to_config(bench::load_tier_params(opt.platform_arg())));
 
   exec::Stopwatch watch;
+  if (tier_cfg.mode != tier::Mode::kOff) {
+    // The tiering scenario family replaces the default panels: the default
+    // output (and its goldens) stays byte-identical unless tiering is asked
+    // for explicitly.
+    bench::heading("Serving: CXL tiering, migration on vs off");
+    for (const auto& params : opt.platforms()) {
+      run_tiering(params, opt.quick(), opt.jobs(), opt.seed_or(1), arrival, policy, tier_cfg);
+    }
+    bench::report_wallclock("tiering sweeps", opt.jobs(), watch.elapsed_ms());
+    return 0;
+  }
   bench::heading("Serving: latency vs offered load per placement policy");
   for (const auto& params : opt.platforms()) {
     run_platform(params, opt.quick(), opt.jobs(), opt.seed_or(1), arrival, policy);

@@ -14,6 +14,7 @@
 
 #include "exec/sweep.hpp"
 #include "gtm/spec.hpp"
+#include "tier/spec.hpp"
 
 namespace scn::bench {
 
@@ -36,6 +37,18 @@ inline GtmSpec load_gtm_spec(const std::string& arg) {
   const std::size_t slash = arg.find_last_of('/');
   out.base_dir = slash == std::string::npos ? "" : arg.substr(0, slash);
   return out;
+}
+
+/// The [tier] section a `--platform`/`--cluster` spec file carries. Builtin
+/// platform names are not files, so they yield the defaults (mode = off);
+/// the --tier/--tier-spec flags layer on top via Options::tier_or.
+inline tier::TierParams load_tier_params(const std::string& arg) {
+  if (arg.empty()) return {};
+  std::ifstream in(arg);
+  if (!in) return {};  // a builtin name, not a spec file
+  std::ostringstream text;
+  text << in.rdbuf();
+  return tier::parse_tier(text.str(), arg);
 }
 
 // Flag parsing (--jobs/--quick/--platform and per-binary flags) lives in

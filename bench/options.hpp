@@ -14,6 +14,8 @@
 //   --discipline D           GTM worker-queue order (fifo, priority, edf)
 //   --admission A            GTM admission control (none, token-bucket)
 //   --hedge-pct X            GTM hedge percentile in [0, 100); 0 disables
+//   --tier <off|track|migrate>  tiered-memory subsystem mode
+//   --tier-spec FILE         read a [tier] section from a spec file
 //
 // plus per-binary flags registered by the caller. Malformed numbers and
 // unknown flags are hard errors: usage on stderr and exit(2) — never a
@@ -26,8 +28,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +39,7 @@
 #include "gtm/policy.hpp"
 #include "serve/placement.hpp"
 #include "spec/spec.hpp"
+#include "tier/spec.hpp"
 #include "topo/params.hpp"
 
 namespace scn::bench {
@@ -144,6 +149,29 @@ class Options {
           })) {
         continue;
       }
+      if (consume_valued(arg, "--tier", argc, argv, i, [&](const std::string& v) {
+            const auto m = tier::parse_mode(v);
+            if (!m) {
+              die(std::string("flag '--tier': bad value '") + v +
+                  "' (want off|track|migrate)");
+            }
+            tier_mode_ = *m;
+          })) {
+        continue;
+      }
+      if (consume_valued(arg, "--tier-spec", argc, argv, i, [&](const std::string& v) {
+            std::ifstream file(v);
+            if (!file) die(std::string("flag '--tier-spec': cannot open '") + v + "'");
+            std::ostringstream text;
+            text << file.rdbuf();
+            try {
+              tier_params_ = tier::parse_tier(text.str(), v);
+            } catch (const spec::Error& e) {
+              die(std::string("--tier-spec: ") + e.what());
+            }
+          })) {
+        continue;
+      }
       if (consume_valued(arg, "--fastforward", argc, argv, i, [&](const std::string& v) {
             // Strict on/off vocabulary: anything else is a hard error, never
             // a silent default — an accuracy A/B must not quietly run the
@@ -232,6 +260,21 @@ class Options {
     if (discipline_) base.discipline = *discipline_;
     if (admission_) base.admission.mode = *admission_;
     if (hedge_pct_) base.hedge.pct = *hedge_pct_;
+    return base;
+  }
+
+  // ---- tiered-memory flags ------------------------------------------------
+  /// True when --tier or --tier-spec was given.
+  [[nodiscard]] bool has_tier() const {
+    return tier_mode_.has_value() || tier_params_.has_value();
+  }
+  /// `base` with the CLI tier overrides applied on top: --tier-spec replaces
+  /// the whole bundle, then --tier overrides the mode (flag-over-file
+  /// precedence, like gtm_or). Pass a spec-derived config to compose with a
+  /// platform file's own [tier] section; pass {} for flags-only.
+  [[nodiscard]] tier::TierConfig tier_or(tier::TierConfig base = {}) const {
+    if (tier_params_) base = tier::to_config(*tier_params_);
+    if (tier_mode_) base.mode = *tier_mode_;
     return base;
   }
 
@@ -327,7 +370,7 @@ class Options {
     std::fprintf(out,
                  "usage: %s [--jobs N] [--quick] [--platform <name|file.scn>] [--seed S]"
                  " [--fastforward on|off] [--placement P] [--discipline D] [--admission A]"
-                 " [--hedge-pct X]",
+                 " [--hedge-pct X] [--tier M] [--tier-spec FILE]",
                  prog_);
     for (const auto& s : specs_) {
       std::fprintf(out, " [%s%s]", s.name, s.kind == Spec::kBool ? "" : " V");
@@ -349,6 +392,10 @@ class Options {
     std::fprintf(out, "  --admission A  GTM admission control: none|token-bucket\n");
     std::fprintf(out,
                  "  --hedge-pct X  GTM hedge percentile in [0, 100); 0 disables hedging\n");
+    std::fprintf(out, "  --tier M       tiered memory: off|track|migrate (default off)\n");
+    std::fprintf(out,
+                 "  --tier-spec F  read [tier] parameters from a spec file (--tier overrides "
+                 "its mode)\n");
     for (const auto& s : specs_) {
       std::fprintf(out, "  %-14s %s\n", s.name, s.help);
     }
@@ -369,6 +416,8 @@ class Options {
   std::optional<gtm::AdmissionMode> admission_;
   std::optional<double> hedge_pct_;
   std::optional<std::uint64_t> seed_;
+  std::optional<tier::Mode> tier_mode_;
+  std::optional<tier::TierParams> tier_params_;
   std::string platform_arg_;
   std::optional<topo::PlatformParams> platform_;
   std::vector<char*> passthrough_;

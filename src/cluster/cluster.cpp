@@ -194,6 +194,11 @@ ClusterSim::ClusterSim(ClusterConfig config) : cfg_(std::move(config)), class_rn
     sc.external_arrivals = !cfg_.local_arrivals;
     sc.seed = server_seed(cfg_.seed, i);
     sc.antagonist = i == cfg_.antagonist_server;
+    // Tiering applies per box, and only where there is a CXL device to tier
+    // against: a heterogeneous rack keeps its DRAM-only servers on the exact
+    // pre-tier code paths rather than failing the whole cluster build.
+    sc.tier = cfg_.tier;
+    if (!cfg_.servers[static_cast<std::size_t>(i)].has_cxl()) sc.tier.mode = tier::Mode::kOff;
     shards_->post(i, [inst, params = cfg_.servers[static_cast<std::size_t>(i)],
                       sc = std::move(sc)]() mutable {
       try {
@@ -394,6 +399,11 @@ ClusterReport ClusterSim::report() const {
     rep.rejected += r.rejected;
     rep.hedges += r.hedges;
     rep.hedge_wins += r.hedge_wins;
+    rep.tier_accesses += r.tier_accesses;
+    rep.tier_dram_hits += r.tier_dram_hits;
+    rep.tier_promotions += r.tier_promotions;
+    rep.tier_demotions += r.tier_demotions;
+    rep.tier_migrated_bytes += r.tier_migrated_bytes;
     shares.push_back(static_cast<double>(r.in_slo));
     drained_end = std::max(drained_end, inst.server->measured_end());
     for (int cls = 0; cls < static_cast<int>(catalog_.size()); ++cls) {
@@ -426,6 +436,10 @@ ClusterReport ClusterSim::report() const {
           1.0 - static_cast<double>(rep.in_slo) / static_cast<double>(admitted);
     }
     rep.rejected_frac = static_cast<double>(rep.rejected) / static_cast<double>(rep.arrivals);
+  }
+  if (rep.tier_accesses > 0) {
+    rep.tier_hit_ratio =
+        static_cast<double>(rep.tier_dram_hits) / static_cast<double>(rep.tier_accesses);
   }
   rep.jain_server_fairness = stats::jain_index(shares);
   if (rep.forwarded > 0) {

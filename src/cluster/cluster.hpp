@@ -86,6 +86,10 @@ struct ClusterConfig {
   /// server (queue discipline, admission control, hedging). The default
   /// bundle reproduces the pre-GTM cluster exactly.
   gtm::TrafficPolicy gtm;
+  /// Tiered-memory config, applied on every server that has a CXL tier
+  /// (forced off per-box on servers without one — a heterogeneous rack must
+  /// not fail to build). The kOff default reproduces the pre-tier cluster.
+  tier::TierConfig tier;
   /// Cluster-wide offered load (ignored when local_arrivals is set).
   serve::ArrivalConfig arrival;
   /// Shared request catalog; empty selects a default catalog valid on every
@@ -130,6 +134,13 @@ struct ClusterReport {
   /// spread the work, or pile it on one box?
   double jain_server_fairness = 1.0;
   double link_wait_mean_ns = 0.0;  ///< mean NIC serialization queue wait
+  // Tiered-memory counters summed over every server (zero with the tier off).
+  std::uint64_t tier_accesses = 0;
+  std::uint64_t tier_dram_hits = 0;
+  std::uint64_t tier_promotions = 0;
+  std::uint64_t tier_demotions = 0;
+  std::uint64_t tier_migrated_bytes = 0;
+  double tier_hit_ratio = 1.0;  ///< cluster-wide dram_hits / accesses
   std::vector<serve::Report> per_server;
   std::vector<std::uint64_t> forwarded_per_server;
 };

@@ -69,14 +69,14 @@ ClusterSpec parse_cluster(std::string_view text, const std::string& source,
       if (body.back() != ']') throw spec::Error(where + ": unterminated section header");
       const std::string_view section = trim(body.substr(1, body.size() - 2));
       in_cluster = section == "cluster";
-      in_gtm = section == "gtm" || section == "arrivals";
+      in_gtm = section == "gtm" || section == "arrivals" || section == "tier";
       if (in_cluster) seen_cluster = true;
       if (!in_cluster && !in_gtm) {
         throw spec::Error(where + ": unknown section [" + std::string(section) + "]");
       }
       continue;
     }
-    if (in_gtm) continue;  // validated by gtm::parse_gtm over the same text
+    if (in_gtm) continue;  // validated by gtm::parse_gtm / tier::parse_tier over the same text
     if (!in_cluster) {
       throw spec::Error(where + ": key outside the [cluster] section");
     }
@@ -118,6 +118,7 @@ ClusterSpec parse_cluster(std::string_view text, const std::string& source,
   if (!seen_cluster) throw spec::Error(source + ": missing [cluster] section");
   if (out.servers.empty()) throw spec::Error(source + ": no servers listed");
   out.gtm = gtm::parse_gtm(text, source);
+  out.tier = tier::parse_tier(text, source);
   return out;
 }
 
@@ -148,6 +149,8 @@ std::string dump_cluster(const ClusterSpec& spec) {
   out += "request_bytes = " + format_double(spec.link.request_bytes) + "\n";
   out += "\n";
   out += gtm::dump_gtm(spec.gtm);
+  out += "\n";
+  out += tier::dump_tier(spec.tier);
   return out;
 }
 
@@ -179,6 +182,8 @@ std::vector<std::string> diff_cluster(const ClusterSpec& a, const ClusterSpec& b
   }
   const auto gtm_diffs = gtm::diff_gtm(a.gtm, b.gtm);
   out.insert(out.end(), gtm_diffs.begin(), gtm_diffs.end());
+  const auto tier_diffs = tier::diff_tier(a.tier, b.tier);
+  out.insert(out.end(), tier_diffs.begin(), tier_diffs.end());
   return out;
 }
 

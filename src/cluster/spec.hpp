@@ -15,7 +15,9 @@
 // A cluster spec may also carry the Global Traffic Manager sections ([gtm]
 // and [arrivals], same grammar as in platform .scn files); they configure
 // the queue discipline, admission control, hedging, and the front-end
-// arrival schedule for every server in the rack.
+// arrival schedule for every server in the rack. A [tier] section (same
+// grammar as in platform .scn files) configures the tiered-memory subsystem
+// on every CXL-equipped member.
 //
 // Tick-valued keys are nanoseconds and bandwidths bytes/ns (GB/s), matching
 // the platform spec conventions. Malformed input throws spec::Error with
@@ -29,6 +31,7 @@
 #include "cluster/cluster.hpp"
 #include "gtm/spec.hpp"
 #include "spec/spec.hpp"
+#include "tier/spec.hpp"
 
 namespace scn::cluster {
 
@@ -41,6 +44,8 @@ struct ClusterSpec {
   /// GTM + arrivals sections; defaults (FIFO, no admission, no hedging,
   /// Poisson) when the spec omits them.
   gtm::GtmParams gtm;
+  /// [tier] section; defaults (mode = off) when the spec omits it.
+  tier::TierParams tier;
 };
 
 /// Parse cluster spec text. `source` names the origin for diagnostics;

@@ -112,4 +112,43 @@ struct RequestClass {
   return classes;
 }
 
+/// The tiering-study catalog (requires a CXL tier): a latency-sensitive
+/// DRAM point lookup sharing the fabric with a far-memory class whose
+/// nominally "cold" stage hammers a small CXL-side working set. Under the
+/// live tier that working set is exactly what hotness tracking detects and
+/// migration promotes, so this catalog is where `--tier migrate` and
+/// `--tier track` (placement frozen) pull apart. The CXL stage dominates the
+/// class's latency: 32 sequential-window reads across the IO die each way.
+[[nodiscard]] inline std::vector<RequestClass> tiering_classes(const topo::PlatformParams&) {
+  std::vector<RequestClass> classes;
+
+  RequestClass point;
+  point.name = "point";
+  point.tenant = "alpha";
+  point.weight = 2.0;
+  point.slo = sim::from_us(2.0);
+  point.priority = 0;
+  point.stages = {
+      {"compute", StageKind::kCompute, 16, 64.0, 1, {}},
+      {"lookup", StageKind::kDramRead, 8, 64.0, 8, {0}},
+      {"respond", StageKind::kDramWrite, 2, 64.0, 2, {1}},
+  };
+  classes.push_back(std::move(point));
+
+  RequestClass far;
+  far.name = "far";
+  far.tenant = "gamma";
+  far.weight = 2.0;
+  far.slo = sim::from_us(8.0);
+  far.priority = 1;
+  far.stages = {
+      {"compute", StageKind::kCompute, 8, 64.0, 1, {}},
+      {"far", StageKind::kCxlRead, 32, 64.0, 8, {0}},
+      {"respond", StageKind::kDramWrite, 2, 64.0, 2, {1}},
+  };
+  classes.push_back(std::move(far));
+
+  return classes;
+}
+
 }  // namespace scn::serve

@@ -90,6 +90,13 @@ ServerSim::ServerSim(sim::Simulator& simulator, topo::Platform& platform, Server
   pred_ns_.assign(static_cast<std::size_t>(ccds), 0.0);
   last_gmi_bytes_.assign(static_cast<std::size_t>(ccds), 0.0);
 
+  // The living CXL tier. Built only when asked for, so the kOff default
+  // leaves the pre-tier code paths (and their goldens) untouched; the
+  // TieredMemory ctor rejects configs this platform cannot host.
+  if (cfg_.tier.mode != tier::Mode::kOff) {
+    tiered_ = std::make_unique<tier::TieredMemory>(simulator, platform, cfg_.tier);
+  }
+
   // GTM wiring: queue discipline per worker, per-class admission buckets,
   // per-class hedge-delay estimators. The default policy (FIFO / none / off)
   // configures nothing that changes behavior.
@@ -187,6 +194,8 @@ void ServerSim::start() {
     }
     sim_->schedule(cfg_.telemetry_epoch, [this] { telemetry_tick(); });
   }
+
+  if (tiered_) tiered_->start(cfg_.stop);
 
   // A trace that is already exhausted (an empty trace file) offers nothing.
   if (!cfg_.external_arrivals && !arrivals_.exhausted()) {
@@ -376,7 +385,26 @@ void ServerSim::issue_one(Request* r, int si) {
   auto& run = r->runs[static_cast<std::size_t>(si)];
 
   fabric::Path* path = nullptr;
-  if (st.kind == StageKind::kCxlRead) {
+  if (tiered_ && (st.kind == StageKind::kDramRead || st.kind == StageKind::kCxlRead)) {
+    // Live tier: the stage's nominal kind names the *segment* its working
+    // set lives in (DRAM-resident prefix vs CXL-resident remainder); the
+    // chunk hash picks a region inside that segment's drifting window, and
+    // the region's current home decides which path this read really takes.
+    // The hash is a fixed mix of (request id, stage, chunk) — not an RNG
+    // stream — so the access pattern is a pure function of the request
+    // sequence and simulated time.
+    std::uint64_t mix = r->id * 0x9e3779b97f4a7c15ULL +
+                        static_cast<std::uint64_t>(si) * 0xbf58476d1ce4e5b9ULL +
+                        static_cast<std::uint64_t>(run.issued);
+    const int region =
+        tiered_->map_region(st.kind == StageKind::kCxlRead, sim::splitmix64(mix), sim_->now());
+    if (tiered_->access(region) == tier::Home::kCxl) {
+      path = w->cxl;
+    } else {
+      const auto& paths = cfg_.policy == Policy::kRoundRobin ? w->dram_all : w->dram_near;
+      path = paths[run.rr++ % paths.size()];
+    }
+  } else if (st.kind == StageKind::kCxlRead) {
     path = w->cxl;
   } else {
     // Round-robin placement interleaves over every UMC (NPS1); the
@@ -635,6 +663,17 @@ Report ServerSim::report() const {
     if (tenant_weight[t] > 0.0) shares.push_back(tenant_goodput[t] / tenant_weight[t]);
   }
   rep.jain_tenant_fairness = stats::jain_index(shares);
+
+  if (tiered_) {
+    const tier::TierStats& ts = tiered_->stats();
+    rep.tier_accesses = ts.accesses;
+    rep.tier_dram_hits = ts.dram_hits;
+    rep.tier_promotions = ts.promotions;
+    rep.tier_demotions = ts.demotions;
+    rep.tier_migrated_bytes = ts.migrated_bytes;
+    rep.tier_deferred = ts.deferred;
+    rep.tier_hit_ratio = ts.hit_ratio();
+  }
 
   rep.served_per_worker.reserve(workers_.size());
   for (const Worker& w : workers_) rep.served_per_worker.push_back(w.served);

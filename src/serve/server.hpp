@@ -29,6 +29,7 @@
 #include "serve/placement.hpp"
 #include "serve/request.hpp"
 #include "stats/histogram.hpp"
+#include "tier/tier.hpp"
 #include "topo/platform.hpp"
 #include "traffic/stream_flow.hpp"
 
@@ -41,6 +42,12 @@ struct ServerConfig {
   /// control, hedging). The default bundle reproduces the pre-GTM server
   /// exactly: FIFO queues, admit everything, never hedge.
   gtm::TrafficPolicy gtm;
+  /// Tiered-memory subsystem (mode = kOff reproduces the pre-tier server
+  /// exactly: no TieredMemory is built and memory stages resolve their
+  /// paths by nominal stage kind). With tracking or migration on, DRAM-read
+  /// and CXL-read stages resolve their target region through the live tier
+  /// map, so a stage's latency follows the region's *current* placement.
+  tier::TierConfig tier;
   /// Request catalog; empty selects default_classes(platform params).
   std::vector<RequestClass> classes;
   /// Concurrent requests a worker serves; beyond this, requests queue.
@@ -101,6 +108,14 @@ struct Report {
   double rejected_frac = 0.0;  ///< rejected / arrivals
   /// Jain index over per-tenant goodput normalized by tenant weight.
   double jain_tenant_fairness = 1.0;
+  // Tiered-memory counters (all zero with the tier off; hit ratio 1).
+  std::uint64_t tier_accesses = 0;
+  std::uint64_t tier_dram_hits = 0;
+  std::uint64_t tier_promotions = 0;
+  std::uint64_t tier_demotions = 0;
+  std::uint64_t tier_migrated_bytes = 0;
+  std::uint64_t tier_deferred = 0;
+  double tier_hit_ratio = 1.0;
   std::vector<ClassReport> classes;
   std::vector<std::uint64_t> served_per_worker;  ///< placement decisions
 };
@@ -152,6 +167,8 @@ class ServerSim {
   [[nodiscard]] const stats::Histogram& class_e2e(int cls) const {
     return class_acc_[static_cast<std::size_t>(cls)].e2e;
   }
+  /// The live tier, or nullptr with mode = kOff. Test hook.
+  [[nodiscard]] const tier::TieredMemory* tiered() const noexcept { return tiered_.get(); }
 
  private:
   struct StageRun {
@@ -267,6 +284,7 @@ class ServerSim {
   std::vector<double> last_gmi_bytes_;     ///< per-CCD byte counter at last epoch
 
   std::vector<std::unique_ptr<traffic::StreamFlow>> antagonists_;
+  std::unique_ptr<tier::TieredMemory> tiered_;  ///< null when cfg_.tier.mode == kOff
   bool started_ = false;
 };
 

@@ -22,6 +22,7 @@ std::vector<LoadPoint> sweep(const topo::PlatformParams& params, const SweepConf
     sc.arrival.kind = config.arrival;
     sc.arrival.rate_per_us = config.rates_per_us[static_cast<std::size_t>(r)];
     sc.gtm = config.gtm;
+    sc.tier = config.tier;
     sc.classes = config.classes;
     sc.worker_slots = config.worker_slots;
     sc.warmup = config.warmup;

@@ -33,6 +33,9 @@ struct SweepConfig {
   ArrivalConfig arrival_template;
   /// GTM policy bundle applied to every server in the sweep.
   gtm::TrafficPolicy gtm;
+  /// Tiered-memory config applied to every server (mode = kOff: pre-tier
+  /// behavior, exactly).
+  tier::TierConfig tier;
   std::vector<RequestClass> classes;  ///< empty => default catalog
   bool antagonist = true;
   std::uint32_t worker_slots = 4;

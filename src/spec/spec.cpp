@@ -315,9 +315,11 @@ topo::PlatformParams parse(std::string_view text, const std::string& source) {
     if (line.front() == '[') {
       if (line.back() != ']') fail(source, line_no, "unterminated section header");
       section = std::string(trim(line.substr(1, line.size() - 2)));
-      // [gtm] and [arrivals] belong to the Global Traffic Manager schema; a
-      // platform spec may carry them (gtm::parse_gtm validates those keys).
-      if (!section_exists(section) && section != "gtm" && section != "arrivals") {
+      // [gtm] and [arrivals] belong to the Global Traffic Manager schema and
+      // [tier] to the tiered-memory schema; a platform spec may carry them
+      // (gtm::parse_gtm / tier::parse_tier validate those keys).
+      if (!section_exists(section) && section != "gtm" && section != "arrivals" &&
+          section != "tier") {
         fail(source, line_no, "unknown section [" + section + "]");
       }
       if (!seen_sections.insert(section).second) {
@@ -325,7 +327,7 @@ topo::PlatformParams parse(std::string_view text, const std::string& source) {
       }
       continue;
     }
-    if (section == "gtm" || section == "arrivals") continue;
+    if (section == "gtm" || section == "arrivals" || section == "tier") continue;
 
     const std::size_t eq = line.find('=');
     if (eq == std::string_view::npos) {

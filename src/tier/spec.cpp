@@ -1,0 +1,289 @@
+#include "tier/spec.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+namespace scn::tier {
+namespace {
+
+TierField ts(const char* key, std::string TierParams::* m, const char* doc) {
+  TierField f{key, TierFieldKind::kString, doc};
+  f.s = m;
+  return f;
+}
+TierField ti(const char* key, int TierParams::* m, const char* doc) {
+  TierField f{key, TierFieldKind::kInt, doc};
+  f.i = m;
+  return f;
+}
+TierField td(const char* key, double TierParams::* m, const char* doc) {
+  TierField f{key, TierFieldKind::kDouble, doc};
+  f.d = m;
+  return f;
+}
+TierField tt(const char* key, sim::Tick TierParams::* m, const char* doc) {
+  TierField f{key, TierFieldKind::kTickNs, doc};
+  f.t = m;
+  return f;
+}
+
+std::vector<TierField> make_registry() {
+  using T = TierParams;
+  std::vector<TierField> r;
+  r.push_back(ts("mode", &T::mode, "off | track | migrate"));
+  r.push_back(td("page_kb", &T::page_kb, "region (page) size"));
+  r.push_back(tt("epoch_ns", &T::epoch, "hotness decay / classification / migration period"));
+  r.push_back(ti("regions", &T::regions, "tiered address space, in pages"));
+  r.push_back(ti("dram_pages", &T::dram_pages, "DRAM-side capacity, in pages"));
+  r.push_back(td("dram_reserve", &T::dram_reserve,
+                 "fraction of dram_pages kept free for incoming promotions"));
+  r.push_back(td("promote_threshold", &T::promote_threshold,
+                 "decayed accesses/epoch at/above which a region is hot"));
+  r.push_back(td("demote_threshold", &T::demote_threshold,
+                 "decayed accesses/epoch at/below which a region is cold"));
+  r.push_back(ti("hysteresis_epochs", &T::hysteresis_epochs,
+                 "consecutive epochs past a threshold before the class flips"));
+  r.push_back(td("migrate_gbps", &T::migrate_gbps,
+                 "migration bandwidth budget per epoch (0 = track-only movement)"));
+  r.push_back(ti("ws_pages", &T::ws_pages,
+                 "serve-layer hot working-set window, pages per segment"));
+  r.push_back(tt("drift_ns", &T::drift,
+                 "window start advances one page per this period (0 = static)"));
+  return r;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string format_value(const TierField& f, const TierParams& p) {
+  switch (f.kind) {
+    case TierFieldKind::kString: return p.*(f.s);
+    case TierFieldKind::kInt: return std::to_string(p.*(f.i));
+    case TierFieldKind::kDouble: return format_double(p.*(f.d));
+    case TierFieldKind::kTickNs: return format_double(sim::to_ns(p.*(f.t)));
+  }
+  return {};
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& source, int line, const std::string& msg) {
+  throw spec::Error(source + ":" + std::to_string(line) + ": " + msg);
+}
+
+double parse_double_or_fail(std::string_view v, const std::string& source, int line,
+                            const char* key) {
+  const std::string str(v);
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(str.c_str(), &end);
+  if (end == str.c_str() || *end != '\0' || errno == ERANGE) {
+    fail(source, line, std::string("bad number '") + str + "' for key '" + key + "'");
+  }
+  return d;
+}
+
+long long parse_integer_or_fail(std::string_view v, const std::string& source, int line,
+                                const char* key) {
+  const std::string str(v);
+  errno = 0;
+  char* end = nullptr;
+  const long long i = std::strtoll(str.c_str(), &end, 10);
+  if (end == str.c_str() || *end != '\0' || errno == ERANGE) {
+    fail(source, line, std::string("bad integer '") + str + "' for key '" + key + "'");
+  }
+  return i;
+}
+
+void assign(const TierField& f, TierParams& p, std::string_view value, const std::string& source,
+            int line) {
+  switch (f.kind) {
+    case TierFieldKind::kString: p.*(f.s) = std::string(value); break;
+    case TierFieldKind::kInt:
+      p.*(f.i) = static_cast<int>(parse_integer_or_fail(value, source, line, f.key));
+      break;
+    case TierFieldKind::kDouble:
+      p.*(f.d) = parse_double_or_fail(value, source, line, f.key);
+      break;
+    case TierFieldKind::kTickNs:
+      p.*(f.t) = sim::from_ns(parse_double_or_fail(value, source, line, f.key));
+      break;
+  }
+}
+
+const TierField* find_field(std::string_view key) {
+  for (const auto& f : tier_fields()) {
+    if (key == f.key) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<TierField>& tier_fields() {
+  static const std::vector<TierField> registry = make_registry();
+  return registry;
+}
+
+TierParams parse_tier(std::string_view text, const std::string& source) {
+  TierParams p;
+  std::string section;
+  bool seen_tier = false;
+  std::set<const TierField*> seen_keys;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw = text.substr(pos, eol == std::string_view::npos ? eol : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(source, line_no, "unterminated section header");
+      section = std::string(trim(line.substr(1, line.size() - 2)));
+      if (section == "tier") {
+        if (seen_tier) fail(source, line_no, "duplicate section [tier]");
+        seen_tier = true;
+      }
+      continue;
+    }
+
+    // Keys in other sections belong to the platform, cluster or GTM schema;
+    // their parsers validate them. This scanner only owns [tier].
+    if (section != "tier") continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(source, line_no,
+           "expected 'key = value' or '[section]', got '" + std::string(line) + "'");
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string_view value = trim(line.substr(eq + 1));
+    const TierField* f = find_field(key);
+    if (f == nullptr) {
+      fail(source, line_no, "unknown key '" + key + "' in section [tier]");
+    }
+    if (!seen_keys.insert(f).second) {
+      fail(source, line_no, "duplicate key '" + key + "' in section [tier]");
+    }
+    assign(*f, p, value, source, line_no);
+  }
+
+  validate_tier_or_throw(p, source);
+  return p;
+}
+
+std::string dump_tier(const TierParams& params) {
+  std::string out = "[tier]\n";
+  for (const auto& f : tier_fields()) {
+    if (f.doc != nullptr && f.doc[0] != '\0') {
+      out += "# ";
+      out += f.doc;
+      out += "\n";
+    }
+    out += f.key;
+    out += " = ";
+    out += format_value(f, params);
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> validate_tier(const TierParams& p) {
+  std::vector<std::string> errors;
+  auto check = [&errors](bool ok, const std::string& msg) {
+    if (!ok) errors.push_back(msg);
+  };
+
+  check(parse_mode(p.mode).has_value(),
+        "[tier] mode: unknown value '" + p.mode + "' (off | track | migrate)");
+  check(p.page_kb > 0.0, "[tier] page_kb: must be > 0");
+  check(p.epoch > 0, "[tier] epoch_ns: must be > 0");
+  check(p.regions >= 2, "[tier] regions: must be >= 2");
+  check(p.dram_pages >= 1, "[tier] dram_pages: must be >= 1");
+  check(p.dram_reserve >= 0.0 && p.dram_reserve < 1.0, "[tier] dram_reserve: must be in [0, 1)");
+  check(p.demote_threshold >= 0.0, "[tier] demote_threshold: must be >= 0");
+  check(p.promote_threshold > p.demote_threshold,
+        "[tier] promote_threshold: must be > demote_threshold");
+  check(p.hysteresis_epochs >= 1, "[tier] hysteresis_epochs: must be >= 1");
+  check(p.migrate_gbps >= 0.0, "[tier] migrate_gbps: must be >= 0");
+  check(p.ws_pages >= 1, "[tier] ws_pages: must be >= 1");
+  check(p.drift >= 0, "[tier] drift_ns: must be >= 0");
+  if (p.dram_pages >= 1 && p.dram_reserve >= 0.0 && p.dram_reserve < 1.0) {
+    const int reserve =
+        static_cast<int>(p.dram_reserve * static_cast<double>(p.dram_pages) + 0.5);
+    const int resident = p.dram_pages - reserve;
+    check(resident >= 1, "[tier] dram_reserve: leaves no resident DRAM pages");
+    check(p.regions > resident,
+          "[tier] regions: must exceed the resident DRAM pages (nothing to tier)");
+  }
+  return errors;
+}
+
+void validate_tier_or_throw(const TierParams& params, const std::string& context) {
+  const auto errors = validate_tier(params);
+  if (errors.empty()) return;
+  std::string msg = context + ": invalid tier parameters:";
+  for (const auto& e : errors) {
+    msg += "\n  ";
+    msg += e;
+  }
+  throw spec::Error(msg);
+}
+
+std::vector<std::string> diff_tier(const TierParams& a, const TierParams& b) {
+  std::vector<std::string> out;
+  for (const auto& f : tier_fields()) {
+    bool equal = false;
+    switch (f.kind) {
+      case TierFieldKind::kString: equal = a.*(f.s) == b.*(f.s); break;
+      case TierFieldKind::kInt: equal = a.*(f.i) == b.*(f.i); break;
+      case TierFieldKind::kDouble: equal = a.*(f.d) == b.*(f.d); break;
+      case TierFieldKind::kTickNs: equal = a.*(f.t) == b.*(f.t); break;
+    }
+    if (!equal) {
+      out.push_back(std::string("[tier] ") + f.key + ": " + format_value(f, a) + " != " +
+                    format_value(f, b));
+    }
+  }
+  return out;
+}
+
+TierConfig to_config(const TierParams& p) {
+  TierConfig c;
+  const auto m = parse_mode(p.mode);
+  if (!m) throw spec::Error("[tier] mode: unknown value '" + p.mode + "'");
+  c.mode = *m;
+  c.page_bytes = p.page_kb * 1024.0;
+  c.epoch = p.epoch;
+  c.regions = p.regions;
+  c.dram_pages = p.dram_pages;
+  c.dram_reserve = p.dram_reserve;
+  c.promote_threshold = p.promote_threshold;
+  c.demote_threshold = p.demote_threshold;
+  c.hysteresis = p.hysteresis_epochs;
+  c.migrate_gbps = p.migrate_gbps;
+  c.ws_pages = p.ws_pages;
+  c.drift = p.drift;
+  return c;
+}
+
+}  // namespace scn::tier

@@ -1,0 +1,260 @@
+#include "tier/tier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "fabric/runner.hpp"
+
+namespace scn::tier {
+
+// ---- HotnessTracker --------------------------------------------------------
+
+HotnessTracker::HotnessTracker(int regions, double promote_threshold, double demote_threshold,
+                               int hysteresis)
+    : cells_(static_cast<std::size_t>(regions)),
+      promote_(promote_threshold),
+      demote_(demote_threshold),
+      hysteresis_(hysteresis) {}
+
+void HotnessTracker::record(int region) {
+  Cell& c = cells_[static_cast<std::size_t>(region)];
+  if (c.count < kScoreCap) ++c.count;
+}
+
+void HotnessTracker::epoch() {
+  for (Cell& c : cells_) {
+    // Integer fold: half-life of one epoch, exact zero in finitely many
+    // idle epochs, saturation instead of overflow.
+    c.score = std::min(kScoreCap, c.score / 2 + c.count);
+    c.count = 0;
+    if (static_cast<double>(c.score) >= promote_) {
+      if (c.hot_streak < 255) ++c.hot_streak;
+      c.cold_streak = 0;
+      if (!c.hot && c.hot_streak >= hysteresis_) c.hot = true;
+    } else if (static_cast<double>(c.score) <= demote_) {
+      if (c.cold_streak < 255) ++c.cold_streak;
+      c.hot_streak = 0;
+      if (c.hot && c.cold_streak >= hysteresis_) c.hot = false;
+    } else {
+      // The band between the thresholds counts toward neither streak: this
+      // is the hysteresis gap that keeps a region oscillating around one
+      // threshold from flapping between tiers.
+      c.hot_streak = 0;
+      c.cold_streak = 0;
+    }
+  }
+}
+
+std::uint32_t HotnessTracker::score(int region) const {
+  return cells_[static_cast<std::size_t>(region)].score;
+}
+
+std::uint32_t HotnessTracker::pending(int region) const {
+  return cells_[static_cast<std::size_t>(region)].count;
+}
+
+bool HotnessTracker::hot(int region) const {
+  return cells_[static_cast<std::size_t>(region)].hot;
+}
+
+bool HotnessTracker::demotable(int region) const {
+  const Cell& c = cells_[static_cast<std::size_t>(region)];
+  return !c.hot && c.cold_streak >= hysteresis_;
+}
+
+// ---- TieredMemory ----------------------------------------------------------
+
+TieredMemory::TieredMemory(sim::Simulator& simulator, topo::Platform& platform, TierConfig config)
+    : sim_(&simulator),
+      cfg_(config),
+      tracker_(config.regions, config.promote_threshold, config.demote_threshold,
+               config.hysteresis) {
+  if (cfg_.mode == Mode::kOff) {
+    throw std::invalid_argument("tier: TieredMemory must not be built with mode = off");
+  }
+  if (!platform.has_cxl()) {
+    throw std::invalid_argument("tier: platform '" + platform.params().name +
+                                "' has no CXL tier to migrate against");
+  }
+  if (cfg_.page_bytes <= 0.0) throw std::invalid_argument("tier: page_bytes must be > 0");
+  if (cfg_.epoch <= 0) throw std::invalid_argument("tier: epoch must be > 0");
+  if (cfg_.regions < 2) throw std::invalid_argument("tier: need at least 2 regions");
+  if (cfg_.dram_pages < 1) throw std::invalid_argument("tier: dram_pages must be >= 1");
+  if (cfg_.dram_reserve < 0.0 || cfg_.dram_reserve >= 1.0) {
+    throw std::invalid_argument("tier: dram_reserve must be in [0, 1)");
+  }
+  if (cfg_.demote_threshold < 0.0 || cfg_.promote_threshold <= cfg_.demote_threshold) {
+    throw std::invalid_argument("tier: need promote_threshold > demote_threshold >= 0");
+  }
+  if (cfg_.hysteresis < 1) throw std::invalid_argument("tier: hysteresis must be >= 1");
+  if (cfg_.migrate_gbps < 0.0) throw std::invalid_argument("tier: migrate_gbps must be >= 0");
+  if (cfg_.ws_pages < 1) throw std::invalid_argument("tier: ws_pages must be >= 1");
+  if (cfg_.drift < 0) throw std::invalid_argument("tier: drift must be >= 0");
+
+  reserve_ = static_cast<int>(cfg_.dram_reserve * static_cast<double>(cfg_.dram_pages) + 0.5);
+  initial_dram_ = cfg_.dram_pages - reserve_;
+  if (initial_dram_ < 1) {
+    throw std::invalid_argument("tier: dram_reserve leaves no resident DRAM pages");
+  }
+  if (cfg_.regions <= initial_dram_) {
+    throw std::invalid_argument("tier: every region fits in DRAM; nothing to tier");
+  }
+
+  homes_.assign(static_cast<std::size_t>(cfg_.regions), Home::kCxl);
+  for (int r = 0; r < initial_dram_; ++r) homes_[static_cast<std::size_t>(r)] = Home::kDram;
+  migrating_.assign(static_cast<std::size_t>(cfg_.regions), false);
+  dram_used_ = initial_dram_;
+
+  // Prefetch the migration paths (path-cache entries allocate on first use;
+  // do that here, not mid-measurement). ccx 0 stands in for the CCD's DMA
+  // engine: what matters is which GMI link and IO-die port the copy crosses.
+  const int ccds = platform.ccd_count();
+  cxl_paths_.reserve(static_cast<std::size_t>(ccds));
+  dram_paths_.reserve(static_cast<std::size_t>(ccds));
+  for (int ccd = 0; ccd < ccds; ++ccd) {
+    cxl_paths_.push_back(&platform.cxl_path(ccd, 0));
+    dram_paths_.push_back(platform.dram_paths_at(ccd, 0, topo::DimmPosition::kNear));
+  }
+}
+
+void TieredMemory::start(sim::Tick stop_at) {
+  stop_ = stop_at;
+  sim_->schedule(cfg_.epoch, [this] { epoch_tick(); });
+}
+
+Home TieredMemory::access(int region) {
+  tracker_.record(region);
+  ++stats_.accesses;
+  const Home h = homes_[static_cast<std::size_t>(region)];
+  if (h == Home::kDram) ++stats_.dram_hits;
+  return h;
+}
+
+Home TieredMemory::home(int region) const { return homes_[static_cast<std::size_t>(region)]; }
+
+int TieredMemory::dram_resident() const {
+  int n = 0;
+  for (const Home h : homes_) n += h == Home::kDram ? 1 : 0;
+  return n;
+}
+
+int TieredMemory::map_region(bool cxl_segment, std::uint64_t h, sim::Tick now) const {
+  const int seg_start = cxl_segment ? initial_dram_ : 0;
+  const int seg_len = cxl_segment ? cfg_.regions - initial_dram_ : initial_dram_;
+  const auto len = static_cast<std::uint64_t>(seg_len);
+  const std::uint64_t ws = std::min<std::uint64_t>(static_cast<std::uint64_t>(cfg_.ws_pages), len);
+  std::uint64_t base = 0;
+  if (cfg_.drift > 0) {
+    base = static_cast<std::uint64_t>(now / cfg_.drift) % len;
+  }
+  return seg_start + static_cast<int>((base + h % ws) % len);
+}
+
+void TieredMemory::epoch_tick() {
+  tracker_.epoch();
+  ++stats_.epochs;
+  if (cfg_.mode == Mode::kMigrate) plan_migrations();
+  if (sim_->now() < stop_) {
+    sim_->schedule(cfg_.epoch, [this] { epoch_tick(); });
+  }
+}
+
+void TieredMemory::plan_migrations() {
+  const double page = cfg_.page_bytes;
+  // The whole per-epoch budget; with migrate_gbps = 0 this moves nothing
+  // while the tracker keeps running (tracking on, movement off).
+  double budget = sim::to_ns(cfg_.epoch) * cfg_.migrate_gbps;
+
+  // Demotions first: vacating cold DRAM pages is what restores the reserve
+  // the next epochs' promotions draw from. A promotion claims its slot at
+  // issue time (no overcommit); a demotion frees one only when its copy
+  // lands, so this epoch's demotions fund the *next* epoch's promotions —
+  // that one-epoch lag is exactly what the capacity reserve exists to cover.
+  int projected_free = cfg_.dram_pages - dram_used_ + inflight_demotions_;
+  if (projected_free < reserve_) {
+    std::vector<std::pair<std::uint32_t, int>> cold;  // (score, region): coldest first
+    for (int r = 0; r < cfg_.regions; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (homes_[i] != Home::kDram || migrating_[i]) continue;
+      if (!tracker_.demotable(r)) continue;
+      cold.emplace_back(tracker_.score(r), r);
+    }
+    std::sort(cold.begin(), cold.end());
+    for (const auto& [score, r] : cold) {
+      if (projected_free >= reserve_ || budget < page) break;
+      issue_migration(r, /*promote=*/false);
+      budget -= page;
+      ++projected_free;
+    }
+  }
+
+  std::vector<std::pair<std::uint32_t, int>> hot;  // hottest first, region id ties
+  for (int r = 0; r < cfg_.regions; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (homes_[i] != Home::kCxl || migrating_[i]) continue;
+    if (!tracker_.hot(r)) continue;
+    hot.emplace_back(tracker_.score(r), r);
+  }
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::size_t taken = 0;
+  for (const auto& [score, r] : hot) {
+    if (cfg_.dram_pages - dram_used_ <= 0 || budget < page) break;
+    issue_migration(r, /*promote=*/true);
+    budget -= page;
+    ++taken;
+  }
+  stats_.deferred += hot.size() - taken;
+}
+
+void TieredMemory::issue_migration(int region, bool promote) {
+  migrating_[static_cast<std::size_t>(region)] = true;
+  ++inflight_;
+  if (promote) {
+    ++dram_used_;
+  } else {
+    ++inflight_demotions_;
+  }
+
+  const std::size_t ccd = static_cast<std::size_t>(seq_ % cxl_paths_.size());
+  const auto& dram = dram_paths_[ccd];
+  fabric::Path* dpath = dram[static_cast<std::size_t>(seq_ / cxl_paths_.size()) % dram.size()];
+  ++seq_;
+  fabric::Path* src = promote ? cxl_paths_[ccd] : dpath;
+  fabric::Path* dst = promote ? dpath : cxl_paths_[ccd];
+
+  // One page copy = a real read from the source tier followed by a real
+  // write to the destination, both crossing the rotating CCD's GMI and the
+  // IO die — migration bandwidth contends with foreground requests instead
+  // of teleporting. No token chain (DMA-engine semantics, not a core's
+  // load/store window) and a null RNG (hiccup draws are foreground-only),
+  // so the copy is a pure function of simulated time.
+  fabric::run_transaction(
+      *sim_, *src, fabric::Op::kRead, cfg_.page_bytes, nullptr,
+      [this, region, promote, dst](const fabric::Completion&) {
+        fabric::run_transaction(
+            *sim_, *dst, fabric::Op::kWrite, cfg_.page_bytes, nullptr,
+            [this, region, promote](const fabric::Completion&) {
+              finish_migration(region, promote);
+            });
+      });
+}
+
+void TieredMemory::finish_migration(int region, bool promote) {
+  migrating_[static_cast<std::size_t>(region)] = false;
+  --inflight_;
+  homes_[static_cast<std::size_t>(region)] = promote ? Home::kDram : Home::kCxl;
+  if (promote) {
+    ++stats_.promotions;
+  } else {
+    --dram_used_;
+    --inflight_demotions_;
+    ++stats_.demotions;
+  }
+  stats_.migrated_bytes += static_cast<std::uint64_t>(cfg_.page_bytes);
+}
+
+}  // namespace scn::tier

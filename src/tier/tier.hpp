@@ -1,0 +1,203 @@
+// CXL tiering as a living memory system: hotness tracking + online page
+// migration over the chiplet fabric.
+//
+// The static latency/BW tier of the earlier model answers "what does a CXL
+// access cost"; this subsystem answers "which accesses are CXL accesses in
+// the first place". A TieredMemory divides a tiered address space into
+// fixed-size regions (pages), each resident in DRAM or on the CXL device.
+// Three components compose:
+//
+//  * HotnessTracker — per-region access-frequency telemetry: saturating
+//    per-epoch counters folded into an exponentially decayed score at every
+//    epoch boundary, with streak hysteresis around the hot/cold thresholds
+//    so a region near them cannot ping-pong between tiers.
+//  * The region map — live placement. Serve-layer DRAM-read/CXL-read stages
+//    resolve their target region through it, so a request's stage latency
+//    depends on *current* placement, not on the stage's nominal kind.
+//  * The migration engine — at each epoch boundary, promotes the hottest
+//    CXL-resident regions DRAM-ward and demotes cold DRAM regions to refill
+//    a capacity reserve, under a per-epoch migration-bandwidth budget. Every
+//    migration is a real page copy on the fabric: a read from the source
+//    tier and a write to the destination, issued from a deterministically
+//    rotating CCD, so migration traffic crosses that CCD's GMI and the IO
+//    die and *contends* with foreground requests instead of teleporting.
+//
+// Determinism contract: the subsystem is RNG-free — epoch boundaries are
+// scheduled simulated-time events, candidate selection sorts by (score,
+// region id), the issuing CCD rotates by migration sequence number, and the
+// working-set drift used by the serve layer is a pure function of simulated
+// time. Cluster lockstep output therefore stays byte-identical at any
+// --jobs. With mode = kOff the object is never constructed and the exact
+// pre-tier code paths run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "fabric/path.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "topo/platform.hpp"
+
+namespace scn::tier {
+
+enum class Mode : std::uint8_t {
+  kOff,      ///< subsystem absent: exact pre-tier code paths
+  kTrack,    ///< hotness telemetry on, placement never changes
+  kMigrate,  ///< telemetry + online promotion/demotion
+};
+
+[[nodiscard]] constexpr const char* to_string(Mode m) noexcept {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kTrack: return "track";
+    case Mode::kMigrate: return "migrate";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<Mode> parse_mode(std::string_view s) noexcept {
+  if (s == "off") return Mode::kOff;
+  if (s == "track") return Mode::kTrack;
+  if (s == "migrate") return Mode::kMigrate;
+  return std::nullopt;
+}
+
+enum class Home : std::uint8_t { kDram, kCxl };
+
+/// Runtime tiering configuration (the spec layer's TierParams converts to
+/// this via tier::to_config).
+struct TierConfig {
+  Mode mode = Mode::kOff;
+  double page_bytes = 4096.0;            ///< region (page) size
+  sim::Tick epoch = sim::from_us(5.0);   ///< decay / classification / migration period
+  int regions = 1024;                    ///< tiered address space, in pages
+  int dram_pages = 256;                  ///< DRAM-side capacity, in pages
+  double dram_reserve = 0.125;           ///< fraction of dram_pages kept free
+  double promote_threshold = 4.0;        ///< decayed score at/above which a region is hot
+  double demote_threshold = 1.0;         ///< decayed score at/below which a region is cold
+  int hysteresis = 2;                    ///< consecutive epochs before a class flip
+  double migrate_gbps = 16.0;            ///< migration bandwidth budget, bytes/ns
+  int ws_pages = 64;                     ///< serve-layer working-set window per segment
+  sim::Tick drift = 0;                   ///< window advances one page per period (0 = static)
+};
+
+struct TierStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t dram_hits = 0;        ///< accesses resolved to a DRAM-resident region
+  std::uint64_t promotions = 0;       ///< completed CXL -> DRAM copies
+  std::uint64_t demotions = 0;        ///< completed DRAM -> CXL copies
+  std::uint64_t migrated_bytes = 0;   ///< both directions, completed copies
+  std::uint64_t deferred = 0;         ///< promotion candidates an epoch left unmoved
+  std::uint64_t epochs = 0;           ///< epoch boundaries processed
+  [[nodiscard]] double hit_ratio() const noexcept {
+    return accesses > 0 ? static_cast<double>(dram_hits) / static_cast<double>(accesses) : 1.0;
+  }
+};
+
+/// Per-region access-frequency telemetry with hysteresis classification.
+///
+/// Counters are integers on purpose: the epoch fold `score' = score/2 +
+/// count` halves with integer division, so an idle region's score reaches
+/// *exactly* zero in a finite number of epochs (a float EMA only tends to
+/// it), and both the per-epoch count and the score saturate at kScoreCap so
+/// a pathological hot loop cannot overflow them.
+class HotnessTracker {
+ public:
+  HotnessTracker(int regions, double promote_threshold, double demote_threshold, int hysteresis);
+
+  /// Count one access to `region` in the current epoch (saturating).
+  void record(int region);
+
+  /// Epoch boundary: fold counts into scores, decay, re-classify.
+  void epoch();
+
+  [[nodiscard]] std::uint32_t score(int region) const;
+  [[nodiscard]] std::uint32_t pending(int region) const;  ///< this-epoch count so far
+  /// Classified hot: score held at/above the promote threshold for
+  /// `hysteresis` consecutive epochs (and not yet un-classified).
+  [[nodiscard]] bool hot(int region) const;
+  /// Safe to demote: not hot, and the score has sat at/below the demote
+  /// threshold for `hysteresis` consecutive epochs.
+  [[nodiscard]] bool demotable(int region) const;
+  [[nodiscard]] int region_count() const noexcept { return static_cast<int>(cells_.size()); }
+
+  static constexpr std::uint32_t kScoreCap = 1u << 24;
+
+ private:
+  struct Cell {
+    std::uint32_t count = 0;  ///< accesses this epoch (saturating)
+    std::uint32_t score = 0;  ///< decayed frequency (saturating)
+    std::uint8_t hot_streak = 0;
+    std::uint8_t cold_streak = 0;
+    bool hot = false;
+  };
+  std::vector<Cell> cells_;
+  double promote_;
+  double demote_;
+  int hysteresis_;
+};
+
+/// The live tier: region map + tracker + migration engine, bound to one
+/// platform's fabric. Constructed only when mode != kOff; the ctor throws
+/// std::invalid_argument on a config that cannot describe a two-tier system
+/// (no CXL module, zero DRAM residency, no CXL-side regions, ...).
+class TieredMemory {
+ public:
+  TieredMemory(sim::Simulator& simulator, topo::Platform& platform, TierConfig config);
+
+  /// Arm the epoch timer. Boundaries stop rescheduling at `stop_at`;
+  /// migrations in flight at that point drain on their own.
+  void start(sim::Tick stop_at);
+
+  /// Record one access and resolve it to the region's *current* home.
+  [[nodiscard]] Home access(int region);
+
+  [[nodiscard]] Home home(int region) const;
+
+  /// Deterministic region addressing for the serve layer: maps hash `h`
+  /// into the working-set window (ws_pages wide) of the DRAM-resident or
+  /// CXL-resident segment. With drift configured, the window start advances
+  /// one page per drift period — a pure function of `now`, never of any RNG
+  /// stream, so the access stream is identical across modes and job counts.
+  [[nodiscard]] int map_region(bool cxl_segment, std::uint64_t h, sim::Tick now) const;
+
+  [[nodiscard]] int region_count() const noexcept { return cfg_.regions; }
+  /// Pages resident in DRAM right now (completed placements only).
+  [[nodiscard]] int dram_resident() const;
+  /// The initial DRAM-resident prefix [0, initial_dram): the serve layer's
+  /// segment boundary. Regions at/after it start on the CXL device.
+  [[nodiscard]] int initial_dram() const noexcept { return initial_dram_; }
+  [[nodiscard]] int reserve_slots() const noexcept { return reserve_; }
+  [[nodiscard]] int migrations_inflight() const noexcept { return inflight_; }
+  [[nodiscard]] double page_bytes() const noexcept { return cfg_.page_bytes; }
+  [[nodiscard]] const TierConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const TierStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const HotnessTracker& tracker() const noexcept { return tracker_; }
+
+ private:
+  void epoch_tick();
+  void plan_migrations();
+  void issue_migration(int region, bool promote);
+  void finish_migration(int region, bool promote);
+
+  sim::Simulator* sim_;
+  TierConfig cfg_;
+  HotnessTracker tracker_;
+  std::vector<Home> homes_;
+  std::vector<bool> migrating_;
+  std::vector<fabric::Path*> cxl_paths_;                ///< per CCD (ccx 0)
+  std::vector<std::vector<fabric::Path*>> dram_paths_;  ///< per CCD, near DIMMs
+  int reserve_ = 0;
+  int initial_dram_ = 0;
+  int dram_used_ = 0;           ///< resident + promotion slots claimed at issue
+  int inflight_demotions_ = 0;  ///< DRAM slots that free when their copy lands
+  int inflight_ = 0;
+  std::uint64_t seq_ = 0;       ///< migration sequence: rotates the issuing CCD
+  sim::Tick stop_ = 0;
+  TierStats stats_;
+};
+
+}  // namespace scn::tier

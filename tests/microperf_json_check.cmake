@@ -29,7 +29,9 @@ foreach(metric
         serve_burst_events_per_sec
         cluster_requests_per_sec
         gtm_retained_throughput
-        fastforward_speedup)
+        fastforward_speedup
+        tier_migrations_per_sec
+        tier_hit_ratio)
   # Each metric key appears once per block (metrics, units, checksums).
   string(REGEX MATCHALL "\"${metric}\"" hits "${doc}")
   list(LENGTH hits n)

@@ -16,8 +16,12 @@
 #include <fstream>
 #include <string>
 
+#include <sstream>
+
 #include "cluster/spec.hpp"
+#include "gtm/spec.hpp"
 #include "spec/spec.hpp"
+#include "tier/spec.hpp"
 
 namespace {
 
@@ -107,6 +111,16 @@ int main(int argc, char** argv) {
           std::printf("%s: OK (%d servers)\n", argv[i], static_cast<int>(cs.servers.size()));
         } else {
           const auto p = spec::resolve(argv[i]);
+          // spec::parse only skims the [gtm]/[arrivals]/[tier] sections; for
+          // file arguments, run their own parsers too so a malformed policy
+          // or tiering key fails validation here instead of at bench time.
+          std::ifstream file(argv[i]);
+          if (file) {
+            std::ostringstream text;
+            text << file.rdbuf();
+            (void)scn::gtm::parse_gtm(text.str(), argv[i]);
+            (void)scn::tier::parse_tier(text.str(), argv[i]);
+          }
           std::printf("%s: OK (%s)\n", argv[i], p.name.c_str());
         }
       } catch (const spec::Error& e) {
