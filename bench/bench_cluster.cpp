@@ -57,22 +57,33 @@ std::vector<Composition> default_compositions(bool quick) {
   return out;
 }
 
+// Offered-load grid, scaled by the number of servers so a --servers 16 row
+// sweeps through its knee instead of idling far below it. The per-server
+// points are exactly the historical 2-box grid divided by two, so 2-box
+// compositions (and their committed goldens) are byte-identical.
 std::vector<double> rate_grid(const Composition& comp, bool quick) {
-  if (quick) return {2.0, 16.0, 48.0};
+  const double n = static_cast<double>(comp.servers.size());
+  auto scaled = [n](std::initializer_list<double> per_server) {
+    std::vector<double> rates;
+    for (const double r : per_server) rates.push_back(r * n);
+    return rates;
+  };
+  if (quick) return scaled({1.0, 8.0, 24.0});
   int ccds = 0;
   for (const auto& p : comp.servers) ccds += p.ccd_count;
   // Same shape as the single-server grid, extended until the aggregate
-  // round-robin knee is inside it (~15 req/us per 4-CCD box of this mix).
-  std::vector<double> rates{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0};
-  if (ccds > 8) {
-    rates.push_back(64.0);
-    rates.push_back(96.0);
+  // round-robin knee is inside it (~15 req/us per 4-CCD box of this mix);
+  // big-CCD boxes (9634-class) get two extra points for the same reason.
+  std::vector<double> rates = scaled({0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0});
+  if (ccds > 4 * static_cast<int>(comp.servers.size())) {
+    rates.push_back(32.0 * n);
+    rates.push_back(48.0 * n);
   }
   return rates;
 }
 
-void run_composition(const Composition& comp, const serve::Policy placement, bool quick, int jobs,
-                     std::uint64_t seed) {
+void run_composition(const Composition& comp, const serve::Policy placement,
+                     const cluster::Engine engine, bool quick, int jobs, std::uint64_t seed) {
   const std::vector<cluster::LbPolicy> lbs = {cluster::LbPolicy::kRoundRobin,
                                               cluster::LbPolicy::kLeastOutstanding,
                                               cluster::LbPolicy::kTelemetry};
@@ -97,6 +108,7 @@ void run_composition(const Composition& comp, const serve::Policy placement, boo
       cc.antagonist_server = 0;
       cc.seed = exec::point_seed(seed, static_cast<std::uint64_t>(ri));
       cc.jobs = jobs;
+      cc.engine = engine;
       if (quick) {
         cc.warmup = sim::from_us(25.0);
         cc.stop = sim::from_us(100.0);
@@ -172,7 +184,8 @@ void run_composition(const Composition& comp, const serve::Policy placement, boo
 // regime where queue ordering matters; gmi-local leaves single-class queues
 // where priority and EDF degenerate to FIFO), so the columns isolate what
 // the mitigation itself buys. Printed only under --mitigations.
-void run_mitigations(const Composition& comp, bool quick, int jobs, std::uint64_t seed) {
+void run_mitigations(const Composition& comp, const cluster::Engine engine, bool quick, int jobs,
+                     std::uint64_t seed) {
   const serve::Policy placement = serve::Policy::kRoundRobin;
   struct Bundle {
     const char* name;
@@ -221,6 +234,7 @@ void run_mitigations(const Composition& comp, bool quick, int jobs, std::uint64_
       cc.antagonist_server = 0;
       cc.seed = exec::point_seed(seed, static_cast<std::uint64_t>(ri));
       cc.jobs = jobs;
+      cc.engine = engine;
       if (quick) {
         cc.warmup = sim::from_us(25.0);
         cc.stop = sim::from_us(100.0);
@@ -271,14 +285,15 @@ void run_mitigations(const Composition& comp, bool quick, int jobs, std::uint64_
 // the served p99 to show the workload itself stays comparable. Wall times
 // make this output machine-dependent by design; it is a perf-tracking
 // mode, not a goldened one.
-void run_latency_sweep(const Composition& comp, bool quick, int jobs, std::uint64_t seed) {
+void run_latency_sweep(const Composition& comp, const cluster::Engine engine, bool quick,
+                       int jobs, std::uint64_t seed) {
   const std::vector<double> lat_ns = quick
                                          ? std::vector<double>{400.0, 1600.0}
                                          : std::vector<double>{100.0, 200.0, 400.0, 800.0,
                                                                1600.0, 3200.0};
   bench::subheading(comp.name + ": lockstep epoch cost vs link latency (16 req/us, telemetry)");
-  std::printf("  %8s %10s %10s %12s %10s %10s\n", "link-ns", "epochs", "wall-ms", "epochs/sec",
-              "p99-ns", "goodput");
+  std::printf("  %8s %10s %10s %10s %12s %10s %10s\n", "link-ns", "epochs", "barriers", "wall-ms",
+              "epochs/sec", "p99-ns", "goodput");
   for (const double ns : lat_ns) {
     cluster::ClusterConfig cc;
     cc.servers = comp.servers;
@@ -292,6 +307,7 @@ void run_latency_sweep(const Composition& comp, bool quick, int jobs, std::uint6
     cc.antagonist_server = 0;
     cc.seed = exec::point_seed(seed, static_cast<std::uint64_t>(ns));
     cc.jobs = jobs;
+    cc.engine = engine;
     if (quick) {
       cc.warmup = sim::from_us(25.0);
       cc.stop = sim::from_us(100.0);
@@ -303,8 +319,9 @@ void run_latency_sweep(const Composition& comp, bool quick, int jobs, std::uint6
     const double wall_ms = watch.elapsed_ms();
     const cluster::ClusterReport rep = sim.report();
     const double eps = wall_ms > 0.0 ? static_cast<double>(rep.epochs) / (wall_ms / 1000.0) : 0.0;
-    std::printf("  %8.0f %10llu %10.1f %12.0f %10.1f %10.2f\n", ns,
-                static_cast<unsigned long long>(rep.epochs), wall_ms, eps, rep.p99_ns,
+    std::printf("  %8.0f %10llu %10llu %10.1f %12.0f %10.1f %10.2f\n", ns,
+                static_cast<unsigned long long>(rep.epochs),
+                static_cast<unsigned long long>(rep.barriers), wall_ms, eps, rep.p99_ns,
                 rep.goodput_per_us);
   }
 }
@@ -313,25 +330,47 @@ void run_latency_sweep(const Composition& comp, bool quick, int jobs, std::uint6
 
 int main(int argc, char** argv) {
   std::string cluster_file;
+  std::string engine_name;
+  int servers_override = 0;
   bool latency_sweep = false;
   bool mitigations = false;
   bench::Options opt("bench_cluster",
                      "rack-scale serving: cluster knees and front-end policy ablation");
   opt.value("--cluster", &cluster_file, "run a .scnc cluster spec instead of the default racks");
+  opt.value("--engine", &engine_name,
+            "lockstep execution engine: fused (default) or step (barrier per epoch); "
+            "byte-identical output either way");
+  opt.value_int("--servers", &servers_override,
+                "scale every composition to N servers (cyclic over its member list); the rate "
+                "grid scales with it");
   opt.flag("--latency-sweep", &latency_sweep,
            "sweep the NIC link latency and report lockstep epochs/sec instead of the knee grid");
   opt.flag("--mitigations", &mitigations,
            "append the GTM mitigation ablation (discipline x admission x hedging)");
   opt.parse(argc, argv);
 
-  // `--placement` is a strict built-in flag now (exit 2 on garbage); the
-  // historical default inside each box stays gmi-local.
-  const serve::Policy placement = opt.placement_or(serve::Policy::kLocal);
+  cluster::Engine engine = cluster::Engine::kFused;
+  if (!engine_name.empty()) {
+    const auto parsed = cluster::parse_engine(engine_name);
+    if (!parsed) {
+      opt.die(std::string("flag '--engine': bad value '") + engine_name +
+              "' (want fused or step)");
+    }
+    engine = *parsed;
+  }
+  if (servers_override < 0) opt.die("flag '--servers': must be >= 1");
 
   std::vector<Composition> comps;
+  // Placement precedence: CLI `--placement` > the spec's `placement=` key >
+  // the historical gmi-local default. Strict flags as before (exit 2 on
+  // garbage); the spec's vocabulary is validated by the cluster parser.
+  serve::Policy placement = opt.placement_or(serve::Policy::kLocal);
   if (!cluster_file.empty()) {
     try {
       cluster::ClusterSpec cs = cluster::load_cluster(cluster_file);
+      if (!opt.has_placement()) {
+        placement = *serve::parse_policy(cs.placement);  // validated at parse
+      }
       Composition comp;
       comp.name = cluster_file;
       comp.servers = std::move(cs.servers);
@@ -355,24 +394,34 @@ int main(int argc, char** argv) {
       comp.tier = opt.tier_or();
     }
   }
+  if (servers_override > 0) {
+    for (auto& comp : comps) {
+      const std::vector<topo::PlatformParams> base = std::move(comp.servers);
+      comp.servers.clear();
+      for (int i = 0; i < servers_override; ++i) {
+        comp.servers.push_back(base[static_cast<std::size_t>(i) % base.size()]);
+      }
+      comp.name += " scaled to " + std::to_string(servers_override) + " boxes";
+    }
+  }
 
   exec::Stopwatch watch;
   if (latency_sweep) {
     bench::heading("Cluster: lockstep epoch cost vs NIC link latency");
     for (const auto& comp : comps) {
-      run_latency_sweep(comp, opt.quick(), opt.jobs(), opt.seed_or(1));
+      run_latency_sweep(comp, engine, opt.quick(), opt.jobs(), opt.seed_or(1));
     }
     bench::report_wallclock("latency sweeps", opt.jobs(), watch.elapsed_ms());
     return 0;
   }
   bench::heading("Cluster: latency vs offered load per front-end policy");
   for (const auto& comp : comps) {
-    run_composition(comp, placement, opt.quick(), opt.jobs(), opt.seed_or(1));
+    run_composition(comp, placement, engine, opt.quick(), opt.jobs(), opt.seed_or(1));
   }
   if (mitigations) {
     bench::heading("Cluster: GTM mitigation ablation");
     for (const auto& comp : comps) {
-      run_mitigations(comp, opt.quick(), opt.jobs(), opt.seed_or(1));
+      run_mitigations(comp, engine, opt.quick(), opt.jobs(), opt.seed_or(1));
     }
   }
   bench::report_wallclock("cluster sweeps", opt.jobs(), watch.elapsed_ms());

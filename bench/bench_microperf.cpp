@@ -21,6 +21,9 @@
 //                  by quiet gaps the queue fully drains across
 //   cluster        the rack-scale path end to end: two servers behind the
 //                  front-end balancer, lockstep epochs, link forwarding
+//   cluster_epochs the lockstep engine's per-epoch cost in isolation: the
+//                  `step` reference engine over tiny epochs with almost no
+//                  event work, so the rate is pure epoch machinery
 //   tier_migrations  the CXL tiering loop at full churn: epoch planning,
 //                  candidate sorts and fabric page copies per wall second
 //   tier_hit_ratio   steady-state DRAM hit ratio against a drifting working
@@ -436,6 +439,38 @@ struct ClusterHarness {
   }
 };
 
+/// The lockstep engine's per-epoch cost, isolated: the per-epoch reference
+/// engine (`Engine::kStep`, one barrier per lookahead window) walks two
+/// light boxes at a deliberately tiny link latency and a trickle arrival
+/// rate, so nearly all wall time is the epoch machinery itself — routing
+/// boundary, instance advancement, accounting — not event execution. The
+/// fused engine exists to delete exactly this cost from the production
+/// path; tracking the reference engine keeps that claim honest PR over PR.
+/// jobs=1 on purpose: the rate is per-core loop cost, not thread sync.
+struct ClusterEpochHarness {
+  static void run(std::uint64_t epochs, double* secs, sim::Tick* checksum) {
+    cluster::ClusterConfig cc;
+    cc.servers = {spec::lookup("epyc7302"), spec::lookup("epyc7302")};
+    cc.lb = cluster::LbPolicy::kRoundRobin;
+    cc.engine = cluster::Engine::kStep;
+    cc.link.latency = sim::from_ns(4.0);
+    cc.arrival.kind = serve::ArrivalKind::kDeterministic;
+    cc.arrival.rate_per_us = 0.5;
+    cc.warmup = sim::from_ns(256.0);
+    cc.stop = cc.link.latency * static_cast<sim::Tick>(epochs);
+    cc.max_drain = sim::from_ms(1.0);
+    cc.seed = 11;
+    cc.jobs = 1;
+    cluster::ClusterSim cluster_sim(std::move(cc));
+    const auto t0 = std::chrono::steady_clock::now();
+    cluster_sim.run();
+    *secs = seconds_since(t0);
+    const cluster::ClusterReport rep = cluster_sim.report();
+    *checksum = static_cast<sim::Tick>(rep.completed ^ (rep.forwarded << 20) ^
+                                       (rep.barriers << 32) ^ rep.epochs);
+  }
+};
+
 /// The Global Traffic Manager's mechanism cost: the identical serving
 /// workload is simulated twice on one 4-CCD box — default policy (FIFO
 /// deque, no admission, no hedging: the exact pre-GTM fast path) and the
@@ -651,6 +686,7 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
   Metric queue_bimodal{"queue_bimodal_items_per_sec", (2u << 20) / scale, 0.0, 0};
   Metric serve_burst{"serve_burst_events_per_sec", (1u << 20) / scale, 0.0, 0};
   Metric cluster_path{"cluster_requests_per_sec", 4096 / scale, 0.0, 0};
+  Metric cluster_epochs{"cluster_epochs_per_sec", 65536 / scale, 0.0, 0};
   Metric gtm_overhead{"gtm_retained_throughput", 1, 0.0, 0};
   Metric fastforward{"fastforward_speedup", 1, 0.0, 0};
   Metric tier_migrations{"tier_migrations_per_sec", 4096 / scale, 0.0, 0};
@@ -663,6 +699,7 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
   measure<QueueBimodalHarness>(queue_bimodal, repeats);
   measure<ServeBurstHarness>(serve_burst, repeats);
   measure<ClusterHarness>(cluster_path, repeats);
+  measure<ClusterEpochHarness>(cluster_epochs, repeats);
   // The request count rides the scale knob via the static, not Metric::units,
   // because units == 1 is what turns best_per_sec into the ratio.
   GtmOverheadHarness::requests = 16384 / scale;
@@ -687,10 +724,10 @@ int run_tracked_harness(const std::string& json_path, int repeats, bool quick) {
     EventLoopHarness::run(event_loop.units, &secs, &cks, &qstats);
   }
 
-  const Metric* all[] = {&event_loop,   &queue_churn,  &transactions,
-                         &token_chain,  &queue_bimodal, &serve_burst,
-                         &cluster_path, &gtm_overhead,  &fastforward,
-                         &tier_migrations, &tier_hit};
+  const Metric* all[] = {&event_loop,   &queue_churn,    &transactions,
+                         &token_chain,  &queue_bimodal,  &serve_burst,
+                         &cluster_path, &cluster_epochs, &gtm_overhead,
+                         &fastforward,  &tier_migrations, &tier_hit};
   constexpr std::size_t kCount = sizeof(all) / sizeof(all[0]);
   std::printf("%-28s %14s %12s\n", "metric", "per_sec", "units/run");
   for (const Metric* m : all) {

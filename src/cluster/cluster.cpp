@@ -1,14 +1,9 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
-#include <condition_variable>
-#include <deque>
 #include <exception>
-#include <functional>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "cnet/telemetry.hpp"
@@ -17,102 +12,25 @@
 #include "topo/platform.hpp"
 
 namespace scn::cluster {
+namespace {
+
+/// Sentinel for "the arrival stream ran dry": far enough in the future that
+/// no routing boundary can reach it, small enough that arithmetic on it
+/// cannot overflow.
+constexpr sim::Tick kNoMoreArrivals = std::numeric_limits<sim::Tick>::max() / 2;
+
+/// Epoch windows of length `epoch` needed to cover (from, to]. Both engines
+/// credit epochs through this, so ClusterReport::epochs is engine-invariant.
+[[nodiscard]] constexpr std::uint64_t epoch_windows(sim::Tick from, sim::Tick to,
+                                                    sim::Tick epoch) noexcept {
+  return to > from ? static_cast<std::uint64_t>((to - from + epoch - 1) / epoch) : 0u;
+}
+
+}  // namespace
 
 std::uint64_t server_seed(std::uint64_t cluster_seed, int server) noexcept {
   return exec::point_seed(cluster_seed, static_cast<std::uint64_t>(server));
 }
-
-// ---- pinned shard executor -------------------------------------------------
-//
-// Unlike exec::ThreadPool (any worker takes any task), every task posted here
-// names its shard, and shard s is exactly one thread for the pool's whole
-// lifetime. The fabric layer's slab pools (walk contexts, token-chain state)
-// are thread_local, so everything an instance allocates — from Platform
-// construction through every epoch to teardown — must happen on one thread.
-// With zero shards, post() runs the task inline on the caller (--jobs 1).
-class ClusterSim::ShardPool {
- public:
-  explicit ShardPool(int shards) {
-    for (int i = 0; i < shards; ++i) {
-      shards_.push_back(std::make_unique<Shard>());
-    }
-    for (auto& s : shards_) {
-      Shard* shard = s.get();
-      shard->thread = std::thread([shard] { loop(*shard); });
-    }
-  }
-
-  ~ShardPool() {
-    for (auto& s : shards_) {
-      {
-        std::lock_guard<std::mutex> lock(s->mu);
-        s->stop = true;
-      }
-      s->task_cv.notify_all();
-    }
-    for (auto& s : shards_) {
-      if (s->thread.joinable()) s->thread.join();
-    }
-  }
-
-  [[nodiscard]] int size() const noexcept { return static_cast<int>(shards_.size()); }
-
-  /// Enqueue on shard `shard % size()`. Tasks must not throw.
-  void post(int shard, std::function<void()> task) {
-    if (shards_.empty()) {
-      task();
-      return;
-    }
-    Shard& s = *shards_[static_cast<std::size_t>(shard) % shards_.size()];
-    {
-      std::lock_guard<std::mutex> lock(s.mu);
-      s.tasks.push_back(std::move(task));
-    }
-    s.task_cv.notify_one();
-  }
-
-  /// Barrier: block until every shard's queue is empty and idle. After this
-  /// returns, the main thread may touch any instance state.
-  void wait_all() {
-    for (auto& s : shards_) {
-      std::unique_lock<std::mutex> lock(s->mu);
-      s->idle_cv.wait(lock, [&] { return s->tasks.empty() && !s->busy; });
-    }
-  }
-
- private:
-  struct Shard {
-    std::mutex mu;
-    std::condition_variable task_cv;
-    std::condition_variable idle_cv;
-    std::deque<std::function<void()>> tasks;
-    std::thread thread;
-    bool busy = false;
-    bool stop = false;
-  };
-
-  static void loop(Shard& s) {
-    for (;;) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(s.mu);
-        s.task_cv.wait(lock, [&] { return s.stop || !s.tasks.empty(); });
-        if (s.tasks.empty()) return;  // stop requested and drained
-        task = std::move(s.tasks.front());
-        s.tasks.pop_front();
-        s.busy = true;
-      }
-      task();
-      {
-        std::lock_guard<std::mutex> lock(s.mu);
-        s.busy = false;
-        if (s.tasks.empty()) s.idle_cv.notify_all();
-      }
-    }
-  }
-
-  std::vector<std::unique_ptr<Shard>> shards_;
-};
 
 // ---- one server instance ---------------------------------------------------
 
@@ -122,9 +40,23 @@ struct ClusterSim::Instance {
   std::unique_ptr<serve::ServerSim> server;
   std::exception_ptr build_error;
 
+  /// A forward routed at boundary `route_at`, to be injected at `deliver`.
+  /// The balancer records these on the main thread; the instance's shard
+  /// pushes each one into the event queue only once the instance has
+  /// executed up to `route_at` — the same clock the per-epoch engine pushed
+  /// at — so fused batches preserve the exact same-tick event order (the
+  /// queue breaks time ties by push sequence).
+  struct PendingForward {
+    sim::Tick route_at;
+    sim::Tick deliver;
+    int cls;
+    sim::Tick origin;
+  };
+
   // Front-end state for this server, touched only by the main thread between
-  // barriers (link_busy, snapshots) or by this instance's own delivery
-  // events on its shard (inflight_forwards decrement).
+  // barriers (link_busy, snapshots, pending) or by this instance's own
+  // delivery events on its shard (inflight_forwards decrement).
+  std::vector<PendingForward> pending;
   sim::Tick link_busy = 0;          ///< NIC ingress FIFO: busy-until time
   std::uint64_t forwarded = 0;      ///< requests the balancer sent here
   int inflight_forwards = 0;        ///< forwarded but not yet delivered
@@ -177,7 +109,14 @@ ClusterSim::ClusterSim(ClusterConfig config) : cfg_(std::move(config)), class_rn
 
   const int n = static_cast<int>(cfg_.servers.size());
   const int jobs = std::min(std::max(cfg_.jobs, 1), n);
-  shards_ = std::make_unique<ShardPool>(jobs > 1 ? jobs : 0);
+  lockstep_ = std::make_unique<exec::Lockstep>(jobs > 1 ? jobs : 0);
+  lockstep_->set_work([this](int shard) {
+    const int stride = std::max(lockstep_->shards(), 1);
+    const int count = static_cast<int>(instances_.size());
+    for (int i = shard; i < count; i += stride) {
+      advance_instance(*instances_[static_cast<std::size_t>(i)], advance_target_);
+    }
+  });
 
   instances_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) instances_.push_back(std::make_unique<Instance>());
@@ -199,8 +138,8 @@ ClusterSim::ClusterSim(ClusterConfig config) : cfg_(std::move(config)), class_rn
     // pre-tier code paths rather than failing the whole cluster build.
     sc.tier = cfg_.tier;
     if (!cfg_.servers[static_cast<std::size_t>(i)].has_cxl()) sc.tier.mode = tier::Mode::kOff;
-    shards_->post(i, [inst, params = cfg_.servers[static_cast<std::size_t>(i)],
-                      sc = std::move(sc)]() mutable {
+    lockstep_->post(i, [inst, params = cfg_.servers[static_cast<std::size_t>(i)],
+                        sc = std::move(sc)]() mutable {
       try {
         inst->platform = std::make_unique<topo::Platform>(inst->sim, std::move(params));
         inst->server =
@@ -211,7 +150,7 @@ ClusterSim::ClusterSim(ClusterConfig config) : cfg_(std::move(config)), class_rn
       }
     });
   }
-  shards_->wait_all();
+  lockstep_->drain();
   for (const auto& inst : instances_) {
     if (inst->build_error) std::rethrow_exception(inst->build_error);
   }
@@ -222,12 +161,12 @@ ClusterSim::~ClusterSim() {
   // walks drain back into the thread-local pool they were carved from.
   for (int i = 0; i < static_cast<int>(instances_.size()); ++i) {
     Instance* inst = instances_[static_cast<std::size_t>(i)].get();
-    shards_->post(i, [inst] {
+    lockstep_->post(i, [inst] {
       inst->server.reset();
       inst->platform.reset();
     });
   }
-  shards_->wait_all();
+  lockstep_->drain();
 }
 
 const serve::ServerSim& ClusterSim::server(int i) const {
@@ -296,41 +235,73 @@ void ClusterSim::forward(int target, int cls, sim::Tick at) {
   ++forwarded_;
   ++inst.forwarded;
   ++inst.inflight_forwards;
-  serve::ServerSim* srv = inst.server.get();
-  Instance* target_inst = &inst;
   // Origin is the front-end arrival time: serialization wait and propagation
-  // count against the request's end-to-end latency and SLO.
-  inst.sim.schedule_at(deliver, [srv, target_inst, cls, at] {
-    --target_inst->inflight_forwards;
-    srv->inject(cls, at);
-  });
+  // count against the request's end-to-end latency and SLO. The event itself
+  // is pushed by the instance's shard when it reaches route_at_ (see
+  // advance_instance), not here — routing may run many epochs ahead.
+  inst.pending.push_back({route_at_, deliver, cls, at});
 }
 
 void ClusterSim::route_epoch(sim::Tick from, sim::Tick to) {
-  (void)from;
+  route_at_ = from;
   while (next_arrival_ < to) {
     forward(pick_server(), pick_class(), next_arrival_);
     if (arrivals_->exhausted()) {  // finite trace ran dry: no more forwards
-      next_arrival_ = std::numeric_limits<sim::Tick>::max() / 2;
+      next_arrival_ = kNoMoreArrivals;
       break;
     }
     next_arrival_ += arrivals_->next_gap();
   }
 }
 
-void ClusterSim::advance_all(sim::Tick boundary) {
-  for (int i = 0; i < static_cast<int>(instances_.size()); ++i) {
-    Instance* inst = instances_[static_cast<std::size_t>(i)].get();
-    shards_->post(i, [inst, boundary] { inst->sim.run_until(boundary); });
+void ClusterSim::advance_instance(Instance& inst, sim::Tick target) {
+  serve::ServerSim* srv = inst.server.get();
+  Instance* self = &inst;
+  for (const Instance::PendingForward& fwd : inst.pending) {
+    // Reach the routing boundary first: the per-epoch engine pushed this
+    // delivery after every event <= route_at had executed, and same-tick
+    // order is push order, so the replay must do exactly the same.
+    if (fwd.route_at > inst.sim.now()) inst.sim.run_until(fwd.route_at);
+    inst.sim.schedule_at(fwd.deliver, [srv, self, cls = fwd.cls, at = fwd.origin] {
+      --self->inflight_forwards;
+      srv->inject(cls, at);
+    });
   }
-  shards_->wait_all();
+  inst.pending.clear();
+  inst.sim.run_until(target);
+}
+
+void ClusterSim::advance_all(sim::Tick boundary) {
+  advance_target_ = boundary;
+  lockstep_->run();
+  ++barriers_run_;
+}
+
+void ClusterSim::advance_epochs(sim::Tick from, sim::Tick to) {
+  if (to <= from) return;
+  epochs_run_ += epoch_windows(from, to, epoch_);
+  advance_all(to);
+}
+
+bool ClusterSim::needs_snapshots() const noexcept {
+  return !cfg_.local_arrivals && cfg_.lb != LbPolicy::kRoundRobin;
+}
+
+bool ClusterSim::needs_gmi() const noexcept {
+  return !cfg_.local_arrivals && cfg_.lb == LbPolicy::kTelemetry;
 }
 
 void ClusterSim::sample_epoch() {
+  // Policies that never read a snapshot make this dead work (round-robin
+  // reads nothing; local_arrivals routes nothing): skip it entirely. This is
+  // behavior-neutral for both engines — the fields are only ever read by
+  // pick_server.
+  if (!needs_snapshots()) return;
+  const bool gmi = needs_gmi();
   for (auto& owned : instances_) {
     Instance& inst = *owned;
     inst.snap_outstanding = inst.server->outstanding_requests();
-    if (cfg_.lb != LbPolicy::kTelemetry) continue;
+    if (!gmi) continue;
     const sim::Tick now = inst.sim.now();
     double bytes = 0.0;
     for (int ccd = 0; ccd < inst.platform->ccd_count(); ++ccd) {
@@ -338,6 +309,19 @@ void ClusterSim::sample_epoch() {
       bytes += cnet::link_stats_one(inst.platform->gmi_down(ccd), now).bytes_total;
     }
     inst.gmi_delta = bytes - inst.gmi_last_bytes;
+    inst.gmi_last_bytes = bytes;
+  }
+}
+
+void ClusterSim::sample_gmi_baseline() {
+  for (auto& owned : instances_) {
+    Instance& inst = *owned;
+    const sim::Tick now = inst.sim.now();
+    double bytes = 0.0;
+    for (int ccd = 0; ccd < inst.platform->ccd_count(); ++ccd) {
+      bytes += cnet::link_stats_one(inst.platform->gmi_up(ccd), now).bytes_total;
+      bytes += cnet::link_stats_one(inst.platform->gmi_down(ccd), now).bytes_total;
+    }
     inst.gmi_last_bytes = bytes;
   }
 }
@@ -354,10 +338,20 @@ void ClusterSim::run() {
   ran_ = true;
 
   if (!cfg_.local_arrivals) {
-    next_arrival_ = arrivals_->exhausted() ? std::numeric_limits<sim::Tick>::max() / 2
-                                           : arrivals_->next_gap();
+    next_arrival_ = arrivals_->exhausted() ? kNoMoreArrivals : arrivals_->next_gap();
   }
 
+  if (cfg_.engine == Engine::kStep) {
+    run_step();
+  } else {
+    run_fused();
+  }
+}
+
+// The historical loop: route, advance, sample, one barrier per epoch. Kept
+// verbatim as the equivalence oracle for the fused engine and the baseline
+// for the speedup ctest.
+void ClusterSim::run_step() {
   // Arrival phase: route, then advance, in lockstep epochs. Routing for
   // [now, boundary) happens strictly before any instance executes the epoch,
   // using state observed at `now` — the conservative-lookahead contract.
@@ -382,10 +376,110 @@ void ClusterSim::run() {
   }
 }
 
+// Fused engine: identical observable behavior, far fewer barriers. The
+// correctness argument (DESIGN.md, "Fused lockstep barriers") rests on two
+// facts: (a) a barrier is only needed where the balancer reads instance
+// state or an instance must receive a delivery push in order, and
+// (b) between consecutive routing boundaries nothing of the sort happens —
+// so one barrier may cover the whole run, with pending deliveries replayed
+// at their recorded boundaries by each shard.
+void ClusterSim::run_fused() {
+  sim::Tick now = 0;
+  const sim::Tick stop = cfg_.stop;
+
+  if (cfg_.local_arrivals) {
+    // No front-end routing at all: the entire arrival window is one batch.
+    advance_epochs(now, stop);
+    now = stop;
+  } else if (cfg_.lb == LbPolicy::kRoundRobin) {
+    // Round-robin reads no server state — the routing sequence (rr cursor,
+    // class RNG, arrival stream, link FIFOs) lives entirely on the main
+    // thread, so the whole window can be routed up front and advanced in one
+    // batch. Each forward is tagged with the epoch boundary the per-epoch
+    // engine would have routed it at.
+    while (next_arrival_ < stop) {
+      route_at_ = (next_arrival_ / epoch_) * epoch_;
+      forward(pick_server(), pick_class(), next_arrival_);
+      if (arrivals_->exhausted()) {
+        next_arrival_ = kNoMoreArrivals;
+        break;
+      }
+      next_arrival_ += arrivals_->next_gap();
+    }
+    advance_epochs(now, stop);
+    now = stop;
+  } else {
+    // Snapshot-reading policies (least-out, telemetry) must observe state at
+    // every boundary that routes. Epochs with no arrival route nothing, so
+    // the loop jumps from routing boundary to routing boundary: fast-forward
+    // to one epoch before the next arrival's boundary, re-baseline the
+    // telemetry counters there (the delta must span exactly [B-E, B], as in
+    // the per-epoch engine), advance the final epoch, sample, then route.
+    while (now < stop) {
+      if (next_arrival_ >= stop) {
+        advance_epochs(now, stop);  // no more routing: tail is one batch
+        now = stop;
+        break;
+      }
+      const sim::Tick routing = (next_arrival_ / epoch_) * epoch_;
+      if (routing > now) {
+        const sim::Tick pre = routing - epoch_;
+        if (pre > now) advance_epochs(now, pre);
+        if (needs_gmi()) sample_gmi_baseline();
+        advance_epochs(std::max(pre, now), routing);
+        sample_epoch();
+        now = routing;
+        continue;
+      }
+      const sim::Tick boundary = std::min(now + epoch_, stop);
+      route_epoch(now, boundary);
+      advance_epochs(now, boundary);
+      sample_epoch();
+      now = boundary;
+    }
+  }
+
+  drain_fused(now);
+}
+
+// Drain with idle-epoch fast-skip: busy() can only change when an instance
+// executes an event, so instead of stepping epoch by epoch the loop asks
+// every instance for its next pending event and jumps straight to the first
+// epoch boundary at or past the earliest one. Boundaries stay on the
+// per-epoch engine's grid (stop + k*E, capped at the deadline) and every
+// skipped window is credited, so epochs/busy/exit all match kStep exactly.
+void ClusterSim::drain_fused(sim::Tick now) {
+  const sim::Tick deadline = cfg_.stop + cfg_.max_drain;
+  while (busy() && now < deadline) {
+    sim::Tick next = kNoMoreArrivals;
+    for (const auto& inst : instances_) {
+      const sim::Tick t = inst->server->next_event_time();
+      if (t != sim::Simulator::kNoPendingEvent && t < next) next = t;
+    }
+    sim::Tick boundary;
+    if (next <= now) {
+      // Cannot happen after run_until(now) — events <= now already executed —
+      // but fall back to one plain epoch rather than trusting it blindly.
+      boundary = std::min(now + epoch_, deadline);
+    } else if (next >= deadline) {
+      // Nothing due inside the budget: advance the clocks to the deadline in
+      // one batch (the per-epoch loop would step there without any state
+      // change and give up the same way).
+      boundary = deadline;
+    } else {
+      const sim::Tick windows = (next - now + epoch_ - 1) / epoch_;
+      boundary = std::min(now + windows * epoch_, deadline);
+    }
+    advance_epochs(now, boundary);
+    now = boundary;
+  }
+}
+
 ClusterReport ClusterSim::report() const {
   ClusterReport rep;
   rep.forwarded = forwarded_;
   rep.epochs = epochs_run_;
+  rep.barriers = barriers_run_;
 
   stats::Histogram all;
   std::vector<double> shares;

@@ -23,6 +23,15 @@
 // built, run and destroyed by one thread). All cross-instance interaction
 // happens on the main thread between barriers in index order, so cluster
 // output is bit-identical at --jobs 1 and --jobs N.
+//
+// The default engine fuses epochs: whenever the balancer can prove no
+// routing or snapshot read falls between two boundaries (always under
+// local_arrivals; for round-robin, which reads no server state, the whole
+// arrival window), one exec::Lockstep barrier covers the entire run of
+// epochs, and the drain phase jumps straight to the epoch boundary of the
+// earliest pending event instead of stepping empty epochs. Engine::kStep
+// forces the historical barrier-per-epoch loop; both engines are
+// byte-equivalent (see DESIGN.md's lockstep-fusion mechanism).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +40,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/lockstep.hpp"
 #include "serve/server.hpp"
 #include "topo/params.hpp"
 
@@ -64,6 +74,33 @@ enum class LbPolicy : std::uint8_t {
   if (s == "cluster-rr" || s == "rr") return LbPolicy::kRoundRobin;
   if (s == "least-out" || s == "jsq") return LbPolicy::kLeastOutstanding;
   if (s == "cluster-telemetry" || s == "telemetry") return LbPolicy::kTelemetry;
+  return std::nullopt;
+}
+
+/// Execution engine for the lockstep loop. Both engines produce byte-identical
+/// reports at any `jobs`; they differ only in how many synchronization rounds
+/// (barriers) they pay per simulated epoch.
+enum class Engine : std::uint8_t {
+  /// Fused batches + idle-epoch fast-skip: one barrier covers every run of
+  /// consecutive epochs with no routing or snapshot read between them, and
+  /// the drain jumps straight to the next pending event's epoch boundary.
+  kFused,
+  /// One barrier per epoch, exactly the historical loop. Kept as the
+  /// equivalence oracle and the baseline for the speedup ctest.
+  kStep,
+};
+
+[[nodiscard]] constexpr const char* to_string(Engine e) noexcept {
+  switch (e) {
+    case Engine::kFused: return "fused";
+    case Engine::kStep: return "step";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<Engine> parse_engine(std::string_view s) noexcept {
+  if (s == "fused") return Engine::kFused;
+  if (s == "step") return Engine::kStep;
   return std::nullopt;
 }
 
@@ -110,6 +147,9 @@ struct ClusterConfig {
   /// Pinned shard threads; <= 1 runs every instance on the caller's thread.
   /// Output is bit-identical for any value.
   int jobs = 1;
+  /// Lockstep execution engine; kFused and kStep are byte-equivalent, kStep
+  /// simply pays one barrier per epoch (the pre-fusion behavior).
+  Engine engine = Engine::kFused;
 };
 
 struct ClusterReport {
@@ -120,7 +160,14 @@ struct ClusterReport {
   std::uint64_t hedges = 0;      ///< hedge duplicates issued, summed
   std::uint64_t hedge_wins = 0;  ///< completions the duplicate won, summed
   std::uint64_t forwarded = 0;  ///< requests routed by the front end (all, incl. warmup)
-  std::uint64_t epochs = 0;     ///< lockstep epochs executed
+  /// Lookahead epochs the run covered (simulated-time windows of length
+  /// epoch_length()). Identical across engines and `jobs` values — part of
+  /// the byte-equivalence contract.
+  std::uint64_t epochs = 0;
+  /// Synchronization rounds actually paid. Equals `epochs` for Engine::kStep;
+  /// the fused engine covers many epochs per barrier, so this is the direct
+  /// measure of what fusion and the idle fast-skip save.
+  std::uint64_t barriers = 0;
   double offered_per_us = 0.0;
   double achieved_per_us = 0.0;
   double goodput_per_us = 0.0;
@@ -173,30 +220,48 @@ class ClusterSim {
 
  private:
   struct Instance;
-  class ShardPool;
 
+  void run_step();
+  void run_fused();
+  void drain_fused(sim::Tick now);
   void route_epoch(sim::Tick from, sim::Tick to);
   void forward(int target, int cls, sim::Tick at);
   [[nodiscard]] int pick_server();
   [[nodiscard]] int pick_class();
+  /// One synchronization round: every instance applies its pending forward
+  /// deliveries (each pushed when the instance reaches the delivery's routing
+  /// boundary, reproducing the per-epoch engine's event order exactly) and
+  /// runs to `boundary`.
   void advance_all(sim::Tick boundary);
+  /// advance_all plus epoch accounting: credits every epoch window in
+  /// (from, to] so ClusterReport::epochs stays engine-independent.
+  void advance_epochs(sim::Tick from, sim::Tick to);
+  void advance_instance(Instance& inst, sim::Tick target);
   void sample_epoch();
+  /// Re-establish the telemetry byte-counter baseline after a fast-skip, so
+  /// the next sample_epoch() delta spans exactly one epoch again.
+  void sample_gmi_baseline();
+  [[nodiscard]] bool needs_snapshots() const noexcept;
+  [[nodiscard]] bool needs_gmi() const noexcept;
   [[nodiscard]] bool busy() const;
 
   ClusterConfig cfg_;
   std::vector<serve::RequestClass> catalog_;
   sim::Tick epoch_ = 1;
 
-  std::unique_ptr<ShardPool> shards_;  ///< declared before instances_: joined last
+  std::unique_ptr<exec::Lockstep> lockstep_;  ///< declared before instances_: joined last
   std::vector<std::unique_ptr<Instance>> instances_;
 
   std::unique_ptr<serve::ArrivalProcess> arrivals_;  ///< front-end stream
   sim::Rng class_rng_;
   sim::Tick next_arrival_ = 0;
+  sim::Tick route_at_ = 0;  ///< routing boundary forwards are tagged with
+  sim::Tick advance_target_ = 0;
   std::size_t rr_next_ = 0;
   std::uint64_t forwarded_ = 0;
   double link_wait_ticks_ = 0.0;
   std::uint64_t epochs_run_ = 0;
+  std::uint64_t barriers_run_ = 0;
   bool ran_ = false;
 };
 

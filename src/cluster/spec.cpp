@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "serve/placement.hpp"
+
 namespace scn::cluster {
 namespace {
 
@@ -47,7 +49,62 @@ namespace {
   return spec::resolve(token);
 }
 
+/// Canonical text of one registry field. The accessors locate storage and
+/// never mutate, so reading through them from a const spec is sound.
+[[nodiscard]] std::string field_text(const ClusterSpec& spec, const ClusterField& field) {
+  auto& slot = const_cast<ClusterSpec&>(spec);
+  switch (field.kind) {
+    case ClusterFieldKind::kString: return field.s(slot);
+    case ClusterFieldKind::kDouble: return format_double(field.d(slot));
+    case ClusterFieldKind::kTickNs: return format_double(sim::to_ns(field.t(slot)));
+  }
+  return "";
+}
+
 }  // namespace
+
+const std::vector<ClusterField>& cluster_fields() {
+  static const std::vector<ClusterField> fields = {
+      {"link_latency_ns", ClusterFieldKind::kTickNs,
+       "inter-server ingress link: one-way propagation delay", nullptr, nullptr,
+       +[](ClusterSpec& s) -> sim::Tick& { return s.link.latency; }},
+      {"link_bytes_per_ns", ClusterFieldKind::kDouble,
+       "NIC serialization bandwidth; <= 0 disables serialization", nullptr,
+       +[](ClusterSpec& s) -> double& { return s.link.bytes_per_ns; }, nullptr},
+      {"request_bytes", ClusterFieldKind::kDouble, "on-wire size of one forwarded request",
+       nullptr, +[](ClusterSpec& s) -> double& { return s.link.request_bytes; }, nullptr},
+      {"placement", ClusterFieldKind::kString,
+       "front-end policy: round-robin | gmi-local | telemetry (CLI --placement overrides)",
+       +[](ClusterSpec& s) -> std::string& { return s.placement; }, nullptr, nullptr},
+  };
+  return fields;
+}
+
+std::vector<std::string> validate_cluster(const ClusterSpec& spec) {
+  std::vector<std::string> out;
+  if (spec.link.latency < 0) {
+    out.push_back("[cluster] link_latency_ns must be >= 0");
+  }
+  if (spec.link.request_bytes < 0.0) {
+    out.push_back("[cluster] request_bytes must be >= 0");
+  }
+  if (!serve::parse_policy(spec.placement)) {
+    out.push_back("[cluster] placement: unknown policy '" + spec.placement +
+                  "' (want round-robin, gmi-local, or telemetry)");
+  }
+  return out;
+}
+
+void validate_cluster_or_throw(const ClusterSpec& spec, const std::string& context) {
+  const auto errors = validate_cluster(spec);
+  if (errors.empty()) return;
+  std::string msg = context + ": invalid cluster parameters:";
+  for (const auto& e : errors) {
+    msg += "\n  ";
+    msg += e;
+  }
+  throw spec::Error(msg);
+}
 
 ClusterSpec parse_cluster(std::string_view text, const std::string& source,
                           const std::string& base_dir) {
@@ -55,6 +112,7 @@ ClusterSpec parse_cluster(std::string_view text, const std::string& source,
   bool in_cluster = false;
   bool in_gtm = false;
   bool seen_cluster = false;
+  std::vector<bool> seen_field(cluster_fields().size(), false);
   int lineno = 0;
 
   std::string line;
@@ -100,18 +158,30 @@ ClusterSpec parse_cluster(std::string_view text, const std::string& source,
         }
         out.server_tokens.push_back(token);
       }
-    } else if (key == "link_latency_ns") {
-      const double ns = parse_double(value, where);
-      if (ns < 0.0) throw spec::Error(where + ": link_latency_ns must be >= 0");
-      out.link.latency = sim::from_ns(ns);
-    } else if (key == "link_bytes_per_ns") {
-      out.link.bytes_per_ns = parse_double(value, where);
-    } else if (key == "request_bytes") {
-      const double bytes = parse_double(value, where);
-      if (bytes < 0.0) throw spec::Error(where + ": request_bytes must be >= 0");
-      out.link.request_bytes = bytes;
     } else {
-      throw spec::Error(where + ": unknown key '" + key + "'");
+      const auto& fields = cluster_fields();
+      std::size_t idx = fields.size();
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        if (key == fields[f].key) {
+          idx = f;
+          break;
+        }
+      }
+      if (idx == fields.size()) throw spec::Error(where + ": unknown key '" + key + "'");
+      if (seen_field[idx]) throw spec::Error(where + ": duplicate key '" + key + "'");
+      seen_field[idx] = true;
+      const ClusterField& field = fields[idx];
+      switch (field.kind) {
+        case ClusterFieldKind::kString:
+          field.s(out) = std::string(value);
+          break;
+        case ClusterFieldKind::kDouble:
+          field.d(out) = parse_double(value, where);
+          break;
+        case ClusterFieldKind::kTickNs:
+          field.t(out) = sim::from_ns(parse_double(value, where));
+          break;
+      }
     }
   }
 
@@ -119,6 +189,7 @@ ClusterSpec parse_cluster(std::string_view text, const std::string& source,
   if (out.servers.empty()) throw spec::Error(source + ": no servers listed");
   out.gtm = gtm::parse_gtm(text, source);
   out.tier = tier::parse_tier(text, source);
+  validate_cluster_or_throw(out, source);
   return out;
 }
 
@@ -141,12 +212,10 @@ std::string dump_cluster(const ClusterSpec& spec) {
     out += token;
   }
   out += "\n";
-  out += "# inter-server ingress link: one-way propagation delay\n";
-  out += "link_latency_ns = " + format_double(sim::to_ns(spec.link.latency)) + "\n";
-  out += "# NIC serialization bandwidth; <= 0 disables serialization\n";
-  out += "link_bytes_per_ns = " + format_double(spec.link.bytes_per_ns) + "\n";
-  out += "# on-wire size of one forwarded request\n";
-  out += "request_bytes = " + format_double(spec.link.request_bytes) + "\n";
+  for (const auto& field : cluster_fields()) {
+    out += std::string("# ") + field.doc + "\n";
+    out += std::string(field.key) + " = " + field_text(spec, field) + "\n";
+  }
   out += "\n";
   out += gtm::dump_gtm(spec.gtm);
   out += "\n";
@@ -168,17 +237,13 @@ std::vector<std::string> diff_cluster(const ClusterSpec& a, const ClusterSpec& b
     out.push_back("[cluster] servers: " + join(a.server_tokens) + " != " +
                   join(b.server_tokens));
   }
-  if (a.link.latency != b.link.latency) {
-    out.push_back("[cluster] link_latency_ns: " + format_double(sim::to_ns(a.link.latency)) +
-                  " != " + format_double(sim::to_ns(b.link.latency)));
-  }
-  if (a.link.bytes_per_ns != b.link.bytes_per_ns) {
-    out.push_back("[cluster] link_bytes_per_ns: " + format_double(a.link.bytes_per_ns) +
-                  " != " + format_double(b.link.bytes_per_ns));
-  }
-  if (a.link.request_bytes != b.link.request_bytes) {
-    out.push_back("[cluster] request_bytes: " + format_double(a.link.request_bytes) + " != " +
-                  format_double(b.link.request_bytes));
+  for (const auto& field : cluster_fields()) {
+    // format_double is shortest-reparse, so text equality is value equality.
+    const std::string av = field_text(a, field);
+    const std::string bv = field_text(b, field);
+    if (av != bv) {
+      out.push_back(std::string("[cluster] ") + field.key + ": " + av + " != " + bv);
+    }
   }
   const auto gtm_diffs = gtm::diff_gtm(a.gtm, b.gtm);
   out.insert(out.end(), gtm_diffs.begin(), gtm_diffs.end());

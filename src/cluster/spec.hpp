@@ -11,6 +11,7 @@
 //   link_latency_ns = 800
 //   link_bytes_per_ns = 12.5
 //   request_bytes = 512
+//   placement = gmi-local
 //
 // A cluster spec may also carry the Global Traffic Manager sections ([gtm]
 // and [arrivals], same grammar as in platform .scn files); they configure
@@ -24,6 +25,7 @@
 // file:line context, like the platform parser.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,12 +43,42 @@ struct ClusterSpec {
   /// dump_cluster can round-trip the spec without inventing file names.
   std::vector<std::string> server_tokens;
   LinkConfig link;
+  /// Front-end load-balancing policy the rack's global traffic manager uses
+  /// to pick a server per request: the serve::parse_policy vocabulary
+  /// ("round-robin", "gmi-local", "telemetry"). Benchmarks let the CLI
+  /// `--placement` flag override whatever the spec says.
+  std::string placement = "gmi-local";
   /// GTM + arrivals sections; defaults (FIFO, no admission, no hedging,
   /// Poisson) when the spec omits them.
   gtm::GtmParams gtm;
   /// [tier] section; defaults (mode = off) when the spec omits it.
   tier::TierParams tier;
 };
+
+enum class ClusterFieldKind : std::uint8_t { kString, kDouble, kTickNs };
+
+/// One schema entry binding a scalar [cluster] key to its ClusterSpec
+/// storage — the same registry idea as gtm::gtm_fields(), except the
+/// accessors are function pointers rather than member pointers because the
+/// link fields live inside the nested LinkConfig. (The list-valued `servers`
+/// key stays outside the registry; it needs token resolution, not a scalar
+/// slot.) Exactly one accessor is non-null, selected by `kind`.
+struct ClusterField {
+  const char* key;
+  ClusterFieldKind kind;
+  const char* doc;
+  std::string& (*s)(ClusterSpec&) = nullptr;
+  double& (*d)(ClusterSpec&) = nullptr;
+  sim::Tick& (*t)(ClusterSpec&) = nullptr;
+};
+
+/// The full scalar-key registry, in canonical (dump) order.
+[[nodiscard]] const std::vector<ClusterField>& cluster_fields();
+
+/// Semantic checks (vocabulary and ranges); empty means valid. parse_cluster
+/// runs this on every result, so a loadable spec is always a valid one.
+[[nodiscard]] std::vector<std::string> validate_cluster(const ClusterSpec& spec);
+void validate_cluster_or_throw(const ClusterSpec& spec, const std::string& context);
 
 /// Parse cluster spec text. `source` names the origin for diagnostics;
 /// `base_dir` anchors relative server spec paths (empty = cwd).

@@ -1,0 +1,127 @@
+#include "exec/lockstep.hpp"
+
+#include <utility>
+
+namespace scn::exec {
+namespace {
+
+// Spin budget before parking. Barriers this engine serves are released again
+// within microseconds when the epoch loop is hot, so a short spin usually
+// catches the next round without a futex round-trip; on a single-core host
+// spinning can only delay the thread that would make progress, so the budget
+// collapses to zero and every wait parks immediately.
+constexpr int kSpinRounds = 4096;
+
+}  // namespace
+
+Lockstep::Lockstep(int shards) {
+  if (shards <= 0) return;
+  spin_limit_ = std::thread::hardware_concurrency() > 1 ? kSpinRounds : 0;
+  tasks_.resize(static_cast<std::size_t>(shards));
+  threads_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    threads_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+Lockstep::~Lockstep() {
+  if (threads_.empty()) return;
+  cmd_ = Cmd::kStop;
+  gen_.fetch_add(1, std::memory_order_seq_cst);
+  gen_.notify_all();  // unconditional: shutdown happens once, a syscall is fine
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Lockstep::set_work(std::function<void(int)> work) { work_ = std::move(work); }
+
+void Lockstep::post(int shard, std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  tasks_[static_cast<std::size_t>(shard) % tasks_.size()].push_back(std::move(task));
+}
+
+void Lockstep::drain() {
+  if (threads_.empty()) return;  // post() already ran everything inline
+  fire_and_wait(Cmd::kTasks);
+}
+
+void Lockstep::run() {
+  if (threads_.empty()) {
+    if (work_) work_(0);
+    return;
+  }
+  fire_and_wait(Cmd::kWork);
+}
+
+void Lockstep::fire_and_wait(Cmd cmd) {
+  cmd_ = cmd;
+  remaining_.store(static_cast<int>(threads_.size()), std::memory_order_relaxed);
+  // Release the round. seq_cst orders this bump against each worker's
+  // parked_ increment: either we observe parked_ > 0 and pay the notify, or
+  // the worker's re-check of gen_ (after it bumped parked_) sees the new
+  // round and it never sleeps. No third interleaving exists.
+  const std::uint64_t round = gen_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (parked_.load(std::memory_order_seq_cst) > 0) gen_.notify_all();
+
+  // Wait for the last worker to publish `round`. Spin first — epochs are
+  // short — then park on done_gen_ with the caller_waiting_ flag telling the
+  // publishing worker whether a notify syscall is needed at all.
+  for (int i = 0; i < spin_limit_; ++i) {
+    if (done_gen_.load(std::memory_order_acquire) >= round) return;
+  }
+  caller_waiting_.store(true, std::memory_order_seq_cst);
+  std::uint64_t done = done_gen_.load(std::memory_order_seq_cst);
+  while (done < round) {
+    done_gen_.wait(done, std::memory_order_seq_cst);
+    done = done_gen_.load(std::memory_order_seq_cst);
+  }
+  caller_waiting_.store(false, std::memory_order_seq_cst);
+}
+
+void Lockstep::worker_loop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Wait for the next round: spin, then park. parked_ is bumped *before*
+    // the re-check so the caller's "anyone parked?" test pairs with it.
+    std::uint64_t g = gen_.load(std::memory_order_seq_cst);
+    if (g == seen) {
+      for (int i = 0; i < spin_limit_ && g == seen; ++i) {
+        g = gen_.load(std::memory_order_seq_cst);
+      }
+      if (g == seen) {
+        parked_.fetch_add(1, std::memory_order_seq_cst);
+        g = gen_.load(std::memory_order_seq_cst);
+        while (g == seen) {
+          gen_.wait(seen, std::memory_order_seq_cst);
+          g = gen_.load(std::memory_order_seq_cst);
+        }
+        parked_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
+    seen = g;
+
+    const Cmd cmd = cmd_;
+    if (cmd == Cmd::kStop) return;
+    if (cmd == Cmd::kWork) {
+      if (work_) work_(shard);
+    } else {
+      auto& queue = tasks_[static_cast<std::size_t>(shard)];
+      for (auto& task : queue) task();
+      queue.clear();
+    }
+
+    // Arrive. The last worker publishes the finished round; it only pays the
+    // notify syscall when the caller actually parked (seq_cst pairing with
+    // the caller_waiting_ store above).
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_gen_.store(seen, std::memory_order_seq_cst);
+      if (caller_waiting_.load(std::memory_order_seq_cst)) done_gen_.notify_all();
+    }
+  }
+}
+
+}  // namespace scn::exec

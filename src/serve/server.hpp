@@ -152,6 +152,12 @@ class ServerSim {
   [[nodiscard]] int worker_count() const noexcept { return static_cast<int>(workers_.size()); }
   [[nodiscard]] int worker_ccd(int worker) const noexcept { return workers_[worker].ccd; }
   [[nodiscard]] int outstanding_requests() const noexcept { return outstanding_; }
+  /// Lower bound on this server's next state change: the time of its
+  /// simulator's earliest pending event (sim::Simulator::kNoPendingEvent
+  /// when drained). Nothing observable — outstanding requests, telemetry
+  /// counters, completions — can change before it, which is what lets the
+  /// cluster's drain loop jump whole idle epochs instead of stepping them.
+  [[nodiscard]] sim::Tick next_event_time() noexcept { return sim_->next_event_time(); }
   /// Requests created (admitted arrivals + hedge duplicates; rejected
   /// arrivals never materialize a request).
   [[nodiscard]] std::uint64_t arrivals_total() const noexcept { return next_id_; }

@@ -54,7 +54,11 @@ class Simulator {
   /// The co-simulation fast path uses this to negotiate its wake-up cadence
   /// with the timing wheel: while waiting for in-flight transactions to
   /// drain it re-checks exactly at the next event instead of polling on a
-  /// fixed grid. (Non-const: the wheel may lazily advance its cursor.)
+  /// fixed grid. The cluster's idle-epoch fast-skip leans on the same
+  /// contract across whole Simulators: no observable state changes before
+  /// this time, so run_until() up to it is a pure clock advance and any
+  /// epoch boundaries in between can be jumped in one call.
+  /// (Non-const: the wheel may lazily advance its cursor.)
   [[nodiscard]] Tick next_event_time() noexcept {
     return queue_.empty() ? kNoPendingEvent : queue_.next_time();
   }

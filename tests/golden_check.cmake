@@ -5,26 +5,29 @@
 # number of sweep workers.
 #
 # Invoke: cmake -DBENCH=<exe> -DGOLDEN=<file> [-DBACKEND=<heap|wheel>]
-#         -P golden_check.cmake
+#         ["-DEXTRA_ARGS=<args>"] -P golden_check.cmake
 #
 # BACKEND pins the event-queue implementation via SCN_EVENT_QUEUE, so the
 # same golden can be asserted under both schedulers — the strongest statement
 # of the equivalence contract: not "both orders are valid" but "the output is
-# byte-identical either way".
+# byte-identical either way". EXTRA_ARGS appends flags to every run (e.g.
+# `--cluster <spec>` for the 16-box rack golden, or `--engine step` to assert
+# the per-epoch reference engine against the same bytes as the fused one).
 if(DEFINED BACKEND)
   set(ENV{SCN_EVENT_QUEUE} "${BACKEND}")
 endif()
+separate_arguments(extra_list UNIX_COMMAND "${EXTRA_ARGS}")
 file(READ "${GOLDEN}" want)
 foreach(jobs 1 4)
-  execute_process(COMMAND "${BENCH}" --quick --jobs ${jobs}
+  execute_process(COMMAND "${BENCH}" --quick ${extra_list} --jobs ${jobs}
                   OUTPUT_VARIABLE got
                   ERROR_VARIABLE stderr_ignored
                   RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "${BENCH} --quick --jobs ${jobs} failed (exit ${rc})")
+    message(FATAL_ERROR "${BENCH} --quick ${EXTRA_ARGS} --jobs ${jobs} failed (exit ${rc})")
   endif()
   if(NOT got STREQUAL want)
-    message(FATAL_ERROR "stdout of ${BENCH} --quick --jobs ${jobs} deviates "
+    message(FATAL_ERROR "stdout of ${BENCH} --quick ${EXTRA_ARGS} --jobs ${jobs} deviates "
                         "from ${GOLDEN}\n--- expected ---\n${want}"
                         "--- got ---\n${got}")
   endif()

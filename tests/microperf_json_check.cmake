@@ -28,6 +28,7 @@ foreach(metric
         queue_bimodal_items_per_sec
         serve_burst_events_per_sec
         cluster_requests_per_sec
+        cluster_epochs_per_sec
         gtm_retained_throughput
         fastforward_speedup
         tier_migrations_per_sec

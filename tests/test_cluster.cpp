@@ -5,7 +5,10 @@
 // away from an antagonist box, and the .scnc spec parser.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -169,6 +172,114 @@ TEST(ClusterDeterminism, JobsOneAndFourBitIdentical) {
   expect_same_cluster_report(threaded, again);
 }
 
+// ---- engine equivalence ----------------------------------------------------
+//
+// The fused engine (batched barriers + idle-epoch fast-skip) must be an
+// implementation detail: every observable number equals the per-epoch
+// reference engine's, at every worker count, including the edge cases where
+// the batching math is most likely to be off by one window.
+
+cluster::ClusterReport run_engine(cluster::ClusterConfig cc, cluster::Engine engine,
+                                  int jobs) {
+  cc.engine = engine;
+  cc.jobs = jobs;
+  cluster::ClusterSim c(cc);
+  c.run();
+  return c.report();
+}
+
+TEST(ClusterEngine, FusedMatchesStepAcrossJobs) {
+  cluster::ClusterConfig cc = base_cluster(3, 8.0);
+  cc.lb = cluster::LbPolicy::kTelemetry;  // exercises the gmi-baseline path
+  cc.antagonist_server = 0;
+  const auto step = run_engine(cc, cluster::Engine::kStep, 1);
+  ASSERT_GT(step.completed, 50u);
+  for (int jobs : {1, 4, 16}) {
+    expect_same_cluster_report(step, run_engine(cc, cluster::Engine::kFused, jobs));
+  }
+  // And the mechanism is actually engaged where fusing can apply: telemetry
+  // routes (and samples) at every boundary, but round-robin never reads
+  // server state, so its whole measured window collapses into one barrier.
+  cc.lb = cluster::LbPolicy::kRoundRobin;
+  const auto step_rr = run_engine(cc, cluster::Engine::kStep, 1);
+  const auto fused_rr = run_engine(cc, cluster::Engine::kFused, 1);
+  EXPECT_EQ(step_rr.epochs, fused_rr.epochs);  // the accounting is engine-invariant
+  EXPECT_LT(fused_rr.barriers, step_rr.barriers);
+}
+
+TEST(ClusterEngine, ZeroLatencyLinkOneTickEpochs) {
+  // Degenerate link: the lookahead clamps to one-tick epochs, so the fused
+  // engine's window math runs at its finest possible granularity. Keep the
+  // simulated window tiny — the reference engine walks every single tick.
+  for (const auto lb : {cluster::LbPolicy::kRoundRobin, cluster::LbPolicy::kLeastOutstanding}) {
+    cluster::ClusterConfig cc = base_cluster(2, 100.0);
+    cc.lb = lb;
+    cc.link.latency = 0;
+    cc.warmup = sim::from_ns(5.0);
+    cc.stop = sim::from_ns(105.0);
+    const auto step = run_engine(cc, cluster::Engine::kStep, 1);
+    ASSERT_GT(step.arrivals, 0u);
+    expect_same_cluster_report(step, run_engine(cc, cluster::Engine::kFused, 1));
+    expect_same_cluster_report(step, run_engine(cc, cluster::Engine::kFused, 4));
+  }
+}
+
+TEST(ClusterEngine, SingleServerMatches) {
+  // One box: every forward lands on server 0 and the fast-skip min() runs
+  // over a single next-event time.
+  cluster::ClusterConfig cc = base_cluster(1, 4.0);
+  cc.lb = cluster::LbPolicy::kLeastOutstanding;
+  const auto step = run_engine(cc, cluster::Engine::kStep, 1);
+  ASSERT_GT(step.completed, 0u);
+  expect_same_cluster_report(step, run_engine(cc, cluster::Engine::kFused, 1));
+  expect_same_cluster_report(step, run_engine(cc, cluster::Engine::kFused, 2));
+}
+
+TEST(ClusterEngine, SkipLandsExactlyOnStopAndDeadline) {
+  // stop is an exact multiple of the epoch and the drain budget truncates
+  // while requests are still in flight, so both the measurement cutoff and
+  // the drain deadline sit exactly on computed batch boundaries.
+  cluster::ClusterConfig cc = base_cluster(2, 16.0);
+  cc.link.latency = sim::from_ns(800.0);
+  cc.warmup = sim::from_us(8.0);   // 10 epochs
+  cc.stop = sim::from_us(40.0);    // 50 epochs exactly
+  cc.max_drain = sim::from_ns(1600.0);  // 2 epochs: deadline cuts the drain short
+  const auto step = run_engine(cc, cluster::Engine::kStep, 1);
+  ASSERT_GT(step.arrivals, 0u);
+  ASSERT_LT(step.completed, step.arrivals);  // the deadline really truncated
+  expect_same_cluster_report(step, run_engine(cc, cluster::Engine::kFused, 1));
+  expect_same_cluster_report(step, run_engine(cc, cluster::Engine::kFused, 4));
+}
+
+TEST(ClusterEngine, FusedSpeedupOnSmallLatencyRack) {
+  // The acceptance bar for the fused engine: a 16-box rack at a small link
+  // latency (many epochs, light per-epoch work) must run at least 3x faster
+  // than the per-epoch reference. Both runs execute in this process on the
+  // same machine, so the ratio is robust to slow or sanitized builds; retry
+  // a few times anyway to ride out scheduler noise.
+  cluster::ClusterConfig cc = base_cluster(16, 1.0);
+  cc.lb = cluster::LbPolicy::kRoundRobin;
+  cc.link.latency = sim::from_ns(1.0);  // 60k one-nanosecond epochs
+  double best = 0.0;
+  for (int attempt = 0; attempt < 3 && best < 3.0; ++attempt) {
+    const auto wall = [&cc](cluster::Engine engine) {
+      cluster::ClusterConfig run_cc = cc;
+      run_cc.engine = engine;
+      cluster::ClusterSim c(run_cc);
+      const auto t0 = std::chrono::steady_clock::now();
+      c.run();
+      const auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double>(t1 - t0).count();
+    };
+    const double fused_s = wall(cluster::Engine::kFused);
+    const double step_s = wall(cluster::Engine::kStep);
+    best = std::max(best, fused_s > 0.0 ? step_s / fused_s : 1e9);
+  }
+  RecordProperty("fused_speedup", std::to_string(best));
+  std::printf("fused engine speedup over step: %.1fx\n", best);
+  EXPECT_GE(best, 3.0) << "fused engine speedup regressed";
+}
+
 // ---- link model edge cases -------------------------------------------------
 
 TEST(ClusterLink, IdleEpochsWithNoForwardsInFlight) {
@@ -264,6 +375,30 @@ TEST(ClusterSpec, ParsesInlineText) {
   EXPECT_DOUBLE_EQ(spec.link.request_bytes, 256.0);
 }
 
+TEST(ClusterSpec, PlacementKeyIsParsedAndValidated) {
+  // Omitted: the historical default.
+  const auto dflt = cluster::parse_cluster("[cluster]\nservers = epyc7302\n", "t");
+  EXPECT_EQ(dflt.placement, "gmi-local");
+  // Present: any serve::parse_policy word, stored verbatim.
+  const auto rr = cluster::parse_cluster(
+      "[cluster]\nservers = epyc7302\nplacement = round-robin\n", "t");
+  EXPECT_EQ(rr.placement, "round-robin");
+  ASSERT_TRUE(serve::parse_policy(rr.placement).has_value());
+  // Vocabulary is checked at parse time, like every other semantic error.
+  EXPECT_THROW(cluster::parse_cluster(
+                   "[cluster]\nservers = epyc7302\nplacement = sideways\n", "t"),
+               spec::Error);
+  EXPECT_FALSE(cluster::validate_cluster(rr).size());
+  auto bad = rr;
+  bad.placement = "sideways";
+  EXPECT_EQ(cluster::validate_cluster(bad).size(), 1u);
+  // The registry carries dump/diff too: a changed placement shows up by key.
+  const auto d = cluster::diff_cluster(rr, bad);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], "[cluster] placement: round-robin != sideways");
+  EXPECT_NE(cluster::dump_cluster(rr).find("placement = round-robin"), std::string::npos);
+}
+
 TEST(ClusterSpec, RejectsMalformedInput) {
   EXPECT_THROW(cluster::parse_cluster("servers = epyc7302\n", "t"), spec::Error);
   EXPECT_THROW(cluster::parse_cluster("[cluster]\n", "t"), spec::Error);
@@ -275,6 +410,10 @@ TEST(ClusterSpec, RejectsMalformedInput) {
       spec::Error);
   EXPECT_THROW(cluster::parse_cluster(
                    "[cluster]\nservers = epyc7302\nlink_latency_ns = -1\n", "t"),
+               spec::Error);
+  EXPECT_THROW(cluster::parse_cluster("[cluster]\nservers = epyc7302\n"
+                                      "request_bytes = 64\nrequest_bytes = 64\n",
+                                      "t"),
                spec::Error);
 }
 
